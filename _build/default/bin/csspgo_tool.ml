@@ -1,0 +1,190 @@
+(* csspgo — command-line driver for the MiniC toolchain and PGO pipelines.
+
+   Subcommands:
+     compile  FILE     parse, optimize, emit; print binary statistics
+     run      FILE     compile and execute main with integer arguments
+     pgo      NAME     run a PGO variant end-to-end on a named workload
+     probes   FILE     show the pseudo-probe metadata of a probed build
+     contexts NAME     print the reconstructed context trie for a workload *)
+
+module F = Csspgo_frontend
+module Ir = Csspgo_ir
+module Opt = Csspgo_opt
+module Cg = Csspgo_codegen
+module Vm = Csspgo_vm
+module P = Csspgo_profile
+module Core = Csspgo_core
+module D = Core.Driver
+module W = Csspgo_workloads
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_src ?(probes = false) ~opt src =
+  let p = F.Lower.compile src in
+  if probes then Core.Pseudo_probe.insert p;
+  Ir.Verify.check_exn p;
+  let config = match opt with 0 -> Opt.Config.o0 | _ -> Opt.Config.o2_nopgo in
+  Opt.Pass.optimize ~config p;
+  (p, Cg.Emit.emit ~options:Cg.Emit.default_options p)
+
+(* --- compile ------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+
+let opt_arg =
+  Arg.(value & opt int 2 & info [ "O" ] ~docv:"LEVEL" ~doc:"Optimization level (0 or 2)")
+
+let probes_flag =
+  Arg.(value & flag & info [ "probes" ] ~doc:"Insert pseudo-probes before optimizing")
+
+let compile_cmd =
+  let run file opt probes =
+    let _, bin = compile_src ~probes ~opt (read_file file) in
+    Printf.printf "text           %6d bytes\n" bin.Cg.Mach.text_size;
+    Printf.printf "instructions   %6d\n" (Array.length bin.Cg.Mach.insts);
+    Printf.printf "functions      %6d\n" (Array.length bin.Cg.Mach.funcs);
+    Printf.printf "debug info     %6d bytes\n" bin.Cg.Mach.debug_size;
+    Printf.printf "probe metadata %6d bytes (%d records)\n" bin.Cg.Mach.probe_meta_size
+      (Array.length bin.Cg.Mach.probes)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a MiniC file and print binary statistics")
+    Term.(const run $ file_arg $ opt_arg $ probes_flag)
+
+(* --- run ----------------------------------------------------------- *)
+
+let args_arg =
+  Arg.(value & opt_all int64 [] & info [ "arg" ] ~docv:"N" ~doc:"Argument passed to main (repeatable)")
+
+let run_cmd =
+  let run file opt probes args =
+    let _, bin = compile_src ~probes ~opt (read_file file) in
+    let r = Vm.Machine.run ~pmu:None bin ~entry:"main" ~args in
+    Printf.printf "result        %Ld\n" r.Vm.Machine.ret_value;
+    Printf.printf "cycles        %Ld\n" r.Vm.Machine.cycles;
+    Printf.printf "instructions  %Ld\n" r.Vm.Machine.instructions;
+    Printf.printf "taken branches %Ld (mispredicted %Ld)\n" r.Vm.Machine.taken_branches
+      r.Vm.Machine.mispredicts;
+    Printf.printf "icache misses %Ld\n" r.Vm.Machine.icache_misses
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a MiniC file on the VM")
+    Term.(const run $ file_arg $ opt_arg $ probes_flag $ args_arg)
+
+(* --- pgo ----------------------------------------------------------- *)
+
+let workload_arg =
+  let names = List.map (fun w -> w.D.w_name) W.Suite.all in
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+    & info [] ~docv:"WORKLOAD" ~doc:(Printf.sprintf "One of: %s" (String.concat ", " names)))
+
+let variant_arg =
+  let variants =
+    [ ("nopgo", D.Nopgo); ("autofdo", D.Autofdo); ("probe-only", D.Csspgo_probe_only);
+      ("csspgo", D.Csspgo_full); ("instr", D.Instr_pgo) ]
+  in
+  Arg.(value & opt (enum variants) D.Csspgo_full & info [ "variant" ] ~docv:"V"
+         ~doc:"nopgo | autofdo | probe-only | csspgo | instr")
+
+let pgo_cmd =
+  let run name variant =
+    let w = Option.get (W.Suite.find name) in
+    let o = D.run_variant variant w in
+    Printf.printf "variant            %s\n" (D.variant_name variant);
+    Printf.printf "eval cycles        %Ld\n" o.D.o_eval.D.ev_cycles;
+    Printf.printf "eval instructions  %Ld\n" o.D.o_eval.D.ev_instructions;
+    Printf.printf "text size          %d bytes\n" o.D.o_text_size;
+    Printf.printf "profiling cycles   %Ld\n" o.D.o_profiling_cycles;
+    Printf.printf "profile size       %d bytes\n" o.D.o_profile_size;
+    Printf.printf "stale functions    %d\n" (List.length o.D.o_stales);
+    (match o.D.o_recon_stats with
+    | Some s ->
+        Printf.printf "samples            %d (%d dropped, %d gaps fixed, %d failed)\n"
+          s.Core.Ctx_reconstruct.st_samples s.Core.Ctx_reconstruct.st_dropped_misaligned
+          s.Core.Ctx_reconstruct.st_gaps_resolved s.Core.Ctx_reconstruct.st_gaps_failed
+    | None -> ());
+    if o.D.o_preinline_decisions <> [] then begin
+      Printf.printf "pre-inliner decisions:\n";
+      List.iter
+        (fun (d : Core.Preinliner.decision) ->
+          Printf.printf "  inline %-20s count=%-8Ld size=%dB depth=%d\n"
+            d.Core.Preinliner.d_callee_name d.Core.Preinliner.d_count d.Core.Preinliner.d_size
+            (List.length d.Core.Preinliner.d_context))
+        o.D.o_preinline_decisions
+    end
+  in
+  Cmd.v
+    (Cmd.info "pgo" ~doc:"Run a PGO variant end-to-end on a named workload")
+    Term.(const run $ workload_arg $ variant_arg)
+
+(* --- probes -------------------------------------------------------- *)
+
+let probes_cmd =
+  let run file =
+    let _, bin = compile_src ~probes:true ~opt:2 (read_file file) in
+    Array.iter
+      (fun (pr : Cg.Mach.probe_rec) ->
+        Printf.printf "0x%04x  %Lx #%d%s" pr.Cg.Mach.pr_addr pr.Cg.Mach.pr_func
+          pr.Cg.Mach.pr_id
+          (match pr.Cg.Mach.pr_kind with
+          | Ir.Instr.Block_probe -> ""
+          | Ir.Instr.Callsite_probe -> " (callsite)");
+        List.iter
+          (fun (cs : Ir.Dloc.callsite) ->
+            Printf.printf " @ %Lx:%d" cs.Ir.Dloc.cs_func cs.Ir.Dloc.cs_probe)
+          pr.Cg.Mach.pr_chain;
+        print_newline ())
+      bin.Cg.Mach.probes
+  in
+  Cmd.v
+    (Cmd.info "probes" ~doc:"Show the pseudo-probe metadata of a probed -O2 build")
+    Term.(const run $ file_arg)
+
+(* --- contexts ------------------------------------------------------ *)
+
+let contexts_cmd =
+  let run name =
+    let w = Option.get (W.Suite.find name) in
+    let pbin, samples, _ = D.profiling_run ~probes:true w in
+    let refp =
+      let p = F.Lower.compile w.D.w_source in
+      Core.Pseudo_probe.insert p;
+      p
+    in
+    let name_of g =
+      Option.map (fun f -> f.Ir.Func.name) (Ir.Program.find_func_by_guid refp g)
+    in
+    let checksum_of g =
+      match Ir.Program.find_func_by_guid refp g with
+      | Some f -> f.Ir.Func.checksum
+      | None -> 0L
+    in
+    let missing = Core.Missing_frame.build pbin samples in
+    let trie, stats =
+      Core.Ctx_reconstruct.reconstruct ~name_of ~missing ~checksum_of pbin samples
+    in
+    Printf.printf "# samples=%d dropped=%d gaps: %d fixed / %d failed\n"
+      stats.Core.Ctx_reconstruct.st_samples stats.Core.Ctx_reconstruct.st_dropped_misaligned
+      stats.Core.Ctx_reconstruct.st_gaps_resolved stats.Core.Ctx_reconstruct.st_gaps_failed;
+    (* The text profile format round-trips through Csspgo_profile.Text_io. *)
+    print_string (P.Text_io.ctx_to_string trie)
+  in
+  Cmd.v
+    (Cmd.info "contexts" ~doc:"Print the reconstructed context trie of a workload")
+    Term.(const run $ workload_arg)
+
+let () =
+  let info =
+    Cmd.info "csspgo" ~version:"1.0.0"
+      ~doc:"CSSPGO: context-sensitive sampling-based PGO with pseudo-instrumentation"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd ]))

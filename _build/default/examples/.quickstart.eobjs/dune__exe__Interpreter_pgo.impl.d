@@ -1,0 +1,1 @@
+examples/interpreter_pgo.ml: Csspgo_core Csspgo_workloads Int64 List Printf

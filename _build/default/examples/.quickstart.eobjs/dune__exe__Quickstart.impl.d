@@ -1,0 +1,1 @@
+examples/quickstart.ml: Csspgo_core Csspgo_frontend Csspgo_ir Csspgo_profile Csspgo_support Csspgo_workloads Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Csspgo_ir Csspgo_support Hashtbl Int64 Isel Layout List Mach Printf Regalloc String Vec

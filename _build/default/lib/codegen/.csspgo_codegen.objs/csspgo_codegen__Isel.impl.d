@@ -1,0 +1,1 @@
+lib/codegen/isel.ml: Array Csspgo_ir Csspgo_support Hashtbl List Mach Option Regalloc Vec

@@ -1,0 +1,1 @@
+lib/codegen/isel.mli: Csspgo_ir Csspgo_support Hashtbl Mach Regalloc

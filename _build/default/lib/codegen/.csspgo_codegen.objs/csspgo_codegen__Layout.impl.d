@@ -1,0 +1,1 @@
+lib/codegen/layout.ml: Array Csspgo_ir Csspgo_support Hashtbl Int64 List Option Vec

@@ -1,0 +1,1 @@
+lib/codegen/layout.mli: Csspgo_ir

@@ -1,0 +1,1 @@
+lib/codegen/mach.ml: Array Csspgo_ir Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/codegen/mach.mli: Csspgo_ir Format Hashtbl

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Array Csspgo_ir Csspgo_opt Csspgo_support Hashtbl Int64 List Mach Option Vec

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.mli: Csspgo_ir Mach

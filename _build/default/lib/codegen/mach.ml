@@ -1,0 +1,179 @@
+module Ir = Csspgo_ir
+module T = Ir.Types
+
+type preg = int
+
+let n_phys = 16
+let n_alloc = 12
+let scratch0 = 12
+
+type moperand =
+  | OReg of preg
+  | OImm of int64
+  | OSpill of int
+
+type loc =
+  | LReg of preg
+  | LSpill of int
+
+type mop =
+  | MArith of T.binop * preg * moperand * moperand
+  | MCmp of T.cmpop * preg * moperand * moperand
+  | MSelect of preg * preg * moperand * moperand
+  | MMov of preg * moperand
+  | MLoad of preg * string * moperand
+  | MStore of string * moperand * moperand
+  | MSpill_ld of preg * int
+  | MSpill_st of int * preg
+  | MCall of mcall
+  | MTail_call of mcall
+  | MRet of moperand
+  | MJmp of int
+  | MJcc of preg * bool * int
+  | MSwitch of moperand * (int64 * int) list * int
+  | MInc of int
+  | MValprof of int * moperand
+  | MNop
+
+and mcall = {
+  m_callee : Ir.Guid.t;
+  m_callee_name : string;
+  m_args : moperand list;
+  m_ret : loc option;
+}
+
+let size_of = function
+  | MArith _ -> 3
+  | MCmp _ -> 3
+  | MSelect _ -> 3
+  | MMov _ -> 3
+  | MLoad _ | MStore _ -> 4
+  | MSpill_ld _ | MSpill_st _ -> 4
+  | MCall _ | MTail_call _ -> 5
+  | MRet _ -> 1
+  | MJmp _ -> 5
+  | MJcc _ -> 6
+  | MSwitch (_, cases, _) -> 8 + (4 * List.length cases)
+  | MInc _ -> 7
+  | MValprof _ -> 7
+  | MNop -> 1
+
+type inst = {
+  i_addr : int;
+  i_size : int;
+  mutable i_op : mop;
+  i_dloc : Ir.Dloc.t;
+  i_func : int;
+  i_cs_probe : int;
+}
+
+type probe_rec = {
+  pr_func : Ir.Guid.t;
+  pr_id : int;
+  pr_kind : Ir.Instr.probe_kind;
+  pr_addr : int;
+  pr_chain : Ir.Dloc.callsite list;
+}
+
+type bfunc = {
+  bf_name : string;
+  bf_guid : Ir.Guid.t;
+  bf_start : int;
+  bf_end : int;
+  bf_cold : (int * int) option;
+  bf_param_locs : loc array;
+  bf_nslots : int;
+  bf_checksum : int64;
+}
+
+type binary = {
+  funcs : bfunc array;
+  insts : inst array;
+  addr_index : (int, int) Hashtbl.t;
+  probes : probe_rec array;
+  n_counters : int;
+  globals : (string * int) list;
+  text_size : int;
+  debug_size : int;
+  probe_meta_size : int;
+}
+
+let func_index_of_addr b addr =
+  let n = Array.length b.funcs in
+  let found = ref None in
+  (* Hot ranges are sorted by start; cold ranges live past all hot code.
+     A linear scan is fine for our function counts but use the hot ordering
+     for the common case. *)
+  let rec bsearch lo hi =
+    if lo >= hi then ()
+    else
+      let mid = (lo + hi) / 2 in
+      let f = b.funcs.(mid) in
+      if addr < f.bf_start then bsearch lo mid
+      else if addr >= f.bf_end then bsearch (mid + 1) hi
+      else found := Some mid
+  in
+  bsearch 0 n;
+  (match !found with
+  | Some _ -> ()
+  | None ->
+      Array.iteri
+        (fun i f ->
+          match f.bf_cold with
+          | Some (s, e) when addr >= s && addr < e -> found := Some i
+          | _ -> ())
+        b.funcs);
+  !found
+
+let inst_at b addr =
+  match Hashtbl.find_opt b.addr_index addr with
+  | Some i -> Some b.insts.(i)
+  | None -> None
+
+let next_addr b addr =
+  match Hashtbl.find_opt b.addr_index addr with
+  | Some i when i + 1 < Array.length b.insts -> Some b.insts.(i + 1).i_addr
+  | _ -> None
+
+let dloc_at b addr = Option.map (fun i -> i.i_dloc) (inst_at b addr)
+
+let inlined_frames_at b addr =
+  match inst_at b addr with
+  | None -> []
+  | Some i ->
+      let container = b.funcs.(i.i_func).bf_guid in
+      Ir.Dloc.frames ~container i.i_dloc
+
+let entry_addr b guid =
+  let r = ref None in
+  Array.iter (fun f -> if Ir.Guid.equal f.bf_guid guid then r := Some f.bf_start) b.funcs;
+  !r
+
+let pp_moperand fmt = function
+  | OReg r -> Format.fprintf fmt "p%d" r
+  | OImm i -> Format.fprintf fmt "%Ld" i
+  | OSpill s -> Format.fprintf fmt "[slot%d]" s
+
+let pp_mop fmt = function
+  | MArith (op, d, a, b) ->
+      Format.fprintf fmt "p%d = %a %a, %a" d T.pp_binop op pp_moperand a pp_moperand b
+  | MCmp (op, d, a, b) ->
+      Format.fprintf fmt "p%d = cmp.%a %a, %a" d T.pp_cmpop op pp_moperand a pp_moperand b
+  | MSelect (d, c, a, b) ->
+      Format.fprintf fmt "p%d = select p%d, %a, %a" d c pp_moperand a pp_moperand b
+  | MMov (d, a) -> Format.fprintf fmt "p%d = %a" d pp_moperand a
+  | MLoad (d, g, i) -> Format.fprintf fmt "p%d = load %s[%a]" d g pp_moperand i
+  | MStore (g, i, v) -> Format.fprintf fmt "store %s[%a], %a" g pp_moperand i pp_moperand v
+  | MSpill_ld (d, s) -> Format.fprintf fmt "p%d = reload slot%d" d s
+  | MSpill_st (s, r) -> Format.fprintf fmt "spill slot%d, p%d" s r
+  | MCall c -> Format.fprintf fmt "call %s/%d" c.m_callee_name (List.length c.m_args)
+  | MTail_call c -> Format.fprintf fmt "tailcall %s/%d" c.m_callee_name (List.length c.m_args)
+  | MRet o -> Format.fprintf fmt "ret %a" pp_moperand o
+  | MJmp a -> Format.fprintf fmt "jmp 0x%x" a
+  | MJcc (r, pol, a) -> Format.fprintf fmt "j%s p%d, 0x%x" (if pol then "nz" else "z") r a
+  | MSwitch (o, cases, d) ->
+      Format.fprintf fmt "switch %a (%d cases) default 0x%x" pp_moperand o
+        (List.length cases) d
+  | MInc i -> Format.fprintf fmt "inc counter[%d]" i
+  | MValprof (s, o) -> Format.fprintf fmt "valprof #%d, %a" s pp_moperand o
+  | MNop -> Format.pp_print_string fmt "nop"

@@ -1,0 +1,138 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module I = Ir.Instr
+module Opt = Csspgo_opt
+
+type t = {
+  loc_of : Mach.loc array;
+  nslots : int;
+}
+
+(* Static block weight: 8^loop-depth, saturating. *)
+let static_weights (f : Ir.Func.t) =
+  let w = Hashtbl.create 16 in
+  Ir.Func.iter_blocks (fun b -> Hashtbl.replace w b.Ir.Block.id 1L) f;
+  List.iter
+    (fun (loop : Ir.Cfg.loop) ->
+      Hashtbl.iter
+        (fun l () ->
+          let cur = Option.value (Hashtbl.find_opt w l) ~default:1L in
+          Hashtbl.replace w l (min 4096L (Int64.mul cur 8L)))
+        loop.Ir.Cfg.body)
+    (Ir.Cfg.natural_loops f);
+  w
+
+(* Profile-weighted access frequency per virtual register. *)
+let frequencies (f : Ir.Func.t) =
+  let n = max f.Ir.Func.nregs 1 in
+  let freq = Array.make n 0L in
+  let static_w = if f.Ir.Func.annotated then Hashtbl.create 0 else static_weights f in
+  Ir.Func.iter_blocks
+    (fun b ->
+      let w =
+        if f.Ir.Func.annotated then Int64.max 1L b.Ir.Block.count
+        else Option.value (Hashtbl.find_opt static_w b.Ir.Block.id) ~default:1L
+      in
+      let touch r = if r < n then freq.(r) <- Int64.add freq.(r) w in
+      Vec.iter
+        (fun (i : I.t) ->
+          List.iter touch (I.defs i.I.op);
+          List.iter touch (I.uses i.I.op))
+        b.Ir.Block.instrs;
+      List.iter touch (I.term_uses b.Ir.Block.term))
+    f;
+  List.iter (fun p -> if p < n then freq.(p) <- Int64.add freq.(p) 1L) f.Ir.Func.params;
+  freq
+
+(* Instruction-precise interference graph from backward liveness walks. *)
+let interference (f : Ir.Func.t) =
+  let n = max f.Ir.Func.nregs 1 in
+  let adj = Array.make n [] in
+  let edge = Hashtbl.create 256 in
+  let add a b =
+    if a <> b && a < n && b < n && not (Hashtbl.mem edge (min a b, max a b)) then begin
+      Hashtbl.replace edge (min a b, max a b) ();
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+  in
+  (* All parameters are live simultaneously at entry (the VM materializes
+     them together), so they must not share registers. *)
+  List.iter
+    (fun p -> List.iter (fun q -> add p q) f.Ir.Func.params)
+    f.Ir.Func.params;
+  let live_out = Opt.Dce.liveness f in
+  Ir.Func.iter_blocks
+    (fun b ->
+      let live = Array.copy (Hashtbl.find live_out b.Ir.Block.id) in
+      let set r v = if r < Array.length live then live.(r) <- v in
+      List.iter (fun r -> set r true) (I.term_uses b.Ir.Block.term);
+      for idx = Vec.length b.Ir.Block.instrs - 1 downto 0 do
+        let i = Vec.get b.Ir.Block.instrs idx in
+        let defs = I.defs i.I.op in
+        List.iter
+          (fun d -> Array.iteri (fun r lv -> if lv then add d r) live)
+          defs;
+        List.iter (fun r -> set r false) defs;
+        List.iter (fun r -> set r true) (I.uses i.I.op)
+      done)
+    f;
+  adj
+
+(* Move pairs (dst, src) — coloring prefers giving both the same register
+   so the move disappears in instruction selection. *)
+let move_pairs (f : Ir.Func.t) =
+  let n = max f.Ir.Func.nregs 1 in
+  let partners = Array.make n [] in
+  Ir.Func.iter_blocks
+    (fun b ->
+      Vec.iter
+        (fun (i : I.t) ->
+          match i.I.op with
+          | I.Mov (d, Ir.Types.Reg s) when d <> s && d < n && s < n ->
+              partners.(d) <- s :: partners.(d);
+              partners.(s) <- d :: partners.(s)
+          | _ -> ())
+        b.Ir.Block.instrs)
+    f;
+  partners
+
+let allocate (f : Ir.Func.t) =
+  let n = max f.Ir.Func.nregs 1 in
+  let freq = frequencies f in
+  let adj = interference f in
+  let partners = move_pairs f in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int64.compare freq.(b) freq.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let color = Array.make n (-1) in
+  let loc_of = Array.make n (Mach.LSpill 0) in
+  let nslots = ref 0 in
+  Array.iter
+    (fun vreg ->
+      let used = Array.make Mach.n_alloc false in
+      List.iter
+        (fun nb -> if color.(nb) >= 0 && color.(nb) < Mach.n_alloc then used.(color.(nb)) <- true)
+        adj.(vreg);
+      (* Coalescing bias: reuse a move-partner's color when it is free. *)
+      let preferred =
+        List.find_map
+          (fun p ->
+            if p < n && color.(p) >= 0 && color.(p) < Mach.n_alloc && not used.(color.(p))
+            then Some color.(p)
+            else None)
+          partners.(vreg)
+      in
+      let rec first_free c = if c >= Mach.n_alloc then None else if used.(c) then first_free (c + 1) else Some c in
+      match (preferred, first_free 0) with
+      | Some c, _ | None, Some c ->
+          color.(vreg) <- c;
+          loc_of.(vreg) <- Mach.LReg c
+      | None, None ->
+          loc_of.(vreg) <- Mach.LSpill !nslots;
+          incr nslots)
+    order;
+  { loc_of; nslots = !nslots }

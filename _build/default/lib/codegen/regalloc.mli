@@ -1,0 +1,17 @@
+(** Register allocation: greedy graph coloring over an instruction-precise
+    interference graph, with virtual registers considered in order of
+    profile-weighted access frequency (block counts when annotated,
+    loop-depth heuristics otherwise). Registers that cannot be colored into
+    the [Mach.n_alloc] allocatable registers spill to a frame slot and pay a
+    real load/store per access.
+
+    This is where post-inline profile quality becomes performance: a stale
+    or badly scaled profile colors the wrong registers first and pushes the
+    hot loop's values into spill slots (§II.B). *)
+
+type t = {
+  loc_of : Mach.loc array;  (** indexed by virtual register *)
+  nslots : int;
+}
+
+val allocate : Csspgo_ir.Func.t -> t

@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Array Csspgo_inference Csspgo_ir Csspgo_opt Csspgo_profile Csspgo_support Hashtbl Int64 List Option Vec

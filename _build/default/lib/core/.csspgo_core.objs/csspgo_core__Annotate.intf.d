@@ -1,0 +1,1 @@
+lib/core/annotate.mli: Csspgo_ir Csspgo_profile Hashtbl

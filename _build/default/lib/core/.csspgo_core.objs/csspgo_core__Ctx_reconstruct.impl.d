@@ -1,0 +1,1 @@
+lib/core/ctx_reconstruct.ml: Array Csspgo_codegen Csspgo_ir Csspgo_profgen Csspgo_profile Csspgo_vm Format Hashtbl Int64 List Missing_frame Option Probe_corr

@@ -1,0 +1,1 @@
+lib/core/ctx_reconstruct.mli: Csspgo_codegen Csspgo_ir Csspgo_profile Csspgo_vm Missing_frame

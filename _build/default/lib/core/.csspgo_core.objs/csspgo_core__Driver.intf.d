@@ -1,0 +1,1 @@
+lib/core/driver.mli: Annotate Csspgo_codegen Csspgo_ir Csspgo_opt Csspgo_vm Ctx_reconstruct Preinliner

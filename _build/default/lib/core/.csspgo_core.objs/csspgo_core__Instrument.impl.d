@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Csspgo_ir Csspgo_support Hashtbl Int64 Vec

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Csspgo_ir Hashtbl

@@ -1,0 +1,1 @@
+lib/core/missing_frame.ml: Array Csspgo_codegen Csspgo_ir Csspgo_vm Hashtbl List Option

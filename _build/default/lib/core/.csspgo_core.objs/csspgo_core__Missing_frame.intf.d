@@ -1,0 +1,1 @@
+lib/core/missing_frame.mli: Csspgo_codegen Csspgo_ir Csspgo_vm

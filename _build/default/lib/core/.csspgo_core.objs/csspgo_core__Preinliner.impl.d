@@ -1,0 +1,1 @@
+lib/core/preinliner.ml: Csspgo_ir Csspgo_profile Csspgo_support Hashtbl Heap Int64 List Option Size_extract

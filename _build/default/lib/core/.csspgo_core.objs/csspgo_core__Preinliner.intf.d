@@ -1,0 +1,1 @@
+lib/core/preinliner.mli: Csspgo_ir Csspgo_profile Size_extract

@@ -1,0 +1,1 @@
+lib/core/probe_corr.ml: Array Csspgo_codegen Csspgo_ir Csspgo_profgen Csspgo_profile Format Hashtbl Int64 List Option

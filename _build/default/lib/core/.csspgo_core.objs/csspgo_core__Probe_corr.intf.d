@@ -1,0 +1,1 @@
+lib/core/probe_corr.mli: Csspgo_codegen Csspgo_ir Csspgo_profile Csspgo_vm

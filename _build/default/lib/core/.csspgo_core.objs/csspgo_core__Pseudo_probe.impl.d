@@ -1,0 +1,1 @@
+lib/core/pseudo_probe.ml: Csspgo_ir Csspgo_support Fnv List Vec

@@ -1,0 +1,1 @@
+lib/core/pseudo_probe.mli: Csspgo_ir

@@ -1,0 +1,1 @@
+lib/core/quality.ml: Csspgo_ir Int64

@@ -1,0 +1,1 @@
+lib/core/size_extract.ml: Array Csspgo_codegen Csspgo_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/size_extract.mli: Csspgo_codegen Csspgo_ir

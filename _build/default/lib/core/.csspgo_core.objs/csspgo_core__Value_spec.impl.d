@@ -1,0 +1,1 @@
+lib/core/value_spec.ml: Array Csspgo_ir Csspgo_support Hashtbl Int64 List Vec

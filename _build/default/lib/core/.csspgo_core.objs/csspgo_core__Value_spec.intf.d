@@ -1,0 +1,1 @@
+lib/core/value_spec.mli: Csspgo_ir Hashtbl Instrument

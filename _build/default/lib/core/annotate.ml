@@ -1,0 +1,207 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module I = Ir.Instr
+module P = Csspgo_profile
+module CP = P.Ctx_profile
+module PP = P.Probe_profile
+module Opt = Csspgo_opt
+module Inference = Csspgo_inference
+
+type stale = {
+  sf_name : string;
+  sf_expected : int64;
+  sf_found : int64;
+}
+
+let lines (prof : P.Line_profile.t) (p : Ir.Program.t) =
+  Ir.Program.iter_funcs
+    (fun f ->
+      match P.Line_profile.get prof f.Ir.Func.guid with
+      | None -> f.Ir.Func.annotated <- false
+      | Some fe ->
+          Ir.Func.iter_blocks
+            (fun b ->
+              let count = ref 0L in
+              Vec.iter
+                (fun (i : I.t) ->
+                  let d = i.I.dloc in
+                  if (not (Ir.Dloc.is_none d)) && Ir.Guid.equal d.Ir.Dloc.origin f.Ir.Func.guid
+                  then
+                    let c = P.Line_profile.line_count fe (d.Ir.Dloc.line, d.Ir.Dloc.disc) in
+                    if Int64.compare c !count > 0 then count := c)
+                b.Ir.Block.instrs;
+              b.Ir.Block.count <- !count;
+              b.Ir.Block.edge_counts <-
+                Array.make (List.length (Ir.Block.successors b)) 0L)
+            f;
+          let entry = Ir.Func.entry_block f in
+          if Int64.compare fe.P.Line_profile.fe_head entry.Ir.Block.count > 0 then
+            entry.Ir.Block.count <- fe.P.Line_profile.fe_head;
+          f.Ir.Func.annotated <- true;
+          Inference.Infer.infer_func f)
+    p
+
+let annotate_from_fentry (f : Ir.Func.t) (fe : PP.fentry) =
+  Ir.Func.iter_blocks
+    (fun b ->
+      let pid = Ir.Block.probe_id b in
+      b.Ir.Block.count <- (if pid > 0 then PP.probe_count fe pid else 0L);
+      b.Ir.Block.edge_counts <- Array.make (List.length (Ir.Block.successors b)) 0L)
+    f;
+  let entry = Ir.Func.entry_block f in
+  if Int64.compare fe.PP.fe_head entry.Ir.Block.count > 0 then
+    entry.Ir.Block.count <- fe.PP.fe_head;
+  f.Ir.Func.annotated <- true
+
+let check_checksum (f : Ir.Func.t) (checksum : int64) stales =
+  if Int64.equal checksum 0L || Int64.equal checksum f.Ir.Func.checksum then true
+  else begin
+    stales :=
+      { sf_name = f.Ir.Func.name; sf_expected = f.Ir.Func.checksum; sf_found = checksum }
+      :: !stales;
+    false
+  end
+
+let probes (prof : PP.t) (p : Ir.Program.t) =
+  let stales = ref [] in
+  Ir.Program.iter_funcs
+    (fun f ->
+      match PP.get prof f.Ir.Func.guid with
+      | None -> f.Ir.Func.annotated <- false
+      | Some fe ->
+          if check_checksum f fe.PP.fe_checksum stales then begin
+            annotate_from_fentry f fe;
+            Inference.Infer.infer_func f
+          end
+          else f.Ir.Func.annotated <- false)
+    p;
+  List.rev !stales
+
+let exact counts (p : Ir.Program.t) =
+  Ir.Program.iter_funcs
+    (fun f ->
+      let any = ref false in
+      Ir.Func.iter_blocks
+        (fun b ->
+          let c =
+            Option.value
+              (Hashtbl.find_opt counts (f.Ir.Func.guid, b.Ir.Block.id))
+              ~default:0L
+          in
+          if Int64.compare c 0L > 0 then any := true;
+          b.Ir.Block.count <- c;
+          b.Ir.Block.edge_counts <- Array.make (List.length (Ir.Block.successors b)) 0L)
+        f;
+      f.Ir.Func.annotated <- true;
+      ignore !any;
+      Inference.Infer.infer_func f)
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Full CSSPGO: base annotation + pre-inliner replay with exact
+   context-profile slices on the inlined bodies.                       *)
+
+(* Annotate the blocks listed in [block_map] (callee label -> caller label)
+   from a context node's probe counts, overriding the inliner's scaling. *)
+let annotate_cloned (caller : Ir.Func.t) (callee : Ir.Func.t)
+    (block_map : (Ir.Types.label * Ir.Types.label) list) (node : CP.node) =
+  List.iter
+    (fun (orig_l, new_l) ->
+      match (Ir.Func.find_block callee orig_l, Ir.Func.find_block caller new_l) with
+      | Some orig_b, Some new_b ->
+          let pid = Ir.Block.probe_id orig_b in
+          new_b.Ir.Block.count <-
+            (if pid > 0 then PP.probe_count node.CP.n_prof pid else 0L);
+          new_b.Ir.Block.edge_counts <-
+            Array.make (List.length (Ir.Block.successors new_b)) 0L
+      | _ -> ())
+    block_map
+
+(* Replay inline decisions under [node] for the calls found in [labels] of
+   [caller]. Recurses into freshly inlined bodies. *)
+let rec replay (p : Ir.Program.t) (caller : Ir.Func.t) (node : CP.node)
+    (labels : Ir.Types.label list) stales =
+  List.iter
+    (fun l ->
+      let continue_ = ref true in
+      while !continue_ do
+        continue_ := false;
+        match Ir.Func.find_block caller l with
+        | None -> ()
+        | Some b ->
+            (* Find the first call in this block with an inline-marked
+               context child; inline it; rescan (indices shift). *)
+            let found = ref None in
+            Vec.iteri
+              (fun idx (i : I.t) ->
+                if !found = None then
+                  match i.I.op with
+                  | I.Call { c_callee; c_probe; _ } when c_probe > 0 -> (
+                      match Ir.Program.find_func p c_callee with
+                      | None -> ()
+                      | Some callee -> (
+                          let key = (c_probe, callee.Ir.Func.guid) in
+                          match Hashtbl.find_opt node.CP.n_children key with
+                          | Some child when child.CP.n_inlined ->
+                              if
+                                Int64.equal child.CP.n_prof.PP.fe_checksum 0L
+                                || Int64.equal child.CP.n_prof.PP.fe_checksum
+                                     callee.Ir.Func.checksum
+                              then found := Some (idx, callee, child, key)
+                              else begin
+                                stales :=
+                                  {
+                                    sf_name = callee.Ir.Func.name;
+                                    sf_expected = callee.Ir.Func.checksum;
+                                    sf_found = child.CP.n_prof.PP.fe_checksum;
+                                  }
+                                  :: !stales;
+                                (* Don't retry this context. *)
+                                child.CP.n_inlined <- false
+                              end
+                          | _ -> ()))
+                  | _ -> ())
+              b.Ir.Block.instrs;
+            (match !found with
+            | Some (idx, callee, child, _key) -> (
+                match Opt.Inline.inline_at p ~caller ~block:l ~index:idx with
+                | Some res ->
+                    annotate_cloned caller callee res.Opt.Inline.block_map child;
+                    (* Recurse into the inlined body for nested decisions. *)
+                    replay p caller child (List.map snd res.Opt.Inline.block_map) stales;
+                    (* Rescan this block: the continuation may hold more calls,
+                       and this block may have further marked calls. *)
+                    replay p caller node [ res.Opt.Inline.continuation ] stales;
+                    continue_ := true
+                | None -> ())
+            | None -> ())
+      done)
+    labels
+
+let ctx (trie : CP.t) (p : Ir.Program.t) =
+  let stales = ref [] in
+  (* Base annotation first (raw counts; inference deferred until after
+     replay so inlined slices participate). *)
+  Ir.Program.iter_funcs
+    (fun f ->
+      match Ir.Guid.Tbl.find_opt trie.CP.roots f.Ir.Func.guid with
+      | None -> f.Ir.Func.annotated <- false
+      | Some root ->
+          if check_checksum f root.CP.n_prof.PP.fe_checksum stales then
+            annotate_from_fentry f root.CP.n_prof
+          else f.Ir.Func.annotated <- false)
+    p;
+  (* Replay pre-inliner decisions top-down. *)
+  let cg = Ir.Callgraph.build p in
+  List.iter
+    (fun name ->
+      let f = Ir.Program.func p name in
+      match Ir.Guid.Tbl.find_opt trie.CP.roots f.Ir.Func.guid with
+      | Some root when f.Ir.Func.annotated -> replay p f root (Ir.Func.labels f) stales
+      | _ -> ())
+    (Ir.Callgraph.top_down cg);
+  (* Consistency inference over the post-replay bodies. *)
+  Ir.Program.iter_funcs
+    (fun f -> if f.Ir.Func.annotated then Inference.Infer.infer_func f)
+    p;
+  List.rev !stales

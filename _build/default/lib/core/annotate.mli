@@ -1,0 +1,34 @@
+(** Profile annotation: attach correlated profiles to fresh pre-optimization
+    IR and run inference to make the counts flow-consistent.
+
+    Four annotators, one per PGO variant:
+    - [lines]: AutoFDO — block count = max of its locations' line counts
+      (the DWARF correlation contract);
+    - [probes]: probe-only CSSPGO — block count = its block probe's count;
+      rejected per function on CFG-checksum mismatch;
+    - [exact]: instrumentation PGO — exact per-block counters;
+    - [ctx]: full CSSPGO — base profiles like [probes], then *replay* of the
+      pre-inliner's positive decisions: marked contexts are inlined with
+      [Opt.Inline.inline_at] and the inlined blocks annotated directly from
+      the context profile slice (Fig. 3b — accurate post-inline counts,
+      no scaling). *)
+
+type stale = {
+  sf_name : string;
+  sf_expected : int64;
+  sf_found : int64;
+}
+
+val lines : Csspgo_profile.Line_profile.t -> Csspgo_ir.Program.t -> unit
+
+val probes : Csspgo_profile.Probe_profile.t -> Csspgo_ir.Program.t -> stale list
+(** Returns the functions rejected for checksum mismatch. *)
+
+val exact :
+  (Csspgo_ir.Guid.t * Csspgo_ir.Types.label, int64) Hashtbl.t ->
+  Csspgo_ir.Program.t ->
+  unit
+
+val ctx : Csspgo_profile.Ctx_profile.t -> Csspgo_ir.Program.t -> stale list
+(** The program must already carry pseudo-probes (same insertion as the
+    profiling build). *)

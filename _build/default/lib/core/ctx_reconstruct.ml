@@ -1,0 +1,210 @@
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module Vm = Csspgo_vm
+module P = Csspgo_profile
+module Pg = Csspgo_profgen
+
+type stats = {
+  st_samples : int;
+  st_dropped_misaligned : int;
+  st_gaps_resolved : int;
+  st_gaps_failed : int;
+}
+
+type branch_kind = K_call | K_tail_call | K_ret | K_other
+
+let classify (b : Mach.binary) src =
+  match Mach.inst_at b src with
+  | Some inst -> (
+      match inst.Mach.i_op with
+      | Mach.MCall _ -> K_call
+      | Mach.MTail_call _ -> K_tail_call
+      | Mach.MRet _ -> K_ret
+      | _ -> K_other)
+  | None -> K_other
+
+let func_guid_of_addr (b : Mach.binary) addr =
+  Option.map (fun i -> b.Mach.funcs.(i).Mach.bf_guid) (Mach.func_index_of_addr b addr)
+
+(* The call instruction that pushed a given return address. *)
+let call_inst_before (b : Mach.binary) ret_addr =
+  match Hashtbl.find_opt b.Mach.addr_index ret_addr with
+  | Some idx when idx > 0 -> (
+      let inst = b.Mach.insts.(idx - 1) in
+      match inst.Mach.i_op with Mach.MCall _ -> Some inst | _ -> None)
+  | _ -> None
+
+(* Outermost-first (function, site) pairs describing one physical level:
+   the call instruction's inline expansion plus its own callsite probe. *)
+let level_path (b : Mach.binary) (call_inst : Mach.inst) : (Ir.Guid.t * int) list =
+  let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
+  match Ir.Dloc.frames ~container call_inst.Mach.i_dloc with
+  | [] -> [ (container, call_inst.Mach.i_cs_probe) ]
+  | (origin, _, _) :: rest ->
+      let outer = List.rev_map (fun (f, _, probe) -> (f, probe)) rest in
+      outer @ [ (origin, call_inst.Mach.i_cs_probe) ]
+
+let static_callee (inst : Mach.inst) =
+  match inst.Mach.i_op with
+  | Mach.MCall c | Mach.MTail_call c -> Some c.Mach.m_callee
+  | _ -> None
+
+let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binary) samples =
+  let trie = P.Ctx_profile.create () in
+  let name_for guid =
+    Option.value (name_of guid) ~default:(Format.asprintf "%a" Ir.Guid.pp guid)
+  in
+  let dropped = ref 0 in
+  let gaps_resolved = ref 0 in
+  let gaps_failed = ref 0 in
+  let n_samples = ref 0 in
+  (* Resolve the ctx node for a flat outermost-first path + leaf. *)
+  let node_for (path : (Ir.Guid.t * int) list) (leaf : Ir.Guid.t) =
+    match path with
+    | [] -> Some (P.Ctx_profile.base trie leaf ~name:(name_for leaf))
+    | _ ->
+        (* Convert [(f0,s0);(f1,s1);...] + leaf into node_at path format:
+           each element ((parent, site), child, child_name). *)
+        let rec pairs = function
+          | [ (f, s) ] -> [ ((f, s), leaf, name_for leaf) ]
+          | (f, s) :: ((g, _) :: _ as rest) -> ((f, s), g, name_for g) :: pairs rest
+          | [] -> []
+        in
+        P.Ctx_profile.node_at trie ~path:(pairs path)
+  in
+  let ensure_checksum (node : P.Ctx_profile.node) =
+    if Int64.equal node.P.Ctx_profile.n_prof.P.Probe_profile.fe_checksum 0L then
+      node.P.Ctx_profile.n_prof.P.Probe_profile.fe_checksum <- checksum_of node.P.Ctx_profile.n_func
+  in
+  (* Build the outermost-first caller path from physical return addresses
+     (innermost-first list), repairing tail-call gaps. *)
+  let path_of_callers (callers : int list) (leaf_addr : int) : (Ir.Guid.t * int) list =
+    let path = ref [] in
+    (* expected: the function the previous (outer) level statically calls *)
+    let expected : Ir.Guid.t option ref = ref None in
+    let reset () =
+      path := [];
+      expected := None
+    in
+    let bridge_gap ~to_func =
+      match !expected with
+      | Some exp when not (Ir.Guid.equal exp to_func) -> (
+          match missing with
+          | None ->
+              incr gaps_failed;
+              reset ()
+          | Some mf -> (
+              match Missing_frame.resolve mf ~from_func:exp ~to_func with
+              | Some chain ->
+                  incr gaps_resolved;
+                  List.iter
+                    (fun addr ->
+                      match Mach.inst_at b addr with
+                      | Some tc -> path := !path @ level_path b tc
+                      | None -> ())
+                    chain
+              | None ->
+                  incr gaps_failed;
+                  reset ()))
+      | _ -> ()
+    in
+    List.iter
+      (fun ret_addr ->
+        match call_inst_before b ret_addr with
+        | None -> reset ()
+        | Some call_inst ->
+            let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
+            bridge_gap ~to_func:container;
+            path := !path @ level_path b call_inst;
+            expected := static_callee call_inst)
+      (List.rev callers);
+    (* Leaf-level gap (tail calls between the innermost caller and the leaf). *)
+    (match func_guid_of_addr b leaf_addr with
+    | Some leaf_container -> bridge_gap ~to_func:leaf_container
+    | None -> ());
+    !path
+  in
+  (* Attribute one linear range under the given caller state. *)
+  let attribute (lo, hi) (callers : int list) =
+    if lo > 0 && hi >= lo then begin
+      let caller_path = path_of_callers callers lo in
+      (* Probe hits, with full inline expansion from the probe chain. *)
+      List.iter
+        (fun (pr : Mach.probe_rec) ->
+          let chain_path =
+            List.rev_map (fun cs -> (cs.Ir.Dloc.cs_func, cs.Ir.Dloc.cs_probe)) pr.Mach.pr_chain
+          in
+          match node_for (caller_path @ chain_path) pr.Mach.pr_func with
+          | Some node ->
+              ensure_checksum node;
+              P.Probe_profile.add_probe node.P.Ctx_profile.n_prof pr.Mach.pr_id 1L
+          | None -> ())
+        (Probe_corr.probes_in_range b (lo, hi));
+      (* Callsite targets. *)
+      Pg.Ranges.iter_range_insts b (lo, hi) (fun inst ->
+          if inst.Mach.i_cs_probe > 0 then
+            match inst.Mach.i_op with
+            | Mach.MCall c | Mach.MTail_call c ->
+                let lp = level_path b inst in
+                (* The call's owner context: everything up to the owner. *)
+                let rec split_last = function
+                  | [] -> ([], None)
+                  | [ (f, _) ] -> ([], Some f)
+                  | x :: rest ->
+                      let init, last = split_last rest in
+                      (x :: init, last)
+                in
+                let owner_prefix, owner = split_last lp in
+                (match owner with
+                | Some owner_func -> (
+                    match node_for (caller_path @ owner_prefix) owner_func with
+                    | Some node ->
+                        ensure_checksum node;
+                        P.Probe_profile.add_call node.P.Ctx_profile.n_prof
+                          inst.Mach.i_cs_probe c.Mach.m_callee 1L
+                    | None -> ())
+                | None -> ())
+            | _ -> ())
+    end
+  in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      incr n_samples;
+      let lbr = s.Vm.Machine.s_lbr in
+      let stack = s.Vm.Machine.s_stack in
+      let n = Array.length lbr in
+      if n > 0 && Array.length stack > 0 then begin
+        let _, last_tgt = lbr.(n - 1) in
+        (* Synchronization check: the sampled leaf frame must live in the
+           function the last LBR branch landed in. *)
+        let aligned =
+          match (func_guid_of_addr b stack.(0), func_guid_of_addr b last_tgt) with
+          | Some a, Some c -> Ir.Guid.equal a c
+          | _ -> false
+        in
+        if not aligned then incr dropped
+        else begin
+          let callers = ref (List.tl (Array.to_list stack)) in
+          (* Newest run: from the last branch target to the sampled ip. *)
+          attribute (last_tgt, stack.(0)) !callers;
+          (* Walk branches newest -> oldest, undoing each one. *)
+          for i = n - 1 downto 1 do
+            let cur_src, _ = lbr.(i) in
+            let _, older_tgt = lbr.(i - 1) in
+            (match classify b cur_src with
+            | K_call -> ( match !callers with [] -> () | _ :: tl -> callers := tl)
+            | K_tail_call -> ()
+            | K_ret -> callers := (let _, t = lbr.(i) in t) :: !callers
+            | K_other -> ());
+            attribute (older_tgt, cur_src) !callers
+          done
+        end
+      end)
+    samples;
+  ( trie,
+    {
+      st_samples = !n_samples;
+      st_dropped_misaligned = !dropped;
+      st_gaps_resolved = !gaps_resolved;
+      st_gaps_failed = !gaps_failed;
+    } )

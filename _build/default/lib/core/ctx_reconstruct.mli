@@ -1,0 +1,32 @@
+(** Algorithm 1 (§III.B): reconstruct the calling context of every LBR
+    execution range from synchronized LBR + stack samples.
+
+    LBR entries are processed in reverse execution order while maintaining
+    the physical frame stack: undoing a call pops the leaf frame, undoing a
+    return re-pushes the returned-from frame, and the linear range between
+    two consecutive entries is attributed — with its full inline expansion —
+    to the stack state current at that point. Probe hits land in the context
+    trie at (caller chain ++ probe inline chain).
+
+    Robustness mitigations, as in the paper:
+    - misaligned samples (stack lagging the LBR due to sampling skid when
+      PEBS is off) are detected by comparing the leaf frame's function with
+      the last LBR target's function, and dropped;
+    - gaps caused by tail-call elimination are repaired with the
+      [Missing_frame] inferrer when a unique tail-call path exists,
+      otherwise the outer context is truncated. *)
+
+type stats = {
+  st_samples : int;
+  st_dropped_misaligned : int;
+  st_gaps_resolved : int;   (** missing-frame gaps repaired *)
+  st_gaps_failed : int;     (** gaps that truncated the context *)
+}
+
+val reconstruct :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  ?missing:Missing_frame.t ->
+  checksum_of:(Csspgo_ir.Guid.t -> int64) ->
+  Csspgo_codegen.Mach.binary ->
+  Csspgo_vm.Machine.sample list ->
+  Csspgo_profile.Ctx_profile.t * stats

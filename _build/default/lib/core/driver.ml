@@ -1,0 +1,300 @@
+module Ir = Csspgo_ir
+module Frontend = Csspgo_frontend
+module Opt = Csspgo_opt
+module Cg = Csspgo_codegen
+module Vm = Csspgo_vm
+module P = Csspgo_profile
+module Pg = Csspgo_profgen
+
+type run_spec = {
+  rs_args : int64 list;
+  rs_globals : (string * int64 array) list;
+}
+
+type workload = {
+  w_name : string;
+  w_source : string;
+  w_entry : string;
+  w_train : run_spec list;
+  w_eval : run_spec list;
+}
+
+type variant = Nopgo | Instr_pgo | Autofdo | Csspgo_probe_only | Csspgo_full
+
+let variant_name = function
+  | Nopgo -> "no-pgo"
+  | Instr_pgo -> "instr-pgo"
+  | Autofdo -> "autofdo"
+  | Csspgo_probe_only -> "csspgo-probe-only"
+  | Csspgo_full -> "csspgo"
+
+type options = {
+  pmu : Vm.Machine.pmu;
+  opt_profiling : Opt.Config.t;
+  opt_final : Opt.Config.t;
+  emit_opts : Cg.Emit.options;
+  trim_threshold : int64;
+  preinline : Preinliner.config option;
+  use_missing_frame_inference : bool;
+}
+
+let default_options =
+  {
+    pmu = { Vm.Machine.default_pmu with sample_period = 1009 };
+    opt_profiling = Opt.Config.o2_nopgo;
+    opt_final = Opt.Config.o2;
+    emit_opts = Cg.Emit.default_options;
+    trim_threshold = 8L;
+    preinline = Some Preinliner.default_config;
+    use_missing_frame_inference = true;
+  }
+
+type eval = {
+  ev_cycles : int64;
+  ev_instructions : int64;
+  ev_icache_misses : int64;
+  ev_taken_branches : int64;
+}
+
+type outcome = {
+  o_variant : variant;
+  o_eval : eval;
+  o_text_size : int;
+  o_debug_size : int;
+  o_probe_meta_size : int;
+  o_profiling_cycles : int64;
+  o_annotated : Ir.Program.t;
+  o_stales : Annotate.stale list;
+  o_recon_stats : Ctx_reconstruct.stats option;
+  o_preinline_decisions : Preinliner.decision list;
+  o_binary : Cg.Mach.binary;
+  o_profile_size : int;
+}
+
+let compile (w : workload) = Frontend.Lower.compile w.w_source
+
+(* Reference program carrying pseudo-probe checksums and symbol names. *)
+let reference (w : workload) =
+  let p = compile w in
+  Pseudo_probe.insert p;
+  p
+
+let name_of_fn (refp : Ir.Program.t) guid =
+  Option.map (fun f -> f.Ir.Func.name) (Ir.Program.find_func_by_guid refp guid)
+
+let checksum_of_fn (refp : Ir.Program.t) guid =
+  match Ir.Program.find_func_by_guid refp guid with
+  | Some f -> f.Ir.Func.checksum
+  | None -> 0L
+
+type runs = {
+  r_samples : Vm.Machine.sample list;
+  r_cycles : int64;
+  r_instrs : int64;
+  r_imiss : int64;
+  r_branches : int64;
+  r_counters : int64 array option;
+  r_values : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
+}
+
+let run_specs ?(pmu = None) (bin : Cg.Mach.binary) ~entry specs =
+  List.fold_left
+    (fun acc spec ->
+      let r =
+        Vm.Machine.run ~pmu ~globals_init:spec.rs_globals ~args:spec.rs_args bin ~entry
+      in
+      let counters =
+        match acc.r_counters with
+        | None -> Some r.Vm.Machine.counters
+        | Some cs ->
+            Array.iteri
+              (fun i c -> if i < Array.length cs then cs.(i) <- Int64.add cs.(i) c)
+              r.Vm.Machine.counters;
+            Some cs
+      in
+      Hashtbl.iter
+        (fun site hist ->
+          let dst =
+            match Hashtbl.find_opt acc.r_values site with
+            | Some dst -> dst
+            | None ->
+                let dst = Hashtbl.create 8 in
+                Hashtbl.replace acc.r_values site dst;
+                dst
+          in
+          Hashtbl.iter
+            (fun v c ->
+              Hashtbl.replace dst v
+                (Int64.add c (Option.value (Hashtbl.find_opt dst v) ~default:0L)))
+            hist)
+        r.Vm.Machine.value_profiles;
+      {
+        acc with
+        r_samples = acc.r_samples @ r.Vm.Machine.samples;
+        r_cycles = Int64.add acc.r_cycles r.Vm.Machine.cycles;
+        r_instrs = Int64.add acc.r_instrs r.Vm.Machine.instructions;
+        r_imiss = Int64.add acc.r_imiss r.Vm.Machine.icache_misses;
+        r_branches = Int64.add acc.r_branches r.Vm.Machine.taken_branches;
+        r_counters = counters;
+      })
+    {
+      r_samples = [];
+      r_cycles = 0L;
+      r_instrs = 0L;
+      r_imiss = 0L;
+      r_branches = 0L;
+      r_counters = None;
+      r_values = Hashtbl.create 8;
+    }
+    specs
+
+let evaluate_opts (bin : Cg.Mach.binary) (w : workload) =
+  let r = run_specs ~pmu:None bin ~entry:w.w_entry w.w_eval in
+  {
+    ev_cycles = r.r_cycles;
+    ev_instructions = r.r_instrs;
+    ev_icache_misses = r.r_imiss;
+    ev_taken_branches = r.r_branches;
+  }
+
+let evaluate bin w = evaluate_opts bin w
+
+let profiling_run ?(options = default_options) ~probes (w : workload) =
+  let prog = compile w in
+  if probes then Pseudo_probe.insert prog;
+  Opt.Pass.optimize ~config:options.opt_profiling prog;
+  let bin = Cg.Emit.emit ~options:options.emit_opts prog in
+  let r = run_specs ~pmu:(Some options.pmu) bin ~entry:w.w_entry w.w_train in
+  (bin, r.r_samples, r.r_cycles)
+
+let finalize ~options ~variant ~(prog : Ir.Program.t) ~profiling_cycles ~stales ~recon
+    ~decisions ~profile_size (w : workload) =
+  let annotated = Ir.Program.copy prog in
+  Opt.Pass.optimize ~config:options.opt_final prog;
+  let bin = Cg.Emit.emit ~options:options.emit_opts prog in
+  let eval = evaluate_opts bin w in
+  {
+    o_variant = variant;
+    o_eval = eval;
+    o_text_size = bin.Cg.Mach.text_size;
+    o_debug_size = bin.Cg.Mach.debug_size;
+    o_probe_meta_size = bin.Cg.Mach.probe_meta_size;
+    o_profiling_cycles = profiling_cycles;
+    o_annotated = annotated;
+    o_stales = stales;
+    o_recon_stats = recon;
+    o_preinline_decisions = decisions;
+    o_binary = bin;
+    o_profile_size = profile_size;
+  }
+
+let run_variant ?(options = default_options) variant (w : workload) =
+  match variant with
+  | Nopgo ->
+      let prog = compile w in
+      Opt.Pass.optimize ~config:options.opt_profiling prog;
+      finalize ~options ~variant ~prog ~profiling_cycles:0L ~stales:[] ~recon:None
+        ~decisions:[] ~profile_size:0 w
+  | Autofdo ->
+      let pbin, samples, pcycles = profiling_run ~options ~probes:false w in
+      let refp = reference w in
+      let profile =
+        Pg.Dwarf_corr.correlate ~name_of:(name_of_fn refp) pbin samples
+      in
+      let profile_size =
+        (* rough text encoding: one row per line entry *)
+        Ir.Guid.Tbl.fold
+          (fun _ fe acc ->
+            acc + 24
+            + (12 * Hashtbl.length fe.P.Line_profile.fe_lines)
+            + (18 * Hashtbl.length fe.P.Line_profile.fe_calls))
+          profile.P.Line_profile.funcs 0
+      in
+      let prog = compile w in
+      Annotate.lines profile prog;
+      finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales:[] ~recon:None
+        ~decisions:[] ~profile_size w
+  | Csspgo_probe_only ->
+      let pbin, samples, pcycles = profiling_run ~options ~probes:true w in
+      let refp = reference w in
+      let profile =
+        Probe_corr.correlate ~name_of:(name_of_fn refp)
+          ~checksum_of:(checksum_of_fn refp) pbin samples
+      in
+      let profile_size =
+        Ir.Guid.Tbl.fold
+          (fun _ fe acc ->
+            acc + 24
+            + (10 * Hashtbl.length fe.P.Probe_profile.fe_probes)
+            + (18 * Hashtbl.length fe.P.Probe_profile.fe_calls))
+          profile.P.Probe_profile.funcs 0
+      in
+      let prog = compile w in
+      Pseudo_probe.insert prog;
+      let stales = Annotate.probes profile prog in
+      finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales ~recon:None
+        ~decisions:[] ~profile_size w
+  | Csspgo_full ->
+      let pbin, samples, pcycles = profiling_run ~options ~probes:true w in
+      let refp = reference w in
+      let missing =
+        if options.use_missing_frame_inference then
+          Some (Missing_frame.build pbin samples)
+        else None
+      in
+      let trie, stats =
+        Ctx_reconstruct.reconstruct ~name_of:(name_of_fn refp)
+          ?missing ~checksum_of:(checksum_of_fn refp) pbin samples
+      in
+      if Int64.compare options.trim_threshold 0L > 0 then
+        ignore (P.Ctx_profile.trim_cold trie ~threshold:options.trim_threshold);
+      let decisions =
+        match options.preinline with
+        | Some cfg ->
+            let sizes = Size_extract.compute pbin in
+            Preinliner.run ~config:cfg trie sizes
+        | None ->
+            (* Without the pre-inliner every context merges into base. *)
+            ignore (P.Ctx_profile.trim_cold trie ~threshold:Int64.max_int);
+            []
+      in
+      let profile_size = P.Ctx_profile.size_bytes trie in
+      let prog = compile w in
+      Pseudo_probe.insert prog;
+      let stales = Annotate.ctx trie prog in
+      let outcome =
+        finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales
+          ~recon:(Some stats) ~decisions ~profile_size w
+      in
+      (* The quality program must share the truth CFG, so it cannot be the
+         replayed (inlined) IR: annotate a fresh copy with the flat
+         (context-merged) probe profile from the same samples — the same
+         correlation mechanism Table I's "CSSPGO" row measures. *)
+      let quality_prog = compile w in
+      Pseudo_probe.insert quality_prog;
+      let flat =
+        Probe_corr.correlate ~name_of:(name_of_fn refp)
+          ~checksum_of:(checksum_of_fn refp) pbin samples
+      in
+      ignore (Annotate.probes flat quality_prog);
+      { outcome with o_annotated = quality_prog }
+  | Instr_pgo ->
+      let prog_p = compile w in
+      let im = Instrument.instrument prog_p in
+      let vals = Instrument.instrument_values prog_p in
+      Opt.Pass.optimize ~config:options.opt_profiling prog_p;
+      let pbin = Cg.Emit.emit ~options:options.emit_opts prog_p in
+      let r = run_specs ~pmu:None pbin ~entry:w.w_entry w.w_train in
+      let counts =
+        Instrument.block_counts im
+          (Option.value r.r_counters ~default:(Array.make im.Instrument.n_counters 0L))
+      in
+      let prog = compile w in
+      Annotate.exact counts prog;
+      (* Value-profile-guided divisor specialization: instrumentation-only. *)
+      let dominant =
+        Instrument.dominant_values vals r.r_values ~min_count:5000L ~min_ratio:0.90
+      in
+      ignore (Value_spec.apply prog dominant);
+      finalize ~options ~variant ~prog ~profiling_cycles:r.r_cycles ~stales:[] ~recon:None
+        ~decisions:[] ~profile_size:(8 * im.Instrument.n_counters) w

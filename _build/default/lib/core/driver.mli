@@ -1,0 +1,78 @@
+(** The CSSPGO driver: end-to-end build → profile → re-build pipelines for
+    every PGO variant evaluated in the paper (§IV).
+
+    All sampling variants share one profiling setup — a statically optimized
+    (-O2, no profile) build, sampled with the synchronized LBR + stack PMU —
+    differing only in whether pseudo-probes are present and how the samples
+    are correlated. Instrumentation PGO builds a counter-instrumented binary
+    whose (slow) training run yields exact block counts. *)
+
+type run_spec = {
+  rs_args : int64 list;
+  rs_globals : (string * int64 array) list;
+}
+
+type workload = {
+  w_name : string;
+  w_source : string;  (** MiniC *)
+  w_entry : string;
+  w_train : run_spec list;
+  w_eval : run_spec list;
+}
+
+type variant =
+  | Nopgo
+  | Instr_pgo
+  | Autofdo
+  | Csspgo_probe_only
+  | Csspgo_full
+
+val variant_name : variant -> string
+
+type options = {
+  pmu : Csspgo_vm.Machine.pmu;
+  opt_profiling : Csspgo_opt.Config.t;  (** pipeline for profiling builds *)
+  opt_final : Csspgo_opt.Config.t;      (** pipeline for optimized builds *)
+  emit_opts : Csspgo_codegen.Emit.options;
+  trim_threshold : int64;               (** cold-context trimming (0 = off) *)
+  preinline : Preinliner.config option; (** [None] disables the pre-inliner *)
+  use_missing_frame_inference : bool;
+}
+
+val default_options : options
+
+type eval = {
+  ev_cycles : int64;
+  ev_instructions : int64;
+  ev_icache_misses : int64;
+  ev_taken_branches : int64;
+}
+
+type outcome = {
+  o_variant : variant;
+  o_eval : eval;                       (** optimized binary on eval inputs *)
+  o_text_size : int;
+  o_debug_size : int;
+  o_probe_meta_size : int;
+  o_profiling_cycles : int64;          (** cost of the training run(s) *)
+  o_annotated : Csspgo_ir.Program.t;   (** annotated pre-opt IR (for quality) *)
+  o_stales : Annotate.stale list;
+  o_recon_stats : Ctx_reconstruct.stats option;  (** full CSSPGO only *)
+  o_preinline_decisions : Preinliner.decision list;
+  o_binary : Csspgo_codegen.Mach.binary;
+  o_profile_size : int;                (** serialized profile estimate, bytes *)
+}
+
+val run_variant : ?options:options -> variant -> workload -> outcome
+
+val profiling_run :
+  ?options:options ->
+  probes:bool ->
+  workload ->
+  Csspgo_codegen.Mach.binary * Csspgo_vm.Machine.sample list * int64
+(** Build the profiling binary (optionally pseudo-instrumented), run the
+    training inputs under the PMU, and return (binary, samples, cycles).
+    Exposed for the overhead experiments (Fig. 8). *)
+
+val evaluate : Csspgo_codegen.Mach.binary -> workload -> eval
+(** Run the eval inputs (no PMU) and aggregate. *)

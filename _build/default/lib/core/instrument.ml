@@ -1,0 +1,93 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module I = Ir.Instr
+
+type t = {
+  counter_of : (Ir.Guid.t * Ir.Types.label, int) Hashtbl.t;
+  n_counters : int;
+}
+
+let instrument (p : Ir.Program.t) =
+  let counter_of = Hashtbl.create 256 in
+  let next = ref 0 in
+  Ir.Program.iter_funcs
+    (fun f ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          let id = !next in
+          incr next;
+          Hashtbl.replace counter_of (f.Ir.Func.guid, b.Ir.Block.id) id;
+          let inc = I.mk (I.Counter_inc id) (Ir.Block.first_dloc b) in
+          let shifted = Vec.create () in
+          Vec.push shifted inc;
+          Vec.iter (Vec.push shifted) b.Ir.Block.instrs;
+          Vec.clear b.Ir.Block.instrs;
+          Vec.iter (Vec.push b.Ir.Block.instrs) shifted)
+        f)
+    p;
+  { counter_of; n_counters = !next }
+
+let block_counts t counters =
+  let out = Hashtbl.create (Hashtbl.length t.counter_of) in
+  Hashtbl.iter
+    (fun key id ->
+      if id < Array.length counters then Hashtbl.replace out key counters.(id))
+    t.counter_of;
+  out
+
+type vsite_key = Ir.Guid.t * Ir.Types.label * int
+
+type values = {
+  site_of : (vsite_key, int) Hashtbl.t;
+  n_sites : int;
+}
+
+let instrument_values (p : Ir.Program.t) =
+  let site_of = Hashtbl.create 32 in
+  let next = ref 0 in
+  Ir.Program.iter_funcs
+    (fun f ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          let ordinal = ref 0 in
+          let out = Vec.create () in
+          Vec.iter
+            (fun (i : I.t) ->
+              (match i.I.op with
+              | I.Bin ((Ir.Types.Div | Ir.Types.Rem), _, _, Ir.Types.Reg r) ->
+                  let site = !next in
+                  incr next;
+                  Hashtbl.replace site_of (f.Ir.Func.guid, b.Ir.Block.id, !ordinal) site;
+                  incr ordinal;
+                  Vec.push out (I.mk (I.Val_prof (site, r)) i.I.dloc)
+              | _ -> ());
+              Vec.push out i)
+            b.Ir.Block.instrs;
+          Vec.clear b.Ir.Block.instrs;
+          Vec.iter (Vec.push b.Ir.Block.instrs) out)
+        f)
+    p;
+  { site_of; n_sites = !next }
+
+let dominant_values t histograms ~min_count ~min_ratio =
+  let out = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun key site ->
+      match Hashtbl.find_opt histograms site with
+      | None -> ()
+      | Some hist ->
+          let total = Hashtbl.fold (fun _ c acc -> Int64.add acc c) hist 0L in
+          if Int64.compare total min_count >= 0 then begin
+            let best_v = ref 0L and best_c = ref 0L in
+            Hashtbl.iter
+              (fun v c ->
+                if Int64.compare c !best_c > 0 then begin
+                  best_v := v;
+                  best_c := c
+                end)
+              hist;
+            if Int64.to_float !best_c >= min_ratio *. Int64.to_float total then
+              Hashtbl.replace out key !best_v
+          end)
+    t.site_of;
+  out

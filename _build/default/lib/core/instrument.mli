@@ -1,0 +1,42 @@
+(** Traditional instrumentation-based PGO support (the comparison baseline):
+    a counter increment — a real machine instruction — is inserted into every
+    basic block of the pre-optimization IR. Counters act as optimization
+    barriers (their side effects block if-conversion and their distinct ids
+    block tail merging), and the increments slow the profiling binary down,
+    reproducing the operational-overhead story of §II.A / Table I. *)
+
+type t = {
+  counter_of : (Csspgo_ir.Guid.t * Csspgo_ir.Types.label, int) Hashtbl.t;
+  n_counters : int;
+}
+
+val instrument : Csspgo_ir.Program.t -> t
+(** Insert counters; returns the (function, block) -> counter map. *)
+
+val block_counts :
+  t -> int64 array -> (Csspgo_ir.Guid.t * Csspgo_ir.Types.label, int64) Hashtbl.t
+(** Decode a VM counter array into exact per-block counts. *)
+
+(** Value profiling — the instrumentation-only capability the paper names as
+    instr-PGO's remaining advantage over CSSPGO (§IV.A). Division/remainder
+    sites with a register divisor get a capture probe; the optimizing build
+    can then specialize the dominant divisor (see {!Value_spec}). *)
+
+type vsite_key = Csspgo_ir.Guid.t * Csspgo_ir.Types.label * int
+(** (function, block, ordinal among profiled div/rem sites in that block) *)
+
+type values = {
+  site_of : (vsite_key, int) Hashtbl.t;
+  n_sites : int;
+}
+
+val instrument_values : Csspgo_ir.Program.t -> values
+
+val dominant_values :
+  values ->
+  (int, (int64, int64) Hashtbl.t) Hashtbl.t ->
+  min_count:int64 ->
+  min_ratio:float ->
+  (vsite_key, int64) Hashtbl.t
+(** Sites where one divisor value covers at least [min_ratio] of at least
+    [min_count] captures. *)

@@ -1,0 +1,62 @@
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module Vm = Csspgo_vm
+
+type t = {
+  (* function guid -> outgoing tail-call edges (call addr, target function) *)
+  edges : (int * Ir.Guid.t) list Ir.Guid.Tbl.t;
+  n_edges : int;
+}
+
+let build (b : Mach.binary) samples =
+  let edges = Ir.Guid.Tbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let n = ref 0 in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      Array.iter
+        (fun (src, tgt) ->
+          if not (Hashtbl.mem seen (src, tgt)) then begin
+            Hashtbl.replace seen (src, tgt) ();
+            match Mach.inst_at b src with
+            | Some { Mach.i_op = Mach.MTail_call _; _ } -> (
+                match (Mach.func_index_of_addr b src, Mach.func_index_of_addr b tgt) with
+                | Some fi, Some ti ->
+                    let from_g = b.Mach.funcs.(fi).Mach.bf_guid in
+                    let to_g = b.Mach.funcs.(ti).Mach.bf_guid in
+                    let cur = Option.value (Ir.Guid.Tbl.find_opt edges from_g) ~default:[] in
+                    if
+                      not (List.exists (fun (a, g) -> a = src && Ir.Guid.equal g to_g) cur)
+                    then begin
+                      Ir.Guid.Tbl.replace edges from_g (cur @ [ (src, to_g) ]);
+                      incr n
+                    end
+                | _ -> ())
+            | _ -> ()
+          end)
+        s.Vm.Machine.s_lbr)
+    samples;
+  { edges; n_edges = !n }
+
+let n_edges t = t.n_edges
+
+let max_depth = 8
+
+let resolve t ~from_func ~to_func =
+  if Ir.Guid.equal from_func to_func then Some []
+  else begin
+    (* Enumerate all acyclic tail-call paths from [from_func] whose final
+       edge targets [to_func]; unique -> success. *)
+    let paths = ref [] in
+    let rec go cur path visited depth =
+      if depth <= max_depth && List.length !paths < 2 then
+        List.iter
+          (fun (addr, target) ->
+            if Ir.Guid.equal target to_func then paths := List.rev (addr :: path) :: !paths
+            else if not (List.exists (Ir.Guid.equal target) visited) then
+              go target (addr :: path) (target :: visited) (depth + 1))
+          (Option.value (Ir.Guid.Tbl.find_opt t.edges cur) ~default:[])
+    in
+    go from_func [] [ from_func ] 0;
+    match !paths with [ p ] -> Some p | _ -> None
+  end

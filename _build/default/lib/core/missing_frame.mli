@@ -1,0 +1,24 @@
+(** Missing-frame inference for tail-call elimination (§III.B).
+
+    TCE replaces the caller's frame, so stack walks skip the tail-calling
+    function(s). The inferrer builds a dynamic call graph of *tail-call
+    edges only* from the LBR streams (a branch whose source instruction is a
+    tail call), then, given an observed gap — a call site whose static
+    callee [from_func] does not match the next physical frame's function
+    [to_func] — searches for a unique tail-call path connecting them. A
+    unique path fills in the missing frames; multiple candidate paths make
+    the inference fail for that gap (the paper reports >2/3 recovered in
+    practice). *)
+
+type t
+
+val build : Csspgo_codegen.Mach.binary -> Csspgo_vm.Machine.sample list -> t
+
+val n_edges : t -> int
+
+val resolve :
+  t -> from_func:Csspgo_ir.Guid.t -> to_func:Csspgo_ir.Guid.t -> int list option
+(** The unique chain of tail-call instruction addresses leading from
+    [from_func] to (a tail call targeting) [to_func]; [Some []] when
+    [from_func = to_func] (no gap), [None] when no path or multiple paths
+    exist. Search depth is bounded. *)

@@ -1,0 +1,157 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module P = Csspgo_profile
+module CP = P.Ctx_profile
+module PP = P.Probe_profile
+
+type config = {
+  hot_count : int64;
+  size_limit : int;
+  tiny_size : int;
+  growth_budget : int;
+}
+
+let default_config =
+  { hot_count = 32L; size_limit = 150; tiny_size = 30; growth_budget = 350 }
+
+type decision = {
+  d_context : (Ir.Guid.t * int) list;
+  d_callee : Ir.Guid.t;
+  d_callee_name : string;
+  d_count : int64;
+  d_size : int;
+}
+
+let default_size = 60
+
+(* Top-down order over the profiled call graph (callers before callees). *)
+let top_down_order (trie : CP.t) =
+  let edges : (Ir.Guid.t, Ir.Guid.t list) Hashtbl.t = Hashtbl.create 64 in
+  let all : (Ir.Guid.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge src dst =
+    Hashtbl.replace all src ();
+    Hashtbl.replace all dst ();
+    let cur = Option.value (Hashtbl.find_opt edges src) ~default:[] in
+    if not (List.exists (Ir.Guid.equal dst) cur) then Hashtbl.replace edges src (cur @ [ dst ])
+  in
+  CP.iter_nodes trie (fun _ node ->
+      Hashtbl.replace all node.CP.n_func ();
+      Hashtbl.iter
+        (fun _ tbl -> Hashtbl.iter (fun callee _ -> add_edge node.CP.n_func callee) tbl)
+        node.CP.n_prof.PP.fe_calls;
+      Hashtbl.iter
+        (fun ((_, callee) : CP.frame_key) _ -> add_edge node.CP.n_func callee)
+        node.CP.n_children);
+  (* DFS post-order reversed = top-down (callers first); cycles broken at
+     the visit point. *)
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs g =
+    if not (Hashtbl.mem visited g) then begin
+      Hashtbl.replace visited g ();
+      List.iter dfs (Option.value (Hashtbl.find_opt edges g) ~default:[]);
+      order := g :: !order
+    end
+  in
+  Hashtbl.fold (fun g () acc -> g :: acc) all []
+  |> List.sort Ir.Guid.compare
+  |> List.iter dfs;
+  !order
+
+(* All (parent, key, child, context-path-of-child) tuples in the trie. *)
+let contexts_of (trie : CP.t) (target : Ir.Guid.t) =
+  let out = ref [] in
+  let rec go path (node : CP.node) =
+    Hashtbl.iter
+      (fun ((site, callee) as key : CP.frame_key) child ->
+        let child_path = path @ [ (node.CP.n_func, site) ] in
+        if Ir.Guid.equal callee target then out := (node, key, child, child_path) :: !out;
+        go child_path child)
+      node.CP.n_children
+  in
+  Ir.Guid.Tbl.iter (fun _ root -> go [] root) trie.CP.roots;
+  !out
+
+let call_count (parent : CP.node) site callee (child : CP.node) =
+  match Hashtbl.find_opt parent.CP.n_prof.PP.fe_calls site with
+  | Some tbl when Hashtbl.mem tbl callee -> Hashtbl.find tbl callee
+  | _ ->
+      (* Fall back to the child's own evidence. *)
+      Int64.max child.CP.n_prof.PP.fe_head
+        (Int64.div child.CP.n_prof.PP.fe_total
+           (Int64.of_int (max 1 (Hashtbl.length child.CP.n_prof.PP.fe_probes))))
+
+let run ?(config = default_config) (trie : CP.t) (sizes : Size_extract.t) =
+  let decisions = ref [] in
+  let order = top_down_order trie in
+  List.iter
+    (fun func ->
+      (* Merge every not-inlined context of [func] into its base profile
+         (Algorithm 2, lines 3-7). Callers appear earlier in top-down order,
+         so all inline marks concerning [func] are final at this point. *)
+      List.iter
+        (fun ((parent : CP.node), key, (child : CP.node), _path) ->
+          if not child.CP.n_inlined then CP.promote_to_base trie ~parent ~key)
+        (contexts_of trie func);
+      (* Inline decisions for the standalone body of [func]. *)
+      match Ir.Guid.Tbl.find_opt trie.CP.roots func with
+      | None -> ()
+      | Some root ->
+          let size_for path leaf =
+            match Size_extract.size_of sizes ~path ~leaf with
+            | Some s -> s
+            | None -> (
+                match Size_extract.avg_inline_size sizes leaf with
+                | Some s -> s
+                | None -> default_size)
+          in
+          let func_size = ref (size_for [] func) in
+          let limit = !func_size + config.growth_budget in
+          let cmp (h1, _, _, _, _) (h2, _, _, _, _) = Int64.compare h1 h2 in
+          let heap = Heap.create cmp in
+          let enqueue (parent : CP.node) parent_path =
+            Hashtbl.iter
+              (fun ((site, callee) : CP.frame_key) child ->
+                let hot = call_count parent site callee child in
+                Heap.push heap (hot, parent, site, child, parent_path))
+              parent.CP.n_children
+          in
+          enqueue root [];
+          let continue_ = ref true in
+          while !continue_ && not (Heap.is_empty heap) do
+            if !func_size >= limit then continue_ := false
+            else
+              match Heap.pop heap with
+              | None -> continue_ := false
+              | Some (hot, parent, site, child, parent_path) ->
+                  let ctx_path = parent_path @ [ (parent.CP.n_func, site) ] in
+                  let size = size_for ctx_path child.CP.n_func in
+                  (* No recursion unrolling: a callee already on the context
+                     path (or the root itself) would replicate its own body
+                     unboundedly through the context chain. *)
+                  let recursive =
+                    Ir.Guid.equal child.CP.n_func func
+                    || List.exists (fun (g, _) -> Ir.Guid.equal g child.CP.n_func) ctx_path
+                  in
+                  let should =
+                    (not recursive)
+                    && ((Int64.compare hot config.hot_count >= 0 && size <= config.size_limit)
+                       || (Int64.compare hot 0L > 0 && size <= config.tiny_size))
+                  in
+                  if should && !func_size + size <= limit then begin
+                    child.CP.n_inlined <- true;
+                    func_size := !func_size + size;
+                    decisions :=
+                      {
+                        d_context = ctx_path;
+                        d_callee = child.CP.n_func;
+                        d_callee_name = child.CP.n_name;
+                        d_count = hot;
+                        d_size = size;
+                      }
+                      :: !decisions;
+                    enqueue child ctx_path
+                  end
+          done)
+    order;
+  List.rev !decisions

@@ -1,0 +1,39 @@
+(** Algorithm 2 (§III.B): the context-sensitive pre-inliner.
+
+    Runs offline, as part of profile generation, over the whole-program
+    context trie — so its decisions are global even though the compiler's
+    own inliner is ThinLTO-constrained to one module at a time. Functions
+    are visited in the profiled call graph's top-down order; context
+    profiles of a function that no caller chose to inline are merged back
+    into the function's base profile; then call sites are considered
+    hottest-first with the real, context-sensitive sizes extracted from the
+    profiling binary (Algorithm 3).
+
+    Decisions are persisted as [n_inlined] marks on the context trie, which
+    the compiler-side annotator replays. The trie ends up in annotation
+    form: marked contexts keep their slice; everything else lives in base
+    profiles. *)
+
+type config = {
+  hot_count : int64;       (** minimum callsite count to consider inlining *)
+  size_limit : int;        (** max callee size (bytes) for a hot site *)
+  tiny_size : int;         (** always inline below this size, if warm *)
+  growth_budget : int;     (** max accumulated size growth per caller *)
+}
+
+val default_config : config
+
+type decision = {
+  d_context : (Csspgo_ir.Guid.t * int) list;  (** caller chain, outermost first *)
+  d_callee : Csspgo_ir.Guid.t;
+  d_callee_name : string;
+  d_count : int64;
+  d_size : int;
+}
+
+val run :
+  ?config:config ->
+  Csspgo_profile.Ctx_profile.t ->
+  Size_extract.t ->
+  decision list
+(** Mutates the trie (marks + promotions); returns the positive decisions. *)

@@ -1,0 +1,73 @@
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module P = Csspgo_profile
+module Pg = Csspgo_profgen
+
+let probes_in_range (b : Mach.binary) (lo, hi) =
+  let probes = b.Mach.probes in
+  let n = Array.length probes in
+  (* First index with pr_addr >= lo. *)
+  let rec lower l r = if l >= r then l else
+    let m = (l + r) / 2 in
+    if probes.(m).Mach.pr_addr < lo then lower (m + 1) r else lower l m
+  in
+  let start = lower 0 n in
+  let out = ref [] in
+  let i = ref start in
+  while !i < n && probes.(!i).Mach.pr_addr <= hi do
+    out := probes.(!i) :: !out;
+    incr i
+  done;
+  List.rev !out
+
+let default_name guid = Format.asprintf "%a" Ir.Guid.pp guid
+
+let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples =
+  let agg = Pg.Ranges.aggregate samples in
+  let prof = P.Probe_profile.create () in
+  let name_for guid = Option.value (name_of guid) ~default:(default_name guid) in
+  let fentry guid =
+    let fe = P.Probe_profile.get_or_add prof guid ~name:(name_for guid) in
+    if Int64.equal fe.P.Probe_profile.fe_checksum 0L then
+      fe.P.Probe_profile.fe_checksum <- checksum_of guid;
+    fe
+  in
+  (* Probe counts: sum over all physical copies covered by ranges. *)
+  Hashtbl.iter
+    (fun range n ->
+      List.iter
+        (fun (pr : Mach.probe_rec) ->
+          P.Probe_profile.add_probe (fentry pr.Mach.pr_func) pr.Mach.pr_id n)
+        (probes_in_range b range))
+    agg.Pg.Ranges.range_counts;
+  (* Callsite targets: executed calls attributed to their callsite probe in
+     the probe's owner function (the innermost inline frame's origin). *)
+  let totals = Pg.Ranges.addr_totals b agg in
+  Array.iter
+    (fun (inst : Mach.inst) ->
+      if inst.Mach.i_cs_probe > 0 then
+        match inst.Mach.i_op with
+        | Mach.MCall c | Mach.MTail_call c -> (
+            match Hashtbl.find_opt totals inst.Mach.i_addr with
+            | Some total when Int64.compare total 0L > 0 ->
+                let owner =
+                  if Ir.Dloc.is_none inst.Mach.i_dloc then
+                    (* not inlined: owner is the containing function *)
+                    b.Mach.funcs.(inst.Mach.i_func).Mach.bf_guid
+                  else inst.Mach.i_dloc.Ir.Dloc.origin
+                in
+                P.Probe_profile.add_call (fentry owner) inst.Mach.i_cs_probe c.Mach.m_callee
+                  total
+            | _ -> ())
+        | _ -> ())
+    b.Mach.insts;
+  (* Head counts. *)
+  Hashtbl.iter
+    (fun (_, tgt) n ->
+      match Mach.func_index_of_addr b tgt with
+      | Some i when b.Mach.funcs.(i).Mach.bf_start = tgt ->
+          let fe = fentry b.Mach.funcs.(i).Mach.bf_guid in
+          fe.P.Probe_profile.fe_head <- Int64.add fe.P.Probe_profile.fe_head n
+      | _ -> ())
+    agg.Pg.Ranges.branch_counts;
+  prof

@@ -1,0 +1,21 @@
+(** Probe-based profile correlation (flat, context-insensitive): the
+    probe-only CSSPGO variant. Execution ranges from LBR samples are mapped
+    onto the pseudo-probe records they cover; copies of a duplicated probe
+    accumulate into the same id (summing — correct under code duplication,
+    unlike the DWARF max-heuristic), and merged code cannot occur because
+    probes block code merge.
+
+    [checksum_of] supplies the profiling build's per-function CFG checksum
+    (read from the pseudo-probe descriptors); it is stored in the profile
+    for drift detection at annotation time. *)
+
+val correlate :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  checksum_of:(Csspgo_ir.Guid.t -> int64) ->
+  Csspgo_codegen.Mach.binary ->
+  Csspgo_vm.Machine.sample list ->
+  Csspgo_profile.Probe_profile.t
+
+val probes_in_range :
+  Csspgo_codegen.Mach.binary -> int * int -> Csspgo_codegen.Mach.probe_rec list
+(** Probe records anchored within [lo, hi], by binary search. *)

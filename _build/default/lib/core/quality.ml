@@ -1,0 +1,36 @@
+module Ir = Csspgo_ir
+
+let func_overlap ~(truth : Ir.Func.t) (cand : Ir.Func.t) =
+  let sum f = Int64.to_float (Ir.Func.total_count f) in
+  let st = sum truth and sc = sum cand in
+  if st <= 0.0 || sc <= 0.0 then None
+  else begin
+    let overlap = ref 0.0 in
+    Ir.Func.iter_blocks
+      (fun bt ->
+        match Ir.Func.find_block cand bt.Ir.Block.id with
+        | Some bc ->
+            let ft = Int64.to_float bt.Ir.Block.count /. st in
+            let fc = Int64.to_float bc.Ir.Block.count /. sc in
+            overlap := !overlap +. min ft fc
+        | None -> ())
+      truth;
+    Some !overlap
+  end
+
+let block_overlap ~(truth : Ir.Program.t) (cand : Ir.Program.t) =
+  let total_weight = ref 0.0 in
+  let acc = ref 0.0 in
+  Ir.Program.iter_funcs
+    (fun ct ->
+      match Ir.Program.find_func truth ct.Ir.Func.name with
+      | None -> ()
+      | Some tf -> (
+          let w = Int64.to_float (Ir.Func.total_count ct) in
+          match func_overlap ~truth:tf ct with
+          | Some d when w > 0.0 ->
+              acc := !acc +. (d *. w);
+              total_weight := !total_weight +. w
+          | _ -> ()))
+    cand;
+  if !total_weight <= 0.0 then 0.0 else !acc /. !total_weight

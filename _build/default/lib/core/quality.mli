@@ -1,0 +1,14 @@
+(** Profile-quality metrics (§IV.C): the block-overlap degree between a
+    candidate profile and the instrumentation ground truth, both annotated
+    onto structurally identical pre-optimization IR.
+
+    Per function with block set V:
+    D(V) = sum over v of min(f(v)/sum f, gt(v)/sum gt),
+    and per program, the f-weighted aggregation of D(V). *)
+
+val func_overlap : truth:Csspgo_ir.Func.t -> Csspgo_ir.Func.t -> float option
+(** [None] when either side has zero total count. *)
+
+val block_overlap : truth:Csspgo_ir.Program.t -> Csspgo_ir.Program.t -> float
+(** Programs must contain the same functions with the same CFGs (same
+    source, same lowering). Result in [0, 1]. *)

@@ -1,0 +1,59 @@
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+
+type key = (Ir.Guid.t * int) list * Ir.Guid.t
+
+type t = {
+  sizes : (key, int) Hashtbl.t;
+  by_leaf : (Ir.Guid.t, int list ref) Hashtbl.t;  (* all context sizes per leaf *)
+}
+
+let context_of_inst (b : Mach.binary) (inst : Mach.inst) : key =
+  let container = b.Mach.funcs.(inst.Mach.i_func).Mach.bf_guid in
+  match Ir.Dloc.frames ~container inst.Mach.i_dloc with
+  | [] -> ([], container)
+  | (origin, _, _) :: rest ->
+      let path = List.rev_map (fun (f, _, probe) -> (f, probe)) rest in
+      (path, origin)
+
+let compute (b : Mach.binary) =
+  let sizes = Hashtbl.create 256 in
+  let bump key n =
+    Hashtbl.replace sizes key (n + Option.value (Hashtbl.find_opt sizes key) ~default:0)
+  in
+  Array.iter
+    (fun (inst : Mach.inst) ->
+      let path, leaf = context_of_inst b inst in
+      bump (path, leaf) inst.Mach.i_size;
+      (* Initialize every enclosing context to zero if absent (Algorithm 3
+         lines 7-13): a context seen only as an ancestor has size 0 — its
+         own code was fully optimized away. *)
+      let rec pop = function
+        | [] -> ()
+        | path ->
+            let parent_path = List.filteri (fun i _ -> i < List.length path - 1) path in
+            let parent_leaf = fst (List.nth path (List.length path - 1)) in
+            let key = (parent_path, parent_leaf) in
+            if not (Hashtbl.mem sizes key) then Hashtbl.replace sizes key 0;
+            pop parent_path
+      in
+      pop path)
+    b.Mach.insts;
+  let by_leaf = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun ((_, leaf) : key) size ->
+      match Hashtbl.find_opt by_leaf leaf with
+      | Some r -> r := size :: !r
+      | None -> Hashtbl.replace by_leaf leaf (ref [ size ]))
+    sizes;
+  { sizes; by_leaf }
+
+let size_of t ~path ~leaf = Hashtbl.find_opt t.sizes (path, leaf)
+
+let base_size t guid = Hashtbl.find_opt t.sizes ([], guid)
+
+let avg_inline_size t guid =
+  match Hashtbl.find_opt t.by_leaf guid with
+  | None | Some { contents = [] } -> None
+  | Some { contents = sizes } ->
+      Some (List.fold_left ( + ) 0 sizes / List.length sizes)

@@ -1,0 +1,24 @@
+(** Algorithm 3 (§III.B): context-sensitive inline cost from the profiling
+    binary. Walks every emitted instruction, attributes its byte size to the
+    inline context it belongs to (derived from the line table's inline
+    frames), and initializes every enclosing context to zero so that
+    functions fully optimized away at a context are *known* to cost nothing
+    — usually a far better cost signal than early-IR size estimates. *)
+
+type key = (Csspgo_ir.Guid.t * int) list * Csspgo_ir.Guid.t
+(** (outermost-first (function, callsite-probe) chain, leaf function) *)
+
+type t
+
+val compute : Csspgo_codegen.Mach.binary -> t
+
+val size_of : t -> path:(Csspgo_ir.Guid.t * int) list -> leaf:Csspgo_ir.Guid.t -> int option
+(** Byte size of the leaf function's code at the given inline context;
+    [None] when that context never appeared in the binary. *)
+
+val base_size : t -> Csspgo_ir.Guid.t -> int option
+(** Standalone (not-inlined) size of a function. *)
+
+val avg_inline_size : t -> Csspgo_ir.Guid.t -> int option
+(** Average size across every context the function appears in — the
+    fallback cost when a precise context is unknown. *)

@@ -1,0 +1,73 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module T = Ir.Types
+module I = Ir.Instr
+
+(* Split block [b] of [f] at instruction [idx] (a div/rem with a register
+   divisor), guarding it with a comparison against [c]. *)
+let specialize_at (f : Ir.Func.t) (b : Ir.Block.t) idx c =
+  let instr = Vec.get b.Ir.Block.instrs idx in
+  match instr.I.op with
+  | I.Bin (((T.Div | T.Rem) as op), d, a, T.Reg r) ->
+      let dloc = instr.I.dloc in
+      let fast = Ir.Func.fresh_block f in
+      let slow = Ir.Func.fresh_block f in
+      let join = Ir.Func.fresh_block f in
+      (* Tail of the original block moves to the join block. *)
+      for k = idx + 1 to Vec.length b.Ir.Block.instrs - 1 do
+        Vec.push join.Ir.Block.instrs (Vec.get b.Ir.Block.instrs k)
+      done;
+      Ir.Block.set_term join b.Ir.Block.term;
+      join.Ir.Block.edge_counts <- Array.copy b.Ir.Block.edge_counts;
+      join.Ir.Block.count <- b.Ir.Block.count;
+      (* Trim the original block and emit the guard. *)
+      let kept = Vec.create () in
+      Vec.iteri (fun k i -> if k < idx then Vec.push kept i) b.Ir.Block.instrs;
+      Vec.clear b.Ir.Block.instrs;
+      Vec.iter (Vec.push b.Ir.Block.instrs) kept;
+      let t = Ir.Func.fresh_reg f in
+      Vec.push b.Ir.Block.instrs (I.mk (I.Cmp (T.Eq, t, T.Reg r, T.Imm c)) dloc);
+      Ir.Block.set_term b (I.Br (t, fast.Ir.Block.id, slow.Ir.Block.id));
+      Vec.push fast.Ir.Block.instrs (I.mk (I.Bin (op, d, a, T.Imm c)) dloc);
+      Ir.Block.set_term fast (I.Jmp join.Ir.Block.id);
+      Vec.push slow.Ir.Block.instrs (I.mk (I.Bin (op, d, a, T.Reg r)) dloc);
+      Ir.Block.set_term slow (I.Jmp join.Ir.Block.id);
+      if f.Ir.Func.annotated then begin
+        let hot = Int64.div (Int64.mul b.Ir.Block.count 9L) 10L in
+        fast.Ir.Block.count <- hot;
+        slow.Ir.Block.count <- Int64.sub b.Ir.Block.count hot;
+        fast.Ir.Block.edge_counts <- [| fast.Ir.Block.count |];
+        slow.Ir.Block.edge_counts <- [| slow.Ir.Block.count |];
+        b.Ir.Block.edge_counts <- [| fast.Ir.Block.count; slow.Ir.Block.count |]
+      end;
+      true
+  | _ -> false
+
+let apply (p : Ir.Program.t) decisions =
+  let applied = ref 0 in
+  Ir.Program.iter_funcs
+    (fun f ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          (* Collect profiled sites (index, ordinal) for this block, then
+             split from the last site backward so earlier ordinals keep
+             their label and position. *)
+          let sites = ref [] in
+          let ordinal = ref 0 in
+          Vec.iteri
+            (fun idx (i : I.t) ->
+              match i.I.op with
+              | I.Bin ((T.Div | T.Rem), _, _, T.Reg _) ->
+                  sites := (idx, !ordinal) :: !sites;
+                  incr ordinal
+              | _ -> ())
+            b.Ir.Block.instrs;
+          List.iter
+            (fun (idx, ord) ->
+              match Hashtbl.find_opt decisions (f.Ir.Func.guid, b.Ir.Block.id, ord) with
+              | Some c -> if specialize_at f b idx c then incr applied
+              | None -> ())
+            !sites)
+        f)
+    p;
+  !applied

@@ -1,0 +1,19 @@
+(** Value-profile-guided divisor specialization — the representative of the
+    "value-profile-based optimizations" that remain an advantage of
+    instrumentation-based PGO over CSSPGO (§IV.A).
+
+    For a division/remainder whose instrumented value profile shows one
+    dominant divisor [C], the site is rewritten as
+
+    {v  if (divisor == C) { d = a / C }   // strength-reduced constant divide
+       else              { d = a / divisor }  v}
+
+    which the VM's cost model rewards (constant divides cost 4 cycles,
+    register divides 20). *)
+
+val apply :
+  Csspgo_ir.Program.t -> (Instrument.vsite_key, int64) Hashtbl.t -> int
+(** Rewrite all decided sites on fresh pre-optimization IR (the same
+    lowering the sites were keyed against). Returns the number of sites
+    specialized. Profile counts are split 9:1 between fast and slow paths
+    when the containing function is annotated. *)

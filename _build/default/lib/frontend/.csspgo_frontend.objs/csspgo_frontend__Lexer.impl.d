@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Int64 List Printf String

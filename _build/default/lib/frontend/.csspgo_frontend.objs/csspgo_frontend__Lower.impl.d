@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Csspgo_ir Hashtbl List Parser

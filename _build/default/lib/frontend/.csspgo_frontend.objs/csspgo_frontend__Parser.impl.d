@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Csspgo_ir Int64 Lexer List Printf String

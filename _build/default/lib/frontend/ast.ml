@@ -1,0 +1,46 @@
+type unop = Neg | Not
+
+type binop =
+  | Arith of Csspgo_ir.Types.binop
+  | Compare of Csspgo_ir.Types.cmpop
+  | Log_and
+  | Log_or
+
+type expr = { e : expr_kind; eline : int }
+
+and expr_kind =
+  | Int of int64
+  | Var of string
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Call of string * expr list
+  | Index of string * expr
+
+type stmt = { s : stmt_kind; sline : int }
+
+and stmt_kind =
+  | Let of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Switch of expr * (int64 * block) list * block
+  | Return of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+and block = stmt list
+
+type fndef = {
+  fname : string;
+  fparams : string list;
+  fbody : block;
+  fline : int;
+  fmodule : string;
+}
+
+type program = {
+  pglobals : (string * int) list;
+  pfns : fndef list;
+}

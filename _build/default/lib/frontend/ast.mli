@@ -1,0 +1,51 @@
+(** Abstract syntax of MiniC, the small imperative language the simulated
+    workloads are written in. Every node carries its absolute source line so
+    lowering can produce function-relative debug lines (AutoFDO-style line
+    offsets). *)
+
+type unop = Neg | Not
+
+type binop =
+  | Arith of Csspgo_ir.Types.binop
+  | Compare of Csspgo_ir.Types.cmpop
+  | Log_and  (** short-circuit *)
+  | Log_or   (** short-circuit *)
+
+type expr = { e : expr_kind; eline : int }
+
+and expr_kind =
+  | Int of int64
+  | Var of string
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Call of string * expr list
+  | Index of string * expr  (** global array read *)
+
+type stmt = { s : stmt_kind; sline : int }
+
+and stmt_kind =
+  | Let of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr  (** array, index, value *)
+  | If of expr * block * block
+  | While of expr * block
+  | Switch of expr * (int64 * block) list * block
+  | Return of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+and block = stmt list
+
+type fndef = {
+  fname : string;
+  fparams : string list;
+  fbody : block;
+  fline : int;  (** line of the [fn] keyword; debug lines are relative to it *)
+  fmodule : string;
+}
+
+type program = {
+  pglobals : (string * int) list;
+  pfns : fndef list;
+}

@@ -1,0 +1,91 @@
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type loc_token = { tok : token; tline : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "fn"; "let"; "if"; "else"; "while"; "switch"; "case"; "default"; "return";
+    "break"; "continue"; "global"; "module" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character punctuation, longest first. *)
+let puncts2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ]
+let puncts1 = "+-*/%<>=!&|^(){}[];:,"
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let out = ref [] in
+  let emit tok = out := { tok; tline = !line } :: !out in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then raise (Lex_error ("unterminated block comment", !line))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      match Int64.of_string_opt text with
+      | Some v -> emit (INT v)
+      | None -> raise (Lex_error ("integer literal out of range: " ^ text, !line))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (KW text) else emit (IDENT text)
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some t when List.mem t puncts2 ->
+          emit (PUNCT t);
+          pos := !pos + 2
+      | _ ->
+          if String.contains puncts1 c then begin
+            emit (PUNCT (String.make 1 c));
+            incr pos
+          end
+          else raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !out

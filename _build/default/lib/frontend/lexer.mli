@@ -1,0 +1,16 @@
+(** Hand-written lexer for MiniC. Tracks line numbers (1-based) so that
+    comment-only edits shift subsequent lines, which the source-drift
+    experiments rely on. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string       (** fn let if else while switch case default return break continue global module *)
+  | PUNCT of string    (** operators and delimiters *)
+  | EOF
+
+type loc_token = { tok : token; tline : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize : string -> loc_token list

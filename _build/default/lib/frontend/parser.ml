@@ -1,0 +1,303 @@
+open Ast
+module T = Csspgo_ir.Types
+
+exception Parse_error of string * int
+
+type state = {
+  mutable toks : Lexer.loc_token list;
+}
+
+let peek st =
+  match st.toks with [] -> { Lexer.tok = Lexer.EOF; tline = 0 } | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: tl -> st.toks <- tl
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error st msg = raise (Parse_error (msg, (peek st).Lexer.tline))
+
+let expect_punct st p =
+  match next st with
+  | { Lexer.tok = Lexer.PUNCT q; _ } when String.equal p q -> ()
+  | t -> raise (Parse_error (Printf.sprintf "expected %S" p, t.Lexer.tline))
+
+let expect_kw st k =
+  match next st with
+  | { Lexer.tok = Lexer.KW q; _ } when String.equal k q -> ()
+  | t -> raise (Parse_error (Printf.sprintf "expected keyword %S" k, t.Lexer.tline))
+
+let expect_ident st =
+  match next st with
+  | { Lexer.tok = Lexer.IDENT name; _ } -> name
+  | t -> raise (Parse_error ("expected identifier", t.Lexer.tline))
+
+let expect_int st =
+  match next st with
+  | { Lexer.tok = Lexer.INT v; _ } -> v
+  | { Lexer.tok = Lexer.PUNCT "-"; tline } -> (
+      match next st with
+      | { Lexer.tok = Lexer.INT v; _ } -> Int64.neg v
+      | _ -> raise (Parse_error ("expected integer", tline)))
+  | t -> raise (Parse_error ("expected integer", t.Lexer.tline))
+
+let is_punct st p =
+  match (peek st).Lexer.tok with Lexer.PUNCT q -> String.equal p q | _ -> false
+
+let is_kw st k =
+  match (peek st).Lexer.tok with Lexer.KW q -> String.equal k q | _ -> false
+
+let eat_punct st p = if is_punct st p then (advance st; true) else false
+
+(* Binary operator precedence; higher binds tighter. *)
+let binop_of_punct = function
+  | "||" -> Some (Log_or, 1)
+  | "&&" -> Some (Log_and, 2)
+  | "|" -> Some (Arith T.Or, 3)
+  | "^" -> Some (Arith T.Xor, 4)
+  | "&" -> Some (Arith T.And, 5)
+  | "==" -> Some (Compare T.Eq, 6)
+  | "!=" -> Some (Compare T.Ne, 6)
+  | "<" -> Some (Compare T.Lt, 7)
+  | "<=" -> Some (Compare T.Le, 7)
+  | ">" -> Some (Compare T.Gt, 7)
+  | ">=" -> Some (Compare T.Ge, 7)
+  | "<<" -> Some (Arith T.Shl, 8)
+  | ">>" -> Some (Arith T.Shr, 8)
+  | "+" -> Some (Arith T.Add, 9)
+  | "-" -> Some (Arith T.Sub, 9)
+  | "*" -> Some (Arith T.Mul, 10)
+  | "/" -> Some (Arith T.Div, 10)
+  | "%" -> Some (Arith T.Rem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            let line = (peek st).Lexer.tline in
+            advance st;
+            let rhs = parse_binary st (prec + 1) in
+            lhs := { e = Binary (op, !lhs, rhs); eline = line }
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.PUNCT "-" ->
+      advance st;
+      { e = Unary (Neg, parse_unary st); eline = t.Lexer.tline }
+  | Lexer.PUNCT "!" ->
+      advance st;
+      { e = Unary (Not, parse_unary st); eline = t.Lexer.tline }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  let line = t.Lexer.tline in
+  match t.Lexer.tok with
+  | Lexer.INT v -> { e = Int v; eline = line }
+  | Lexer.PUNCT "(" ->
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Lexer.IDENT name ->
+      if eat_punct st "(" then begin
+        let args = ref [] in
+        if not (is_punct st ")") then begin
+          args := [ parse_expr st ];
+          while eat_punct st "," do
+            args := parse_expr st :: !args
+          done
+        end;
+        expect_punct st ")";
+        { e = Call (name, List.rev !args); eline = line }
+      end
+      else if eat_punct st "[" then begin
+        let idx = parse_expr st in
+        expect_punct st "]";
+        { e = Index (name, idx); eline = line }
+      end
+      else { e = Var name; eline = line }
+  | _ -> raise (Parse_error ("expected expression", line))
+
+let rec parse_stmt st =
+  let t = peek st in
+  let line = t.Lexer.tline in
+  match t.Lexer.tok with
+  | Lexer.KW "let" ->
+      advance st;
+      let name = expect_ident st in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      { s = Let (name, e); sline = line }
+  | Lexer.KW "return" ->
+      advance st;
+      let e =
+        if is_punct st ";" then { e = Int 0L; eline = line } else parse_expr st
+      in
+      expect_punct st ";";
+      { s = Return e; sline = line }
+  | Lexer.KW "break" ->
+      advance st;
+      expect_punct st ";";
+      { s = Break; sline = line }
+  | Lexer.KW "continue" ->
+      advance st;
+      expect_punct st ";";
+      { s = Continue; sline = line }
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_ = parse_block st in
+      let else_ =
+        if is_kw st "else" then begin
+          advance st;
+          if is_kw st "if" then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      { s = If (cond, then_, else_); sline = line }
+  | Lexer.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let body = parse_block st in
+      { s = While (cond, body); sline = line }
+  | Lexer.KW "switch" ->
+      advance st;
+      expect_punct st "(";
+      let scrut = parse_expr st in
+      expect_punct st ")";
+      expect_punct st "{";
+      let cases = ref [] in
+      let default = ref [] in
+      let parse_case_body () =
+        let stmts = ref [] in
+        while
+          not (is_kw st "case" || is_kw st "default" || is_punct st "}")
+        do
+          stmts := parse_stmt st :: !stmts
+        done;
+        List.rev !stmts
+      in
+      while not (is_punct st "}") do
+        if is_kw st "case" then begin
+          advance st;
+          let v = expect_int st in
+          expect_punct st ":";
+          cases := (v, parse_case_body ()) :: !cases
+        end
+        else if is_kw st "default" then begin
+          advance st;
+          expect_punct st ":";
+          default := parse_case_body ()
+        end
+        else error st "expected case/default"
+      done;
+      expect_punct st "}";
+      { s = Switch (scrut, List.rev !cases, !default); sline = line }
+  | Lexer.IDENT name -> (
+      (* Could be assignment, array store, or expression statement. *)
+      match st.toks with
+      | _ :: { Lexer.tok = Lexer.PUNCT "="; _ } :: _ ->
+          advance st;
+          advance st;
+          let e = parse_expr st in
+          expect_punct st ";";
+          { s = Assign (name, e); sline = line }
+      | _ :: { Lexer.tok = Lexer.PUNCT "["; _ } :: _ -> (
+          (* Distinguish store [x[i] = e;] from read-expression statement. *)
+          let saved = st.toks in
+          advance st;
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          if eat_punct st "=" then begin
+            let v = parse_expr st in
+            expect_punct st ";";
+            { s = Store (name, idx, v); sline = line }
+          end
+          else begin
+            st.toks <- saved;
+            let e = parse_expr st in
+            expect_punct st ";";
+            { s = Expr e; sline = line }
+          end)
+      | _ ->
+          let e = parse_expr st in
+          expect_punct st ";";
+          { s = Expr e; sline = line })
+  | _ ->
+      let e = parse_expr st in
+      expect_punct st ";";
+      { s = Expr e; sline = line }
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (is_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect_punct st "}";
+  List.rev !stmts
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] in
+  let fns = ref [] in
+  let current_module = ref "main" in
+  let rec loop () =
+    match (peek st).Lexer.tok with
+    | Lexer.EOF -> ()
+    | Lexer.KW "global" ->
+        advance st;
+        let name = expect_ident st in
+        expect_punct st "[";
+        let size = expect_int st in
+        expect_punct st "]";
+        expect_punct st ";";
+        globals := (name, Int64.to_int size) :: !globals;
+        loop ()
+    | Lexer.KW "module" ->
+        advance st;
+        current_module := expect_ident st;
+        expect_punct st ";";
+        loop ()
+    | Lexer.KW "fn" ->
+        let fline = (peek st).Lexer.tline in
+        expect_kw st "fn";
+        let fname = expect_ident st in
+        expect_punct st "(";
+        let params = ref [] in
+        if not (is_punct st ")") then begin
+          params := [ expect_ident st ];
+          while eat_punct st "," do
+            params := expect_ident st :: !params
+          done
+        end;
+        expect_punct st ")";
+        let fbody = parse_block st in
+        fns :=
+          { fname; fparams = List.rev !params; fbody; fline; fmodule = !current_module }
+          :: !fns;
+        loop ()
+    | _ -> error st "expected top-level declaration (global, module, fn)"
+  in
+  loop ();
+  { pglobals = List.rev !globals; pfns = List.rev !fns }

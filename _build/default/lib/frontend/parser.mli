@@ -1,0 +1,24 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+    {v
+    program  := (global | module | fn)...
+    global   := "global" IDENT "[" INT "]" ";"
+    module   := "module" IDENT ";"          -- sets module for following fns
+    fn       := "fn" IDENT "(" params? ")" "{" stmt... "}"
+    stmt     := "let" IDENT "=" expr ";"
+              | IDENT "=" expr ";"
+              | IDENT "[" expr "]" "=" expr ";"
+              | "if" "(" expr ")" block ("else" (block | if))?
+              | "while" "(" expr ")" block
+              | "switch" "(" expr ")" "{" ("case" INT ":" stmt...)... "default" ":" stmt... "}"
+              | "return" expr ";" | "break" ";" | "continue" ";" | expr ";"
+    expr     := precedence climbing over logical, bitwise, comparison,
+                shift, additive, multiplicative and unary operators
+    primary  := INT | IDENT | IDENT "(" args ")" | IDENT "[" expr "]" | "(" expr ")"
+    v} *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** Raises [Parse_error] or [Lexer.Lex_error]. *)

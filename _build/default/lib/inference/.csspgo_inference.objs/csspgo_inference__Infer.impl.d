@@ -1,0 +1,1 @@
+lib/inference/infer.ml: Array Csspgo_ir Hashtbl Int64 List Mcf Option

@@ -1,0 +1,1 @@
+lib/inference/infer.mli: Csspgo_ir

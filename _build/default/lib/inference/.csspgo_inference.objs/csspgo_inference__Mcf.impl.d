@@ -1,0 +1,1 @@
+lib/inference/mcf.ml: Array Csspgo_support Int64 List Vec

@@ -1,0 +1,143 @@
+open Csspgo_support
+
+(* Standard residual representation: every arc has a twin with zero capacity
+   and negated cost; pushing x units adds x to the arc's flow and subtracts
+   x from the twin's, so residual capacity is always [cap - flow]. *)
+type arc = {
+  a_src : int;
+  a_dst : int;
+  a_cap : int64;
+  a_cost : int;
+  mutable a_flow : int64;
+  mutable twin : arc option;
+}
+
+type t = {
+  n : int;
+  arcs : arc Vec.t;  (* user-created forward arcs *)
+  mutable adj : arc list array;
+  mutable built : bool;
+}
+
+let create ~n_nodes = { n = n_nodes; arcs = Vec.create (); adj = [||]; built = false }
+
+let add_arc t ~src ~dst ~cap ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then invalid_arg "Mcf.add_arc";
+  if Int64.compare cap 0L < 0 then invalid_arg "Mcf.add_arc: negative capacity";
+  let a = { a_src = src; a_dst = dst; a_cap = cap; a_cost = cost; a_flow = 0L; twin = None } in
+  Vec.push t.arcs a;
+  t.built <- false;
+  a
+
+let build t =
+  if not t.built then begin
+    t.adj <- Array.make t.n [];
+    Vec.iter
+      (fun a ->
+        let tw =
+          match a.twin with
+          | Some tw -> tw
+          | None ->
+              let tw =
+                {
+                  a_src = a.a_dst;
+                  a_dst = a.a_src;
+                  a_cap = 0L;
+                  a_cost = -a.a_cost;
+                  a_flow = 0L;
+                  twin = Some a;
+                }
+              in
+              a.twin <- Some tw;
+              tw
+        in
+        t.adj.(a.a_src) <- a :: t.adj.(a.a_src);
+        t.adj.(tw.a_src) <- tw :: t.adj.(tw.a_src))
+      t.arcs;
+    t.built <- true
+  end
+
+let rcap a = Int64.sub a.a_cap a.a_flow
+
+let push a amount =
+  a.a_flow <- Int64.add a.a_flow amount;
+  match a.twin with
+  | Some tw -> tw.a_flow <- Int64.sub tw.a_flow amount
+  | None -> assert false
+
+(* Bellman–Ford over the residual graph; returns a negative cycle if any. *)
+let find_negative_cycle t =
+  build t;
+  let dist = Array.make t.n 0L in
+  let pred : arc option array = Array.make t.n None in
+  let updated_in_last_pass = ref (-1) in
+  for _pass = 1 to t.n do
+    updated_in_last_pass := -1;
+    for u = 0 to t.n - 1 do
+      List.iter
+        (fun a ->
+          if Int64.compare (rcap a) 0L > 0 then begin
+            let nd = Int64.add dist.(u) (Int64.of_int a.a_cost) in
+            if Int64.compare nd dist.(a.a_dst) < 0 then begin
+              dist.(a.a_dst) <- nd;
+              pred.(a.a_dst) <- Some a;
+              updated_in_last_pass := a.a_dst
+            end
+          end)
+        t.adj.(u)
+    done
+  done;
+  if !updated_in_last_pass < 0 then None
+  else begin
+    (* A relaxation in pass n implies a negative cycle reachable through the
+       predecessor chain; walk back n steps to land on it, then collect. *)
+    let v = ref !updated_in_last_pass in
+    for _ = 1 to t.n do
+      match pred.(!v) with Some a -> v := a.a_src | None -> ()
+    done;
+    let start = !v in
+    let cycle = ref [] in
+    let cur = ref start in
+    let steps = ref 0 in
+    let ok = ref true in
+    let continue_ = ref true in
+    while !continue_ do
+      incr steps;
+      if !steps > t.n + 1 then begin
+        ok := false;
+        continue_ := false
+      end
+      else
+        match pred.(!cur) with
+        | Some a ->
+            cycle := a :: !cycle;
+            cur := a.a_src;
+            if !cur = start then continue_ := false
+        | None ->
+            ok := false;
+            continue_ := false
+    done;
+    if !ok && !cycle <> [] then Some !cycle else None
+  end
+
+let solve t =
+  build t;
+  let continue_ = ref true in
+  let guard = ref 0 in
+  while !continue_ && !guard < 20_000 do
+    incr guard;
+    match find_negative_cycle t with
+    | None -> continue_ := false
+    | Some cycle ->
+        let cost = List.fold_left (fun acc a -> acc + a.a_cost) 0 cycle in
+        let bottleneck = List.fold_left (fun acc a -> min acc (rcap a)) Int64.max_int cycle in
+        if cost >= 0 || Int64.compare bottleneck 0L <= 0 then continue_ := false
+        else List.iter (fun a -> push a bottleneck) cycle
+  done
+
+let flow a = a.a_flow
+
+let total_cost t =
+  Vec.fold_left
+    (fun acc a -> Int64.add acc (Int64.mul a.a_flow (Int64.of_int a.a_cost)))
+    0L t.arcs

@@ -1,0 +1,17 @@
+(** Generic minimum-cost circulation solver by negative-cycle canceling
+    (Bellman–Ford cycle detection, bottleneck augmentation). Arc costs are
+    per-unit integers and may be negative; the solver pushes flow around
+    negative-cost residual cycles until none remain, reaching a min-cost
+    circulation. This is the computational core of profile inference
+    (Levin et al. [9], Profi [10]). *)
+
+type t
+type arc
+
+val create : n_nodes:int -> t
+val add_arc : t -> src:int -> dst:int -> cap:int64 -> cost:int -> arc
+val solve : t -> unit
+(** Idempotent; runs to completion. *)
+
+val flow : arc -> int64
+val total_cost : t -> int64

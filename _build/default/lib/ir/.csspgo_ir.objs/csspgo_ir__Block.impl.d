@@ -1,0 +1,1 @@
+lib/ir/block.ml: Array Csspgo_support Dloc Format Instr Int64 List Types Vec

@@ -1,0 +1,1 @@
+lib/ir/block.mli: Csspgo_support Dloc Format Instr Types

@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Block Csspgo_support Func Hashtbl Instr List Option Program String Vec

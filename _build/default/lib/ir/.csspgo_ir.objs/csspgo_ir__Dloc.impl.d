@@ -1,0 +1,1 @@
+lib/ir/dloc.ml: Format Guid Hashtbl List

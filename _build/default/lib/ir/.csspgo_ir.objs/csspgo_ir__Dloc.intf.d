@@ -1,0 +1,1 @@
+lib/ir/dloc.mli: Format Guid

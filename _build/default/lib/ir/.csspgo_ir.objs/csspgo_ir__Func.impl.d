@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Block Csspgo_support Format Guid Hashtbl Instr Int64 List Printf Types Vec

@@ -1,0 +1,1 @@
+lib/ir/guid.ml: Csspgo_support Fnv Format Hashtbl Int64 Map

@@ -1,0 +1,1 @@
+lib/ir/guid.mli: Format Hashtbl Map

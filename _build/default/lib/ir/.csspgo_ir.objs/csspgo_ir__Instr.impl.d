@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Dloc Format Guid List String Types

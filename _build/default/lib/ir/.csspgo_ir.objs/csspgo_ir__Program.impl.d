@@ -1,0 +1,1 @@
+lib/ir/program.ml: Format Func Guid Hashtbl List String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Block Csspgo_support Format Func Guid Hashtbl Instr List Program Types Vec

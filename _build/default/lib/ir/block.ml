@@ -1,0 +1,68 @@
+open Types
+open Csspgo_support
+
+type t = {
+  id : label;
+  instrs : Instr.t Vec.t;
+  mutable term : Instr.term;
+  mutable count : int64;
+  mutable edge_counts : int64 array;
+}
+
+let mk id =
+  { id; instrs = Vec.create (); term = Instr.Unreachable; count = 0L; edge_counts = [||] }
+
+let successors t = Instr.successors t.term
+
+let add t i = Vec.push t.instrs i
+
+let set_term t term =
+  t.term <- term;
+  let n = List.length (Instr.successors term) in
+  if Array.length t.edge_counts <> n then t.edge_counts <- Array.make n 0L
+
+let probe_id t =
+  let r = ref 0 in
+  Vec.iter
+    (fun (i : Instr.t) ->
+      match i.op with
+      | Instr.Probe p when p.p_kind = Instr.Block_probe && !r = 0 -> r := p.p_id
+      | _ -> ())
+    t.instrs;
+  !r
+
+let first_dloc t =
+  match Vec.find_opt (fun (i : Instr.t) -> not (Dloc.is_none i.dloc)) t.instrs with
+  | Some i -> i.dloc
+  | None -> Dloc.none
+
+let equal_term (a : Instr.term) (b : Instr.term) =
+  match (a, b) with
+  | Instr.Ret x, Instr.Ret y -> equal_operand x y
+  | Instr.Jmp x, Instr.Jmp y -> x = y
+  | Instr.Br (c1, a1, b1), Instr.Br (c2, a2, b2) -> c1 = c2 && a1 = a2 && b1 = b2
+  | Instr.Switch (v1, c1, d1), Instr.Switch (v2, c2, d2) ->
+      equal_operand v1 v2 && d1 = d2
+      && List.length c1 = List.length c2
+      && List.for_all2 (fun (k1, l1) (k2, l2) -> Int64.equal k1 k2 && l1 = l2) c1 c2
+  | Instr.Unreachable, Instr.Unreachable -> true
+  | _ -> false
+
+let body_equal a b =
+  Vec.length a.instrs = Vec.length b.instrs
+  && equal_term a.term b.term
+  &&
+  let ok = ref true in
+  Vec.iteri
+    (fun i (ia : Instr.t) ->
+      let ib = Vec.get b.instrs i in
+      if not (Instr.equal_opcode_modulo_dloc ia.op ib.op) then ok := false)
+    a.instrs;
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "bb%d:" t.id;
+  if not (Int64.equal t.count 0L) then Format.fprintf fmt "  ; count %Ld" t.count;
+  Format.pp_print_newline fmt ();
+  Vec.iter (fun i -> Format.fprintf fmt "  %a@." Instr.pp i) t.instrs;
+  Format.fprintf fmt "  %a@." Instr.pp_term t.term

@@ -1,0 +1,35 @@
+(** Basic blocks: a straight-line instruction sequence plus a terminator,
+    optionally annotated with a profile count (block frequency) and per-edge
+    counts parallel to the terminator's successor list. *)
+
+open Types
+
+type t = {
+  id : label;
+  instrs : Instr.t Csspgo_support.Vec.t;
+  mutable term : Instr.term;
+  mutable count : int64;  (** profile count; meaningful when [annotated] *)
+  mutable edge_counts : int64 array;
+      (** parallel to [Instr.successors term]; [||] when unannotated *)
+}
+
+val mk : label -> t
+(** Fresh block terminated by [Unreachable]. *)
+
+val successors : t -> label list
+val add : t -> Instr.t -> unit
+val set_term : t -> Instr.term -> unit
+(** Resets [edge_counts] to match the new successor arity (zero-filled if
+    previously annotated). *)
+
+val probe_id : t -> int
+(** Id of the block probe inside this block, or 0 when none. *)
+
+val first_dloc : t -> Dloc.t
+(** Debug location of the first located instruction, or [Dloc.none]. *)
+
+val body_equal : t -> t -> bool
+(** Tail-merge equality: same instruction sequence (modulo debug locations)
+    and same terminator. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+open Types
+
+let preds f =
+  let tbl = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = Option.value (Hashtbl.find_opt tbl s) ~default:[] in
+          Hashtbl.replace tbl s (b.Block.id :: cur))
+        (Block.successors b))
+    f;
+  (* Preserve deterministic order: predecessors in ascending label order. *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.sort compare v)) tbl;
+  tbl
+
+let rpo f =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      (match Func.find_block f l with
+      | Some b -> List.iter dfs (Block.successors b)
+      | None -> ());
+      order := l :: !order
+    end
+  in
+  dfs f.Func.entry;
+  !order
+
+let reachable f =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l ()) (rpo f);
+  tbl
+
+type dom = { idom : (label, label) Hashtbl.t }
+
+let dominators f =
+  let order = rpo f in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) order;
+  let pred_tbl = preds f in
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom f.Func.entry f.Func.entry;
+  let intersect a b =
+    (* Walk up the idom tree until the two fingers meet (CHK algorithm).
+       Comparison is on RPO index: larger index = deeper. *)
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> f.Func.entry then begin
+          let ps =
+            Option.value (Hashtbl.find_opt pred_tbl l) ~default:[]
+            |> List.filter (Hashtbl.mem index)
+          in
+          let processed = List.filter (Hashtbl.mem idom) ps in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idom l <> Some new_idom then begin
+                Hashtbl.replace idom l new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  { idom }
+
+let dominates dom a b =
+  (* [a] dominates [b]: walk b's idom chain. *)
+  let rec go b =
+    if a = b then true
+    else
+      match Hashtbl.find_opt dom.idom b with
+      | None -> false
+      | Some p -> if p = b then a = b else go p
+  in
+  go b
+
+type loop = {
+  header : label;
+  body : (label, unit) Hashtbl.t;
+  latches : label list;
+}
+
+let natural_loops f =
+  let dom = dominators f in
+  let pred_tbl = preds f in
+  let reach = reachable f in
+  (* back edge: l -> h where h dominates l *)
+  let back_edges = ref [] in
+  Func.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reach b.Block.id then
+        List.iter
+          (fun s ->
+            if Hashtbl.mem reach s && dominates dom s b.Block.id then
+              back_edges := (b.Block.id, s) :: !back_edges)
+          (Block.successors b))
+    f;
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let cur = Option.value (Hashtbl.find_opt by_header header) ~default:[] in
+      Hashtbl.replace by_header header (latch :: cur))
+    !back_edges;
+  let loops = ref [] in
+  Hashtbl.iter
+    (fun header latches ->
+      let body = Hashtbl.create 8 in
+      Hashtbl.replace body header ();
+      let rec pull l =
+        if not (Hashtbl.mem body l) then begin
+          Hashtbl.replace body l ();
+          List.iter pull (Option.value (Hashtbl.find_opt pred_tbl l) ~default:[])
+        end
+      in
+      List.iter pull latches;
+      loops := { header; body; latches = List.sort compare latches } :: !loops)
+    by_header;
+  List.sort (fun a b -> compare a.header b.header) !loops
+
+let edge_index b target =
+  let rec go i = function
+    | [] -> None
+    | s :: _ when s = target -> Some i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 (Block.successors b)

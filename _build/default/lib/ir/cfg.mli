@@ -1,0 +1,33 @@
+(** CFG analyses over a function: predecessors, reverse post-order,
+    dominators (Cooper–Harvey–Kennedy), and natural loops. All results are
+    snapshots — recompute after mutating the CFG. *)
+
+open Types
+
+val preds : Func.t -> (label, label list) Hashtbl.t
+(** Predecessor map. Blocks with multiple edges from the same predecessor
+    (e.g. both arms of a [Br]) list it once per edge. *)
+
+val rpo : Func.t -> label list
+(** Reverse post-order from the entry block; unreachable blocks excluded. *)
+
+val reachable : Func.t -> (label, unit) Hashtbl.t
+
+type dom = {
+  idom : (label, label) Hashtbl.t;  (** immediate dominator; entry maps to itself *)
+}
+
+val dominators : Func.t -> dom
+val dominates : dom -> label -> label -> bool
+
+type loop = {
+  header : label;
+  body : (label, unit) Hashtbl.t;  (** includes the header *)
+  latches : label list;            (** blocks with a back edge to the header *)
+}
+
+val natural_loops : Func.t -> loop list
+(** One entry per loop header; nested loops appear separately. *)
+
+val edge_index : Block.t -> label -> int option
+(** Position of [target] in the block's successor list (first occurrence). *)

@@ -1,0 +1,116 @@
+open Types
+open Csspgo_support
+
+type t = {
+  name : string;
+  guid : Guid.t;
+  modname : string;
+  params : reg list;
+  mutable nregs : int;
+  blocks : (label, Block.t) Hashtbl.t;
+  mutable entry : label;
+  mutable next_label : int;
+  mutable next_probe : int;
+  mutable checksum : int64;
+  mutable annotated : bool;
+  mutable inlined_away : bool;
+}
+
+let mk ~name ~modname ~params =
+  let t =
+    {
+      name;
+      guid = Guid.of_name name;
+      modname;
+      params;
+      nregs = (List.fold_left (fun acc r -> max acc (r + 1)) 0 params);
+      blocks = Hashtbl.create 16;
+      entry = 0;
+      next_label = 0;
+      next_probe = 1;
+      checksum = 0L;
+      annotated = false;
+      inlined_away = false;
+    }
+  in
+  let b = Block.mk 0 in
+  Hashtbl.replace t.blocks 0 b;
+  t.next_label <- 1;
+  t
+
+let fresh_reg t =
+  let r = t.nregs in
+  t.nregs <- r + 1;
+  r
+
+let fresh_block t =
+  let id = t.next_label in
+  t.next_label <- id + 1;
+  let b = Block.mk id in
+  Hashtbl.replace t.blocks id b;
+  b
+
+let block t l =
+  match Hashtbl.find_opt t.blocks l with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Func.block: no bb%d in %s" l t.name)
+
+let find_block t l = Hashtbl.find_opt t.blocks l
+
+let remove_block t l = Hashtbl.remove t.blocks l
+
+let entry_block t = block t t.entry
+
+let n_blocks t = Hashtbl.length t.blocks
+
+let labels t =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.blocks [] |> List.sort compare
+
+let iter_blocks f t = List.iter (fun l -> f (block t l)) (labels t)
+
+let fold_blocks f acc t = List.fold_left (fun acc l -> f acc (block t l)) acc (labels t)
+
+let fresh_probe_id t =
+  let id = t.next_probe in
+  t.next_probe <- id + 1;
+  id
+
+let total_count t = fold_blocks (fun acc b -> Int64.add acc b.Block.count) 0L t
+
+let entry_count t = (entry_block t).Block.count
+
+let copy t =
+  let blocks = Hashtbl.create (Hashtbl.length t.blocks) in
+  Hashtbl.iter
+    (fun l (b : Block.t) ->
+      let nb = Block.mk l in
+      Vec.iter (fun i -> Vec.push nb.Block.instrs (Instr.copy i)) b.Block.instrs;
+      nb.Block.term <- b.Block.term;
+      nb.Block.count <- b.Block.count;
+      nb.Block.edge_counts <- Array.copy b.Block.edge_counts;
+      Hashtbl.replace blocks l nb)
+    t.blocks;
+  {
+    name = t.name;
+    guid = t.guid;
+    modname = t.modname;
+    params = t.params;
+    nregs = t.nregs;
+    blocks;
+    entry = t.entry;
+    next_label = t.next_label;
+    next_probe = t.next_probe;
+    checksum = t.checksum;
+    annotated = t.annotated;
+    inlined_away = t.inlined_away;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "fn %s(%a) {  ; guid=%a module=%s@."
+    t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt r -> Format.fprintf fmt "r%d" r))
+    t.params Guid.pp t.guid t.modname;
+  iter_blocks (fun b -> Block.pp fmt b) t;
+  Format.fprintf fmt "}@."

@@ -1,0 +1,47 @@
+(** IR functions: a CFG of basic blocks plus PGO-related bookkeeping
+    (probe-id allocation, CFG checksum, profile-annotation state). *)
+
+open Types
+
+type t = {
+  name : string;
+  guid : Guid.t;
+  modname : string;  (** owning compilation module (ThinLTO-style unit) *)
+  params : reg list;
+  mutable nregs : int;  (** virtual register count; fresh regs extend it *)
+  blocks : (label, Block.t) Hashtbl.t;
+  mutable entry : label;
+  mutable next_label : int;
+  mutable next_probe : int;    (** next pseudo-probe id to allocate (1-based) *)
+  mutable checksum : int64;    (** CFG checksum recorded at probe insertion; 0 = none *)
+  mutable annotated : bool;    (** block/edge counts carry a real profile *)
+  mutable inlined_away : bool; (** body fully inlined & dropped from codegen *)
+}
+
+val mk : name:string -> modname:string -> params:reg list -> t
+(** Creates the function with a fresh empty entry block. *)
+
+val fresh_reg : t -> reg
+val fresh_block : t -> Block.t
+val block : t -> label -> Block.t
+val find_block : t -> label -> Block.t option
+val remove_block : t -> label -> unit
+val entry_block : t -> Block.t
+val n_blocks : t -> int
+val iter_blocks : (Block.t -> unit) -> t -> unit
+(** Iteration in ascending label order (deterministic). *)
+
+val fold_blocks : ('a -> Block.t -> 'a) -> 'a -> t -> 'a
+val labels : t -> label list
+(** Ascending. *)
+
+val fresh_probe_id : t -> int
+
+val total_count : t -> int64
+(** Sum of annotated block counts (0 when unannotated). *)
+
+val entry_count : t -> int64
+val copy : t -> t
+(** Deep copy (blocks and instructions are fresh). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+open Csspgo_support
+
+type t = int64
+
+let of_name = Fnv.hash_string
+let equal = Int64.equal
+let compare = Int64.compare
+let hash x = Int64.to_int x land max_int
+let pp fmt t = Format.fprintf fmt "%Lx" t
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Map = Map.Make (Key)
+module Tbl = Hashtbl.Make (Key)

@@ -1,0 +1,14 @@
+(** Global unique identifiers for functions, derived from the function name
+    by FNV-1a hashing (mirroring LLVM's name-hash GUIDs used by pseudo-probe
+    descriptors and sample profiles). *)
+
+type t = int64
+
+val of_name : string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,149 @@
+open Types
+
+type probe_kind = Block_probe | Callsite_probe
+
+type probe = { p_id : int; p_kind : probe_kind; p_func : Guid.t }
+
+type opcode =
+  | Bin of binop * reg * operand * operand
+  | Cmp of cmpop * reg * operand * operand
+  | Select of reg * reg * operand * operand
+  | Mov of reg * operand
+  | Load of reg * string * operand
+  | Store of string * operand * operand
+  | Call of call
+  | Probe of probe
+  | Counter_inc of int
+  | Val_prof of int * reg
+
+and call = {
+  c_ret : reg option;
+  c_callee : string;
+  c_args : operand list;
+  c_probe : int;
+}
+
+type t = {
+  mutable op : opcode;
+  mutable dloc : Dloc.t;
+}
+
+type term =
+  | Ret of operand
+  | Jmp of label
+  | Br of reg * label * label
+  | Switch of operand * (int64 * label) list * label
+  | Unreachable
+
+let mk op dloc = { op; dloc }
+
+let copy t = { op = t.op; dloc = t.dloc }
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Jmp l -> [ l ]
+  | Br (_, a, b) -> [ a; b ]
+  | Switch (_, cases, default) -> List.map snd cases @ [ default ]
+
+let map_term_labels f = function
+  | (Ret _ | Unreachable) as t -> t
+  | Jmp l -> Jmp (f l)
+  | Br (c, a, b) -> Br (c, f a, f b)
+  | Switch (v, cases, d) -> Switch (v, List.map (fun (k, l) -> (k, f l)) cases, f d)
+
+let defs = function
+  | Bin (_, d, _, _) | Cmp (_, d, _, _) | Select (d, _, _, _) | Mov (d, _) | Load (d, _, _) ->
+      [ d ]
+  | Call { c_ret = Some d; _ } -> [ d ]
+  | Call { c_ret = None; _ } | Store _ | Probe _ | Counter_inc _ | Val_prof _ -> []
+
+let operand_uses = function Reg r -> [ r ] | Imm _ -> []
+
+let uses = function
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) -> operand_uses a @ operand_uses b
+  | Select (_, c, a, b) -> (c :: operand_uses a) @ operand_uses b
+  | Mov (_, a) | Load (_, _, a) -> operand_uses a
+  | Store (_, i, v) -> operand_uses i @ operand_uses v
+  | Call { c_args; _ } -> List.concat_map operand_uses c_args
+  | Probe _ | Counter_inc _ -> []
+  | Val_prof (_, r) -> [ r ]
+
+let term_uses = function
+  | Ret v -> operand_uses v
+  | Jmp _ | Unreachable -> []
+  | Br (c, _, _) -> [ c ]
+  | Switch (v, _, _) -> operand_uses v
+
+let has_side_effect = function
+  | Store _ | Call _ | Probe _ | Counter_inc _ | Val_prof _ -> true
+  | Bin _ | Cmp _ | Select _ | Mov _ | Load _ -> false
+
+let is_probe t = match t.op with Probe _ -> true | _ -> false
+
+let equal_call a b =
+  a.c_ret = b.c_ret
+  && String.equal a.c_callee b.c_callee
+  && List.length a.c_args = List.length b.c_args
+  && List.for_all2 equal_operand a.c_args b.c_args
+  && a.c_probe = b.c_probe
+
+let equal_opcode_modulo_dloc a b =
+  match (a, b) with
+  | Bin (o1, d1, x1, y1), Bin (o2, d2, x2, y2) ->
+      o1 = o2 && d1 = d2 && equal_operand x1 x2 && equal_operand y1 y2
+  | Cmp (o1, d1, x1, y1), Cmp (o2, d2, x2, y2) ->
+      o1 = o2 && d1 = d2 && equal_operand x1 x2 && equal_operand y1 y2
+  | Select (d1, c1, x1, y1), Select (d2, c2, x2, y2) ->
+      d1 = d2 && c1 = c2 && equal_operand x1 x2 && equal_operand y1 y2
+  | Mov (d1, x1), Mov (d2, x2) -> d1 = d2 && equal_operand x1 x2
+  | Load (d1, g1, i1), Load (d2, g2, i2) ->
+      d1 = d2 && String.equal g1 g2 && equal_operand i1 i2
+  | Store (g1, i1, v1), Store (g2, i2, v2) ->
+      String.equal g1 g2 && equal_operand i1 i2 && equal_operand v1 v2
+  | Call c1, Call c2 -> equal_call c1 c2
+  | Probe p1, Probe p2 ->
+      p1.p_id = p2.p_id && p1.p_kind = p2.p_kind && Guid.equal p1.p_func p2.p_func
+  | Counter_inc i1, Counter_inc i2 -> i1 = i2
+  | Val_prof (s1, r1), Val_prof (s2, r2) -> s1 = s2 && r1 = r2
+  | _ -> false
+
+let pp_reg fmt r = Format.fprintf fmt "r%d" r
+
+let pp_op fmt = function
+  | Bin (op, d, a, b) ->
+      Format.fprintf fmt "%a = %a %a, %a" pp_reg d pp_binop op pp_operand a pp_operand b
+  | Cmp (op, d, a, b) ->
+      Format.fprintf fmt "%a = cmp.%a %a, %a" pp_reg d pp_cmpop op pp_operand a pp_operand b
+  | Select (d, c, a, b) ->
+      Format.fprintf fmt "%a = select %a, %a, %a" pp_reg d pp_reg c pp_operand a pp_operand b
+  | Mov (d, a) -> Format.fprintf fmt "%a = %a" pp_reg d pp_operand a
+  | Load (d, g, i) -> Format.fprintf fmt "%a = load %s[%a]" pp_reg d g pp_operand i
+  | Store (g, i, v) -> Format.fprintf fmt "store %s[%a], %a" g pp_operand i pp_operand v
+  | Call { c_ret; c_callee; c_args; c_probe } ->
+      (match c_ret with
+      | Some d -> Format.fprintf fmt "%a = call %s(" pp_reg d c_callee
+      | None -> Format.fprintf fmt "call %s(" c_callee);
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        pp_operand fmt c_args;
+      Format.pp_print_string fmt ")";
+      if c_probe <> 0 then Format.fprintf fmt " !cs%d" c_probe
+  | Probe p ->
+      Format.fprintf fmt "pseudoprobe %a #%d%s" Guid.pp p.p_func p.p_id
+        (match p.p_kind with Block_probe -> "" | Callsite_probe -> " cs")
+  | Counter_inc i -> Format.fprintf fmt "counter.inc #%d" i
+  | Val_prof (site, r) -> Format.fprintf fmt "value.profile #%d, %a" site pp_reg r
+
+let pp fmt t =
+  pp_op fmt t.op;
+  if not (Dloc.is_none t.dloc) then Format.fprintf fmt "  ; %a" Dloc.pp t.dloc
+
+let pp_term fmt = function
+  | Ret v -> Format.fprintf fmt "ret %a" pp_operand v
+  | Jmp l -> Format.fprintf fmt "jmp bb%d" l
+  | Br (c, a, b) -> Format.fprintf fmt "br %a, bb%d, bb%d" pp_reg c a b
+  | Switch (v, cases, d) ->
+      Format.fprintf fmt "switch %a [" pp_operand v;
+      List.iter (fun (k, l) -> Format.fprintf fmt "%Ld->bb%d " k l) cases;
+      Format.fprintf fmt "] default bb%d" d
+  | Unreachable -> Format.pp_print_string fmt "unreachable"

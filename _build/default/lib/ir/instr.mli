@@ -1,0 +1,75 @@
+(** IR instructions and block terminators. *)
+
+open Types
+
+type probe_kind =
+  | Block_probe     (** counts executions of the enclosing basic block *)
+  | Callsite_probe  (** identifies a call site for inline-context tracking *)
+
+type probe = {
+  p_id : int;          (** 1-based id, unique within the owning function *)
+  p_kind : probe_kind;
+  p_func : Guid.t;     (** function the probe was inserted into *)
+}
+
+type opcode =
+  | Bin of binop * reg * operand * operand
+  | Cmp of cmpop * reg * operand * operand
+  | Select of reg * reg * operand * operand
+      (** [Select (dst, cond, a, b)]: dst := cond <> 0 ? a : b (if-conversion) *)
+  | Mov of reg * operand
+  | Load of reg * string * operand   (** dst := global_array[idx] *)
+  | Store of string * operand * operand  (** global_array[idx] := value *)
+  | Call of call
+  | Probe of probe              (** pseudo-probe intrinsic: no machine code *)
+  | Counter_inc of int          (** instrumentation counter (real machine code) *)
+  | Val_prof of int * reg       (** value-profile capture site (instrumentation) *)
+
+and call = {
+  c_ret : reg option;
+  c_callee : string;
+  c_args : operand list;
+  c_probe : int;  (** callsite probe id in the containing function; 0 = none *)
+}
+
+type t = {
+  mutable op : opcode;
+  mutable dloc : Dloc.t;
+}
+
+type term =
+  | Ret of operand
+  | Jmp of label
+  | Br of reg * label * label  (** non-zero condition takes the first target *)
+  | Switch of operand * (int64 * label) list * label  (** cases, default *)
+  | Unreachable
+
+val mk : opcode -> Dloc.t -> t
+val copy : t -> t
+
+val successors : term -> label list
+(** Successor labels in terminator order, without duplicates removed. *)
+
+val map_term_labels : (label -> label) -> term -> term
+
+val defs : opcode -> reg list
+(** Registers written by the instruction. *)
+
+val uses : opcode -> reg list
+(** Registers read by the instruction. *)
+
+val term_uses : term -> reg list
+
+val has_side_effect : opcode -> bool
+(** Stores, calls, probes and counters may not be removed by DCE. *)
+
+val is_probe : t -> bool
+
+val equal_opcode_modulo_dloc : opcode -> opcode -> bool
+(** Structural equality ignoring debug info — the notion of "identical code"
+    used by tail merging. Probes are compared by id, so blocks carrying
+    different probes never compare equal (the optimization-barrier effect of
+    pseudo-instrumentation). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> term -> unit

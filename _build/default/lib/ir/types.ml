@@ -1,0 +1,69 @@
+type reg = int
+type label = int
+
+type operand =
+  | Reg of reg
+  | Imm of int64
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+let eval_binop op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div -> if Int64.equal b 0L then 0L else Int64.div a b
+  | Rem -> if Int64.equal b 0L then 0L else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+
+let eval_cmpop op a b =
+  let r =
+    match op with
+    | Eq -> Int64.equal a b
+    | Ne -> not (Int64.equal a b)
+    | Lt -> Int64.compare a b < 0
+    | Le -> Int64.compare a b <= 0
+    | Gt -> Int64.compare a b > 0
+    | Ge -> Int64.compare a b >= 0
+  in
+  if r then 1L else 0L
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm i -> Format.fprintf fmt "%Ld" i
+
+let pp_binop fmt op =
+  Format.pp_print_string fmt
+    (match op with
+    | Add -> "add"
+    | Sub -> "sub"
+    | Mul -> "mul"
+    | Div -> "div"
+    | Rem -> "rem"
+    | And -> "and"
+    | Or -> "or"
+    | Xor -> "xor"
+    | Shl -> "shl"
+    | Shr -> "shr")
+
+let pp_cmpop fmt op =
+  Format.pp_print_string fmt
+    (match op with
+    | Eq -> "eq"
+    | Ne -> "ne"
+    | Lt -> "lt"
+    | Le -> "le"
+    | Gt -> "gt"
+    | Ge -> "ge")
+
+let equal_operand a b =
+  match (a, b) with
+  | Reg x, Reg y -> x = y
+  | Imm x, Imm y -> Int64.equal x y
+  | _ -> false

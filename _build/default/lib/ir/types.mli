@@ -1,0 +1,34 @@
+(** Scalar IR building blocks: virtual registers, operands, operators. *)
+
+type reg = int
+(** Virtual register index, local to a function. *)
+
+type label = int
+(** Basic-block identifier, local to a function. *)
+
+type operand =
+  | Reg of reg
+  | Imm of int64
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** signed division; division by zero yields 0 in the VM *)
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+val eval_binop : binop -> int64 -> int64 -> int64
+val eval_cmpop : cmpop -> int64 -> int64 -> int64
+(** Comparison result is 1L / 0L. *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_binop : Format.formatter -> binop -> unit
+val pp_cmpop : Format.formatter -> cmpop -> unit
+val equal_operand : operand -> operand -> bool

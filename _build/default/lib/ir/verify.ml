@@ -1,0 +1,77 @@
+open Types
+open Csspgo_support
+
+type error = {
+  func : string;
+  block : label option;
+  message : string;
+}
+
+let func ?program (f : Func.t) =
+  let errs = ref [] in
+  let err ?block fmt =
+    Format.kasprintf (fun message -> errs := { func = f.Func.name; block; message } :: !errs) fmt
+  in
+  if Func.find_block f f.Func.entry = None then err "entry bb%d missing" f.Func.entry;
+  let probe_ids = Hashtbl.create 16 in
+  let check_reg ~block r what =
+    if r < 0 || r >= f.Func.nregs then err ~block "%s register r%d out of range (nregs=%d)" what r f.Func.nregs
+  in
+  let check_operand ~block o what =
+    match o with Reg r -> check_reg ~block r what | Imm _ -> ()
+  in
+  Func.iter_blocks
+    (fun b ->
+      let bl = b.Block.id in
+      Vec.iter
+        (fun (i : Instr.t) ->
+          List.iter (fun r -> check_reg ~block:bl r "def") (Instr.defs i.Instr.op);
+          List.iter (fun r -> check_reg ~block:bl r "use") (Instr.uses i.Instr.op);
+          (match i.Instr.op with
+          | Instr.Probe p ->
+              (* Duplicate probe ids are legal (code duplication clones
+                 probes; correlation sums the copies), and probes of other
+                 functions appear after inlining. Only ids of native probes
+                 can be bounds-checked. *)
+              if
+                Guid.equal p.Instr.p_func f.Func.guid
+                && p.Instr.p_id >= f.Func.next_probe
+              then
+                err ~block:bl "probe #%d was never allocated (next=%d)" p.Instr.p_id
+                  f.Func.next_probe;
+              Hashtbl.replace probe_ids p.Instr.p_id ()
+          | Instr.Call { c_callee; _ } -> (
+              match program with
+              | Some p when Program.find_func p c_callee = None ->
+                  err ~block:bl "call to unknown function %s" c_callee
+              | _ -> ())
+          | _ -> ());
+          ignore (check_operand : block:label -> operand -> string -> unit))
+        b.Block.instrs;
+      List.iter (fun r -> check_reg ~block:bl r "terminator") (Instr.term_uses b.Block.term);
+      List.iter
+        (fun s ->
+          if Func.find_block f s = None then err ~block:bl "terminator targets missing bb%d" s)
+        (Block.successors b);
+      let n_succ = List.length (Block.successors b) in
+      if f.Func.annotated && Array.length b.Block.edge_counts <> n_succ then
+        err ~block:bl "edge_counts arity %d <> successors %d"
+          (Array.length b.Block.edge_counts) n_succ)
+    f;
+  List.rev !errs
+
+let program p =
+  List.concat_map (fun name -> func ~program:p (Program.func p name)) (Program.func_names p)
+
+let pp_error fmt e =
+  match e.block with
+  | Some b -> Format.fprintf fmt "%s/bb%d: %s" e.func b e.message
+  | None -> Format.fprintf fmt "%s: %s" e.func e.message
+
+let check_exn p =
+  match program p with
+  | [] -> ()
+  | errs ->
+      let msg = Format.asprintf "@[<v>IR verification failed:@ %a@]"
+          (Format.pp_print_list pp_error) errs in
+      failwith msg

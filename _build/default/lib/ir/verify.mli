@@ -1,0 +1,20 @@
+(** IR well-formedness checker, run between passes in tests and in the
+    pass manager's paranoid mode. *)
+
+type error = {
+  func : string;
+  block : Types.label option;
+  message : string;
+}
+
+val func : ?program:Program.t -> Func.t -> error list
+(** Checks: entry exists; all terminator targets exist; register indices are
+    within [nregs]; probes belong to this function with unique ids; calls
+    resolve (when [program] is given); annotated edge-count arrays match
+    successor arity. *)
+
+val program : Program.t -> error list
+val check_exn : Program.t -> unit
+(** Raises [Failure] with a readable report when any error is found. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Csspgo_ir Csspgo_support Hashtbl Int64 List Vec

@@ -1,0 +1,1 @@
+lib/opt/constfold.mli: Csspgo_ir

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Csspgo_ir Csspgo_support Hashtbl List Vec

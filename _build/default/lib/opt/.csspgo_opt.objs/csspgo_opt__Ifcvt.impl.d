@@ -1,0 +1,1 @@
+lib/opt/ifcvt.ml: Array Config Csspgo_ir Csspgo_support Hashtbl List Simplify Vec

@@ -1,0 +1,1 @@
+lib/opt/ifcvt.mli: Config Csspgo_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Config Csspgo_ir Csspgo_support Hashtbl Int64 List Option String Vec

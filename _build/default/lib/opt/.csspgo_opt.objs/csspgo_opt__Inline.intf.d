@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Config Csspgo_ir

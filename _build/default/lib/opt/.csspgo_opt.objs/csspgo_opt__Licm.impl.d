@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Array Csspgo_ir Csspgo_support Dce Hashtbl Int64 List Option Vec

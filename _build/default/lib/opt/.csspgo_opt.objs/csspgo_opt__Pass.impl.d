@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Config Constfold Csspgo_inference Csspgo_ir Dce Format Ifcvt Inline Licm List Logs Simplify Tail_dup Tail_merge Unroll

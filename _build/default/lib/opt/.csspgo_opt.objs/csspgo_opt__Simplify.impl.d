@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Array Config Csspgo_ir Csspgo_support Hashtbl Int64 List Option Vec

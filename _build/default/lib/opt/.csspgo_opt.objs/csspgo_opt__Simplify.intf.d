@@ -1,0 +1,1 @@
+lib/opt/simplify.mli: Config Csspgo_ir

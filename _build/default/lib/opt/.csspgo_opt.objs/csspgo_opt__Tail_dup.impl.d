@@ -1,0 +1,1 @@
+lib/opt/tail_dup.ml: Array Config Csspgo_ir Csspgo_support Hashtbl Int64 List Option Vec

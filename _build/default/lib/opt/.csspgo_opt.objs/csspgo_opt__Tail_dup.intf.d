@@ -1,0 +1,1 @@
+lib/opt/tail_dup.mli: Config Csspgo_ir

@@ -1,0 +1,1 @@
+lib/opt/tail_merge.ml: Array Csspgo_ir Int64 List

@@ -1,0 +1,1 @@
+lib/opt/tail_merge.mli: Csspgo_ir

@@ -1,0 +1,40 @@
+(** Optimization pipeline configuration.
+
+    The probe knobs implement the paper's "flexible framework" trade-off:
+    pseudo-probes always block code *merge* (their different ids make merged
+    blocks non-identical), while the fine-tuned default leaves if-conversion
+    and empty-block forwarding unblocked to keep run-time overhead near zero
+    (§III.A). Setting [probes_strong] makes probes full optimization
+    barriers — higher profile accuracy, higher overhead. *)
+
+type inline_mode =
+  | Inline_none
+  | Inline_static        (** size-heuristic only (no profile) *)
+  | Inline_profile       (** bottom-up, hotness-driven, intra-module *)
+
+type t = {
+  opt_level : int;              (** 0 = almost nothing, 2 = full pipeline *)
+  inline_mode : inline_mode;
+  inline_budget : int;          (** max estimated size growth per caller *)
+  inline_callee_limit : int;    (** max callee instr count considered *)
+  hot_callsite_count : int64;   (** hotness threshold for profile inlining *)
+  enable_tail_merge : bool;
+  enable_licm : bool;
+  enable_ifcvt : bool;
+  enable_tail_dup : bool;
+  enable_unroll : bool;
+  unroll_factor : int;
+  probes_strong : bool;         (** probes block if-convert & forwarding too *)
+  cross_module_inline : bool;   (** ThinLTO-style importing: inlining across
+                                    modules is allowed, but the *profile* of an
+                                    imported callee is still scaled, never
+                                    adjusted (§III.B) *)
+  verify_between_passes : bool;
+}
+
+val o0 : t
+val o2 : t
+(** Default server pipeline: profile-aware inlining, all passes on. *)
+
+val o2_nopgo : t
+(** Like [o2] but with static inlining only (profiling build baseline). *)

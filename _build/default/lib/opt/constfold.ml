@@ -1,0 +1,140 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module T = Ir.Types
+module I = Ir.Instr
+module B = Ir.Block
+
+type value = Const of int64 | Copy of T.reg
+
+let run (f : Ir.Func.t) =
+  let changed = ref false in
+  Ir.Func.iter_blocks
+    (fun b ->
+      let env : (T.reg, value) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate r =
+        Hashtbl.remove env r;
+        (* Drop copies that referenced [r]. *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> match v with Copy s when s = r -> k :: acc | _ -> acc)
+            env []
+        in
+        List.iter (Hashtbl.remove env) stale
+      in
+      let subst (o : T.operand) =
+        match o with
+        | T.Imm _ -> o
+        | T.Reg r -> (
+            match Hashtbl.find_opt env r with
+            | Some (Const v) ->
+                changed := true;
+                T.Imm v
+            | Some (Copy s) ->
+                changed := true;
+                T.Reg s
+            | None -> o)
+      in
+      Vec.iter
+        (fun (i : I.t) ->
+          let op' =
+            match i.I.op with
+            | I.Bin (op, d, a, b') -> I.Bin (op, d, subst a, subst b')
+            | I.Cmp (op, d, a, b') -> I.Cmp (op, d, subst a, subst b')
+            | I.Select (d, c, a, b') -> (
+                match Hashtbl.find_opt env c with
+                | Some (Const v) ->
+                    changed := true;
+                    I.Mov (d, subst (if Int64.equal v 0L then b' else a))
+                | Some (Copy s) -> I.Select (d, s, subst a, subst b')
+                | None -> I.Select (d, c, subst a, subst b'))
+            | I.Mov (d, a) -> I.Mov (d, subst a)
+            | I.Load (d, g, idx) -> I.Load (d, g, subst idx)
+            | I.Store (g, idx, v) -> I.Store (g, subst idx, subst v)
+            | I.Call c -> I.Call { c with I.c_args = List.map subst c.I.c_args }
+            | (I.Probe _ | I.Counter_inc _ | I.Val_prof _) as op -> op
+          in
+          (* Fold constants and algebraic identities. *)
+          let op' =
+            match op' with
+            | I.Bin (op, d, T.Imm a, T.Imm b') ->
+                changed := true;
+                I.Mov (d, T.Imm (T.eval_binop op a b'))
+            | I.Bin (T.Add, d, a, T.Imm 0L) | I.Bin (T.Sub, d, a, T.Imm 0L) ->
+                changed := true;
+                I.Mov (d, a)
+            | I.Bin (T.Mul, d, a, T.Imm 1L) ->
+                changed := true;
+                I.Mov (d, a)
+            | I.Bin (T.Mul, d, _, T.Imm 0L) ->
+                changed := true;
+                I.Mov (d, T.Imm 0L)
+            | I.Cmp (op, d, T.Imm a, T.Imm b') ->
+                changed := true;
+                I.Mov (d, T.Imm (T.eval_cmpop op a b'))
+            | op -> op
+          in
+          if op' <> i.I.op then begin
+            i.I.op <- op';
+            changed := true
+          end;
+          (* Update the local environment. *)
+          (match op' with
+          | I.Mov (d, T.Imm v) ->
+              invalidate d;
+              Hashtbl.replace env d (Const v)
+          | I.Mov (d, T.Reg s) when d <> s ->
+              invalidate d;
+              Hashtbl.replace env d (Copy s)
+          | _ -> List.iter invalidate (I.defs op'));
+          (* Calls can't clobber registers in this IR (no globals-in-regs),
+             so no extra invalidation is needed. *)
+          ())
+        b.B.instrs;
+      (* Fold the terminator when its register is a known constant. *)
+      (match b.B.term with
+      | I.Br (c, t1, t2) -> (
+          match Hashtbl.find_opt env c with
+          | Some (Const v) ->
+              let taken = if Int64.equal v 0L then t2 else t1 in
+              let count = Array.fold_left Int64.add 0L b.B.edge_counts in
+              B.set_term b (I.Jmp taken);
+              if Array.length b.B.edge_counts = 1 then b.B.edge_counts.(0) <- count;
+              changed := true
+          | Some (Copy s) ->
+              b.B.term <- I.Br (s, t1, t2);
+              changed := true
+          | None -> ())
+      | I.Switch (v, cases, default) -> (
+          let v' = match v with
+            | T.Reg r -> (
+                match Hashtbl.find_opt env r with
+                | Some (Const c) -> T.Imm c
+                | Some (Copy s) -> T.Reg s
+                | None -> v)
+            | T.Imm _ -> v
+          in
+          match v' with
+          | T.Imm c ->
+              let target =
+                match List.assoc_opt c cases with Some l -> l | None -> default
+              in
+              let count = Array.fold_left Int64.add 0L b.B.edge_counts in
+              B.set_term b (I.Jmp target);
+              if Array.length b.B.edge_counts = 1 then b.B.edge_counts.(0) <- count;
+              changed := true
+          | T.Reg _ when v' <> v ->
+              b.B.term <- I.Switch (v', cases, default);
+              changed := true
+          | _ -> ())
+      | I.Ret (T.Reg r) -> (
+          match Hashtbl.find_opt env r with
+          | Some (Const v) ->
+              b.B.term <- I.Ret (T.Imm v);
+              changed := true
+          | Some (Copy s) ->
+              b.B.term <- I.Ret (T.Reg s);
+              changed := true
+          | None -> ())
+      | _ -> ()))
+    f;
+  !changed

@@ -1,0 +1,6 @@
+(** Local constant folding, copy propagation and algebraic simplification.
+    Works block-at-a-time (no global dataflow); also folds conditional
+    branches and switches whose condition becomes a known constant, which
+    is the main source of CFG edges disappearing under optimization. *)
+
+val run : Csspgo_ir.Func.t -> bool

@@ -1,0 +1,92 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module I = Ir.Instr
+module B = Ir.Block
+
+let liveness (f : Ir.Func.t) =
+  let n = f.Ir.Func.nregs in
+  let live_in = Hashtbl.create 16 in
+  let live_out = Hashtbl.create 16 in
+  let labels = Ir.Func.labels f in
+  List.iter
+    (fun l ->
+      Hashtbl.replace live_in l (Array.make n false);
+      Hashtbl.replace live_out l (Array.make n false))
+    labels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let b = Ir.Func.block f l in
+        let out = Hashtbl.find live_out l in
+        (* out = union of successors' in *)
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt live_in s with
+            | Some sin ->
+                Array.iteri
+                  (fun r v ->
+                    if v && not out.(r) then begin
+                      out.(r) <- true;
+                      changed := true
+                    end)
+                  sin
+            | None -> ())
+          (B.successors b);
+        (* in = (out - defs) + uses, walking instructions backward *)
+        let cur = Array.copy out in
+        List.iter (fun r -> if r < n then cur.(r) <- true) (I.term_uses b.B.term);
+        for idx = Vec.length b.B.instrs - 1 downto 0 do
+          let i = Vec.get b.B.instrs idx in
+          List.iter (fun r -> if r < n then cur.(r) <- false) (I.defs i.I.op);
+          List.iter (fun r -> if r < n then cur.(r) <- true) (I.uses i.I.op)
+        done;
+        let inb = Hashtbl.find live_in l in
+        Array.iteri
+          (fun r v ->
+            if v && not inb.(r) then begin
+              inb.(r) <- true;
+              changed := true
+            end)
+          cur)
+      labels
+  done;
+  live_out
+
+let run (f : Ir.Func.t) =
+  let live_out = liveness f in
+  let changed = ref false in
+  Ir.Func.iter_blocks
+    (fun b ->
+      let live = Array.copy (Hashtbl.find live_out b.B.id) in
+      List.iter
+        (fun r -> if r < Array.length live then live.(r) <- true)
+        (I.term_uses b.B.term);
+      (* Walk backward, marking dead pure instructions. *)
+      let keep = Array.make (Vec.length b.B.instrs) true in
+      for idx = Vec.length b.B.instrs - 1 downto 0 do
+        let i = Vec.get b.B.instrs idx in
+        let defs = I.defs i.I.op in
+        let dead =
+          (not (I.has_side_effect i.I.op))
+          && defs <> []
+          && List.for_all (fun r -> r >= Array.length live || not live.(r)) defs
+        in
+        if dead then begin
+          keep.(idx) <- false;
+          changed := true
+        end
+        else begin
+          List.iter (fun r -> if r < Array.length live then live.(r) <- false) defs;
+          List.iter (fun r -> if r < Array.length live then live.(r) <- true) (I.uses i.I.op)
+        end
+      done;
+      if !changed then begin
+        let kept = Vec.create () in
+        Vec.iteri (fun idx i -> if keep.(idx) then Vec.push kept i) b.B.instrs;
+        Vec.clear b.B.instrs;
+        Vec.iter (Vec.push b.B.instrs) kept
+      end)
+    f;
+  !changed

@@ -1,0 +1,10 @@
+(** Dead code elimination driven by global (whole-function) liveness.
+    Removes pure instructions whose results are never used; side-effecting
+    instructions (stores, calls, probes, counters) are always kept —
+    pseudo-probes may not be dropped, as that would change their observed
+    frequency (§III.A). *)
+
+val liveness : Csspgo_ir.Func.t -> (Csspgo_ir.Types.label, bool array) Hashtbl.t
+(** Live-out sets per block, indexed by register. *)
+
+val run : Csspgo_ir.Func.t -> bool

@@ -1,0 +1,116 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module T = Ir.Types
+module I = Ir.Instr
+module B = Ir.Block
+
+(* An arm is convertible when it consists of at most [max_arm] pure ALU
+   instructions (plus pseudo-probes when allowed) and jumps to the join. *)
+let arm_ok ~allow_probes (b : B.t) =
+  let n_real = ref 0 in
+  let ok = ref true in
+  Vec.iter
+    (fun (i : I.t) ->
+      match i.I.op with
+      | I.Bin _ | I.Cmp _ | I.Select _ | I.Mov _ -> incr n_real
+      | I.Probe _ -> if not allow_probes then ok := false
+      | I.Load _ | I.Store _ | I.Call _ | I.Counter_inc _ | I.Val_prof _ -> ok := false)
+    b.B.instrs;
+  !ok && !n_real <= 3
+
+(* Clone an arm's computation into [dst], redirecting defs to fresh temps.
+   Returns the final value map: original reg -> operand holding its arm value. *)
+let splice_arm (f : Ir.Func.t) (dst : B.t) (arm : B.t) =
+  let remap : (T.reg, T.reg) Hashtbl.t = Hashtbl.create 4 in
+  let subst (o : T.operand) =
+    match o with
+    | T.Reg r -> ( match Hashtbl.find_opt remap r with Some t -> T.Reg t | None -> o)
+    | T.Imm _ -> o
+  in
+  Vec.iter
+    (fun (i : I.t) ->
+      match i.I.op with
+      | I.Probe _ -> Vec.push dst.B.instrs (I.copy i)
+      | I.Bin (op, d, a, b') ->
+          let t = Ir.Func.fresh_reg f in
+          Vec.push dst.B.instrs (I.mk (I.Bin (op, t, subst a, subst b')) i.I.dloc);
+          Hashtbl.replace remap d t
+      | I.Cmp (op, d, a, b') ->
+          let t = Ir.Func.fresh_reg f in
+          Vec.push dst.B.instrs (I.mk (I.Cmp (op, t, subst a, subst b')) i.I.dloc);
+          Hashtbl.replace remap d t
+      | I.Select (d, c, a, b') ->
+          let t = Ir.Func.fresh_reg f in
+          let c' = match subst (T.Reg c) with T.Reg r -> r | T.Imm _ -> c in
+          Vec.push dst.B.instrs (I.mk (I.Select (t, c', subst a, subst b')) i.I.dloc);
+          Hashtbl.replace remap d t
+      | I.Mov (d, a) ->
+          let t = Ir.Func.fresh_reg f in
+          Vec.push dst.B.instrs (I.mk (I.Mov (t, subst a)) i.I.dloc);
+          Hashtbl.replace remap d t
+      | I.Load _ | I.Store _ | I.Call _ | I.Counter_inc _ | I.Val_prof _ -> assert false)
+    arm.B.instrs;
+  remap
+
+let written_regs (b : B.t) =
+  let out = ref [] in
+  Vec.iter
+    (fun (i : I.t) ->
+      List.iter (fun r -> if not (List.mem r !out) then out := r :: !out) (I.defs i.I.op))
+    b.B.instrs;
+  List.rev !out
+
+let try_convert ~(config : Config.t) (f : Ir.Func.t) preds (a : B.t) =
+  match a.B.term with
+  | I.Br (c, t_l, f_l) when t_l <> f_l -> (
+      let allow_probes = not config.Config.probes_strong in
+      let single_pred l =
+        match Hashtbl.find_opt preds l with Some [ _ ] -> true | _ -> false
+      in
+      let bt = Ir.Func.block f t_l and bf = Ir.Func.block f f_l in
+      let join =
+        match (bt.B.term, bf.B.term) with
+        | I.Jmp jt, I.Jmp jf when jt = jf && jt <> t_l && jt <> f_l -> Some jt
+        | _ -> None
+      in
+      match join with
+      | Some j
+        when single_pred t_l && single_pred f_l
+             && arm_ok ~allow_probes bt && arm_ok ~allow_probes bf ->
+          let then_map = splice_arm f a bt in
+          let else_map = splice_arm f a bf in
+          let writes =
+            List.sort_uniq compare (written_regs bt @ written_regs bf)
+          in
+          (* The selects overwrite registers; protect the condition if it is
+             among them. *)
+          let c =
+            if List.mem c writes then begin
+              let tmp = Ir.Func.fresh_reg f in
+              Vec.push a.B.instrs (I.mk (I.Mov (tmp, T.Reg c)) (B.first_dloc a));
+              tmp
+            end
+            else c
+          in
+          List.iter
+            (fun r ->
+              let tv =
+                match Hashtbl.find_opt then_map r with Some t -> T.Reg t | None -> T.Reg r
+              in
+              let ev =
+                match Hashtbl.find_opt else_map r with Some t -> T.Reg t | None -> T.Reg r
+              in
+              Vec.push a.B.instrs (I.mk (I.Select (r, c, tv, ev)) (B.first_dloc a)))
+            writes;
+          B.set_term a (I.Jmp j);
+          if Array.length a.B.edge_counts = 1 then a.B.edge_counts.(0) <- a.B.count;
+          true
+      | _ -> false)
+  | _ -> false
+
+let run ~config (f : Ir.Func.t) =
+  let preds = Ir.Cfg.preds f in
+  let changed = ref false in
+  Ir.Func.iter_blocks (fun a -> if try_convert ~config f preds a then changed := true) f;
+  if !changed then ignore (Simplify.run ~config f);
+  !changed

@@ -1,0 +1,14 @@
+(** If-conversion: turns small branch diamonds into straight-line code with
+    [Select] instructions, eliminating a conditional branch. Arms are capped
+    at three real instructions, so speculatively executing both sides costs
+    at most a couple of cycles against the saved branch (and its potential
+    misprediction) — cheap enough to convert unconditionally.
+
+    Blocks containing instrumentation counters are never converted (the
+    counter must stay conditional — one way traditional instrumentation
+    inhibits optimization). Pseudo-probes block conversion only under
+    [probes_strong]; the default fine-tuned mode hoists the arm probes into
+    the head block, trading a little context accuracy for zero run-time
+    overhead, exactly as §III.A describes for LLVM's if-convert tuning. *)
+
+val run : config:Config.t -> Csspgo_ir.Func.t -> bool

@@ -1,0 +1,167 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module T = Ir.Types
+module I = Ir.Instr
+module B = Ir.Block
+
+let run (f : Ir.Func.t) =
+  let changed = ref false in
+  let loops = Ir.Cfg.natural_loops f in
+  List.iter
+    (fun (loop : Ir.Cfg.loop) ->
+      let in_loop l = Hashtbl.mem loop.Ir.Cfg.body l in
+      (* Registers defined anywhere in the loop, and loop memory behaviour. *)
+      let defined_in_loop = Hashtbl.create 32 in
+      let def_count = Hashtbl.create 32 in
+      let stored_arrays = Hashtbl.create 4 in
+      let has_call = ref false in
+      Hashtbl.iter
+        (fun l () ->
+          match Ir.Func.find_block f l with
+          | None -> ()
+          | Some b ->
+              Vec.iter
+                (fun (i : I.t) ->
+                  List.iter
+                    (fun r ->
+                      Hashtbl.replace defined_in_loop r ();
+                      Hashtbl.replace def_count r
+                        (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0))
+                    (I.defs i.I.op);
+                  match i.I.op with
+                  | I.Store (g, _, _) -> Hashtbl.replace stored_arrays g ()
+                  | I.Call _ -> has_call := true
+                  | _ -> ())
+                b.B.instrs)
+        loop.Ir.Cfg.body;
+      (* Live registers at loop boundaries, to keep non-SSA hoisting sound. *)
+      let live_out = Dce.liveness f in
+      let live_into_header =
+        (* regs used in the loop before (or without) being defined: approximate
+           with live-out of all predecessors outside the loop. *)
+        let acc = Array.make f.Ir.Func.nregs false in
+        let preds = Ir.Cfg.preds f in
+        List.iter
+          (fun p ->
+            if not (in_loop p) then
+              match Hashtbl.find_opt live_out p with
+              | Some a -> Array.iteri (fun r v -> if v then acc.(r) <- true) a
+              | None -> ())
+          (Option.value (Hashtbl.find_opt preds loop.Ir.Cfg.header) ~default:[]);
+        acc
+      in
+      let live_after_exit =
+        let acc = Array.make f.Ir.Func.nregs false in
+        Hashtbl.iter
+          (fun l () ->
+            match Ir.Func.find_block f l with
+            | None -> ()
+            | Some b ->
+                List.iter
+                  (fun s ->
+                    if not (in_loop s) then
+                      (* live-in of s ≈ live-out of this loop block minus... use
+                         live-out of the exiting block as a safe over-approx. *)
+                      match Hashtbl.find_opt live_out l with
+                      | Some a -> Array.iteri (fun r v -> if v then acc.(r) <- true) a
+                      | None -> ())
+                  (B.successors b))
+          loop.Ir.Cfg.body;
+        acc
+      in
+      let invariant_reg r = not (Hashtbl.mem defined_in_loop r) in
+      let invariant_operand = function T.Imm _ -> true | T.Reg r -> invariant_reg r in
+      let preheader = ref None in
+      let get_preheader () =
+        match !preheader with
+        | Some p -> p
+        | None ->
+            let p = Ir.Func.fresh_block f in
+            B.set_term p (I.Jmp loop.Ir.Cfg.header);
+            (* Retarget all loop-external edges into the header through p. *)
+            Ir.Func.iter_blocks
+              (fun blk ->
+                if blk.B.id <> p.B.id && not (in_loop blk.B.id) then
+                  blk.B.term <-
+                    I.map_term_labels
+                      (fun l -> if l = loop.Ir.Cfg.header then p.B.id else l)
+                      blk.B.term)
+              f;
+            if f.Ir.Func.entry = loop.Ir.Cfg.header then f.Ir.Func.entry <- p.B.id;
+            let header_b = Ir.Func.block f loop.Ir.Cfg.header in
+            let latch_counts =
+              List.fold_left
+                (fun acc latch ->
+                  match Ir.Func.find_block f latch with
+                  | Some lb -> (
+                      match Ir.Cfg.edge_index lb loop.Ir.Cfg.header with
+                      | Some i when i < Array.length lb.B.edge_counts ->
+                          Int64.add acc lb.B.edge_counts.(i)
+                      | _ -> acc)
+                  | None -> acc)
+                0L loop.Ir.Cfg.latches
+            in
+            p.B.count <- Int64.max 0L (Int64.sub header_b.B.count latch_counts);
+            if Array.length p.B.edge_counts = 1 then p.B.edge_counts.(0) <- p.B.count;
+            preheader := Some p;
+            p
+      in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        Hashtbl.iter
+          (fun l () ->
+            match Ir.Func.find_block f l with
+            | None -> ()
+            | Some b ->
+                let hoisted = ref [] in
+                Vec.iteri
+                  (fun idx (i : I.t) ->
+                    let hoistable =
+                      match i.I.op with
+                      | I.Bin (_, d, a, b') ->
+                          invariant_operand a && invariant_operand b'
+                          && Hashtbl.find_opt def_count d = Some 1
+                          && (d >= Array.length live_into_header || not live_into_header.(d))
+                          && (d >= Array.length live_after_exit || not live_after_exit.(d))
+                      | I.Load (d, g, idx_op) ->
+                          (not (Hashtbl.mem stored_arrays g))
+                          && (not !has_call)
+                          && invariant_operand idx_op
+                          && Hashtbl.find_opt def_count d = Some 1
+                          && (d >= Array.length live_into_header || not live_into_header.(d))
+                          && (d >= Array.length live_after_exit || not live_after_exit.(d))
+                      | _ -> false
+                    in
+                    if hoistable then hoisted := idx :: !hoisted)
+                  b.B.instrs;
+                if !hoisted <> [] then begin
+                  let p = get_preheader () in
+                  (* Move in original order; [hoisted] is collected reversed. *)
+                  let idxs = List.rev !hoisted in
+                  let moved = List.map (Vec.get b.B.instrs) idxs in
+                  let idx_set = Hashtbl.create 4 in
+                  List.iter (fun i -> Hashtbl.replace idx_set i ()) idxs;
+                  let kept = Vec.create () in
+                  Vec.iteri
+                    (fun idx i -> if not (Hashtbl.mem idx_set idx) then Vec.push kept i)
+                    b.B.instrs;
+                  Vec.clear b.B.instrs;
+                  Vec.iter (Vec.push b.B.instrs) kept;
+                  List.iter
+                    (fun (i : I.t) ->
+                      Vec.push p.B.instrs i;
+                      (* The moved def is now outside the loop. *)
+                      List.iter
+                        (fun r ->
+                          Hashtbl.remove defined_in_loop r;
+                          Hashtbl.remove def_count r)
+                        (I.defs i.I.op))
+                    moved;
+                  changed := true;
+                  progress := true
+                end)
+          loop.Ir.Cfg.body
+      done)
+    loops;
+  !changed

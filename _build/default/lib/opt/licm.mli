@@ -1,0 +1,10 @@
+(** Loop-invariant code motion. Hoists pure computations (and loads from
+    arrays not written inside the loop) into a dedicated preheader.
+
+    Hoisted instructions keep their original debug location — the *code
+    motion* hazard of §III.A: the instruction now executes with preheader
+    frequency while its line claims loop frequency, so DWARF correlation's
+    max-heuristic misestimates whenever every instruction of a line is
+    hoisted. Pseudo-probes are unaffected (probes are never hoisted). *)
+
+val run : Csspgo_ir.Func.t -> bool

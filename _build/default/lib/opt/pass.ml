@@ -1,0 +1,60 @@
+module Ir = Csspgo_ir
+
+let src = Logs.Src.create "csspgo.opt" ~doc:"optimization pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let verify_if ~(config : Config.t) p stage =
+  if config.Config.verify_between_passes then
+    match Ir.Verify.program p with
+    | [] -> ()
+    | errs ->
+        let msg =
+          Format.asprintf "@[<v>after %s:@ %a@]" stage
+            (Format.pp_print_list Ir.Verify.pp_error)
+            errs
+        in
+        failwith msg
+
+let optimize_func ~(config : Config.t) (f : Ir.Func.t) =
+  if config.Config.opt_level >= 1 then begin
+    ignore (Constfold.run f);
+    ignore (Simplify.run ~config f)
+  end;
+  if config.Config.opt_level >= 2 then begin
+    if config.Config.enable_licm then ignore (Licm.run f);
+    if config.Config.enable_unroll then ignore (Unroll.run ~config f);
+    (* If-conversion must precede tail duplication: duplicating a join block
+       into the arms destroys the diamond pattern. *)
+    if config.Config.enable_ifcvt then ignore (Ifcvt.run ~config f);
+    if config.Config.enable_tail_dup then ignore (Tail_dup.run ~config f);
+    ignore (Constfold.run f);
+    ignore (Simplify.run ~config f);
+    if config.Config.enable_tail_merge then ignore (Tail_merge.run f);
+    ignore (Dce.run f);
+    ignore (Simplify.run ~config f);
+    (* Passes maintain counts only approximately; re-infer a consistent
+       profile for codegen (edge flows re-derived from block counts). *)
+    if f.Ir.Func.annotated then Csspgo_inference.Infer.infer_func f
+  end
+
+let optimize ~(config : Config.t) (p : Ir.Program.t) =
+  (* Even at -O0 the lowering junk blocks must go. *)
+  Ir.Program.iter_funcs (fun f -> ignore (Simplify.run ~config f)) p;
+  verify_if ~config p "initial simplify";
+  if config.Config.opt_level >= 1 then begin
+    Ir.Program.iter_funcs
+      (fun f ->
+        ignore (Constfold.run f);
+        ignore (Simplify.run ~config f))
+      p;
+    verify_if ~config p "early cleanup";
+    if Inline.run ~config p then begin
+      let dropped = Inline.drop_dead_functions p in
+      if dropped <> [] then
+        Log.debug (fun m -> m "dropped %d fully-inlined functions" (List.length dropped))
+    end;
+    verify_if ~config p "inlining";
+    Ir.Program.iter_funcs (optimize_func ~config) p;
+    verify_if ~config p "function pipeline"
+  end

@@ -1,0 +1,11 @@
+(** Pass manager: runs the optimization pipeline over a whole program.
+    The pipeline mirrors a -O2 compiler: local cleanup, inlining, loop
+    optimizations, if-conversion, tail merging, DCE. *)
+
+val optimize_func : config:Config.t -> Csspgo_ir.Func.t -> unit
+(** The per-function (post-inline) part of the pipeline. *)
+
+val optimize : config:Config.t -> Csspgo_ir.Program.t -> unit
+(** Full pipeline, including inlining and dead-function elimination.
+    Raises [Failure] if [verify_between_passes] is set and a pass breaks
+    the IR. *)

@@ -1,0 +1,126 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module I = Ir.Instr
+module B = Ir.Block
+
+let remove_unreachable (f : Ir.Func.t) =
+  let reach = Ir.Cfg.reachable f in
+  let dead = List.filter (fun l -> not (Hashtbl.mem reach l)) (Ir.Func.labels f) in
+  List.iter (Ir.Func.remove_block f) dead;
+  dead <> []
+
+(* A block is forwardable when it is a pure [Jmp] trampoline. Blocks holding
+   probes are only forwardable with a single predecessor (frequency is then
+   provably unchanged, and we sink the probes into the target). *)
+let try_forward (f : Ir.Func.t) ~(config : Config.t) =
+  let preds = Ir.Cfg.preds f in
+  let changed = ref false in
+  let pred_count l = List.length (Option.value (Hashtbl.find_opt preds l) ~default:[]) in
+  Ir.Func.iter_blocks
+    (fun b ->
+      match b.B.term with
+      | I.Jmp target when b.B.id <> f.Ir.Func.entry && target <> b.B.id ->
+          let only_probes = Vec.for_all I.is_probe b.B.instrs in
+          let n_instrs = Vec.length b.B.instrs in
+          let forwardable =
+            (n_instrs = 0)
+            || (only_probes && (not config.Config.probes_strong) && pred_count b.B.id = 1)
+          in
+          if forwardable then begin
+            (* Sink surviving probes into the target block's front. *)
+            if n_instrs > 0 then begin
+              let tgt = Ir.Func.block f target in
+              let merged = Vec.create () in
+              Vec.iter (Vec.push merged) b.B.instrs;
+              Vec.iter (Vec.push merged) tgt.B.instrs;
+              Vec.clear tgt.B.instrs;
+              Vec.iter (Vec.push tgt.B.instrs) merged
+            end;
+            (* Retarget all predecessors to the destination. *)
+            Ir.Func.iter_blocks
+              (fun p ->
+                if p.B.id <> b.B.id then begin
+                  let new_term =
+                    I.map_term_labels (fun l -> if l = b.B.id then target else l) p.B.term
+                  in
+                  if new_term <> p.B.term then begin
+                    p.B.term <- new_term;
+                    changed := true
+                  end
+                end)
+              f;
+            if f.Ir.Func.entry = b.B.id then f.Ir.Func.entry <- target
+          end
+      | _ -> ())
+    f;
+  if !changed then ignore (remove_unreachable f);
+  !changed
+
+(* Merge A -> B when A's only successor is B and B's only predecessor is A. *)
+let try_merge_chains (f : Ir.Func.t) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let preds = Ir.Cfg.preds f in
+    let candidate =
+      List.find_map
+        (fun l ->
+          match Ir.Func.find_block f l with
+          | Some a -> (
+              match a.B.term with
+              | I.Jmp b_l when b_l <> l -> (
+                  match Hashtbl.find_opt preds b_l with
+                  | Some [ p ] when p = l && b_l <> f.Ir.Func.entry -> Some (a, b_l)
+                  | _ -> None)
+              | _ -> None)
+          | None -> None)
+        (Ir.Func.labels f)
+    in
+    match candidate with
+    | Some (a, b_l) ->
+        let b = Ir.Func.block f b_l in
+        Vec.iter (Vec.push a.B.instrs) b.B.instrs;
+        a.B.term <- b.B.term;
+        a.B.count <- (if Int64.compare a.B.count b.B.count > 0 then a.B.count else b.B.count);
+        a.B.edge_counts <- Array.copy b.B.edge_counts;
+        Ir.Func.remove_block f b_l;
+        changed := true;
+        continue_ := true
+    | None -> ()
+  done;
+  !changed
+
+(* Fold conditional branches whose targets coincide. *)
+let fold_trivial_branches (f : Ir.Func.t) =
+  let changed = ref false in
+  Ir.Func.iter_blocks
+    (fun b ->
+      match b.B.term with
+      | I.Br (_, t1, t2) when t1 = t2 ->
+          let count = Array.fold_left Int64.add 0L b.B.edge_counts in
+          B.set_term b (I.Jmp t1);
+          if Array.length b.B.edge_counts = 1 then b.B.edge_counts.(0) <- count;
+          changed := true
+      | I.Switch (_, cases, default) when List.for_all (fun (_, l) -> l = default) cases ->
+          let count = Array.fold_left Int64.add 0L b.B.edge_counts in
+          B.set_term b (I.Jmp default);
+          if Array.length b.B.edge_counts = 1 then b.B.edge_counts.(0) <- count;
+          changed := true
+      | _ -> ())
+    f;
+  !changed
+
+let run ~config (f : Ir.Func.t) =
+  let any = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = remove_unreachable f in
+    let c2 = fold_trivial_branches f in
+    let c3 = try_forward f ~config in
+    let c4 = try_merge_chains f in
+    let changed = c1 || c2 || c3 || c4 in
+    any := !any || changed;
+    continue_ := changed
+  done;
+  !any

@@ -1,0 +1,13 @@
+(** CFG cleanup: removes unreachable blocks, forwards empty jump-only blocks,
+    and merges single-successor/single-predecessor chains. Profile counts are
+    preserved (a merged chain keeps the max of the two counts; forwarding
+    re-routes edge counts).
+
+    Probe semantics: a block whose only instructions are pseudo-probes is
+    *not* empty — forwarding it would change the probes' execution frequency —
+    so it is kept unless the probe can be proven frequency-preserving (single
+    predecessor). This is one of the small costs of pseudo-instrumentation
+    (§III.A). *)
+
+val run : config:Config.t -> Csspgo_ir.Func.t -> bool
+(** Returns true when anything changed. Runs to a fixpoint internally. *)

@@ -1,0 +1,46 @@
+module Ir = Csspgo_ir
+module B = Ir.Block
+module I = Ir.Instr
+
+let merge_once (f : Ir.Func.t) =
+  let labels = Ir.Func.labels f in
+  (* Find the first mergeable pair (deterministic: ascending label order). *)
+  let pair =
+    List.find_map
+      (fun l1 ->
+        match Ir.Func.find_block f l1 with
+        | None -> None
+        | Some b1 ->
+            List.find_map
+              (fun l2 ->
+                if l2 <= l1 || l2 = f.Ir.Func.entry then None
+                else
+                  match Ir.Func.find_block f l2 with
+                  | Some b2 when B.body_equal b1 b2 -> Some (b1, b2)
+                  | _ -> None)
+              labels)
+      labels
+  in
+  match pair with
+  | None -> false
+  | Some (keep, drop) ->
+      keep.B.count <- Int64.add keep.B.count drop.B.count;
+      if Array.length keep.B.edge_counts = Array.length drop.B.edge_counts then
+        Array.iteri
+          (fun i c -> keep.B.edge_counts.(i) <- Int64.add keep.B.edge_counts.(i) c)
+          drop.B.edge_counts;
+      Ir.Func.iter_blocks
+        (fun p ->
+          p.B.term <-
+            I.map_term_labels (fun l -> if l = drop.B.id then keep.B.id else l) p.B.term)
+        f;
+      if f.Ir.Func.entry = drop.B.id then f.Ir.Func.entry <- keep.B.id;
+      Ir.Func.remove_block f drop.B.id;
+      true
+
+let run f =
+  let changed = ref false in
+  while merge_once f do
+    changed := true
+  done;
+  !changed

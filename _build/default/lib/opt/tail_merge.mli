@@ -1,0 +1,11 @@
+(** Tail merging: blocks with identical instruction sequences (modulo debug
+    locations) and identical terminators are collapsed into one, and all
+    predecessors re-routed.
+
+    This is the canonical *code merge* hazard of §III.A: the surviving block
+    keeps only one set of debug locations, so DWARF-based correlation
+    attributes the combined count to one source location. Pseudo-probes
+    block the merge structurally — probe ids differ between the candidate
+    blocks, so their bodies never compare equal. *)
+
+val run : Csspgo_ir.Func.t -> bool

@@ -1,0 +1,1 @@
+lib/profgen/dwarf_corr.ml: Array Csspgo_codegen Csspgo_ir Csspgo_profile Format Hashtbl Int64 Ranges

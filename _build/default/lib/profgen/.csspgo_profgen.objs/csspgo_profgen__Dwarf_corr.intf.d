@@ -1,0 +1,1 @@
+lib/profgen/dwarf_corr.mli: Csspgo_codegen Csspgo_ir Csspgo_profile Csspgo_vm

@@ -1,0 +1,1 @@
+lib/profgen/ranges.ml: Array Csspgo_codegen Csspgo_vm Hashtbl Int64 List Option

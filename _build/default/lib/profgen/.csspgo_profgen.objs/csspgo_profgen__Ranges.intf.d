@@ -1,0 +1,1 @@
+lib/profgen/ranges.mli: Csspgo_codegen Csspgo_vm Hashtbl

@@ -1,0 +1,60 @@
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module P = Csspgo_profile
+
+let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
+  let agg = Ranges.aggregate samples in
+  let totals = Ranges.addr_totals b agg in
+  let prof = P.Line_profile.create () in
+  let name_for guid =
+    match name_of guid with
+    | Some n -> n
+    | None -> (
+        match Mach.entry_addr b guid with
+        | Some a -> (
+            match Mach.func_index_of_addr b a with
+            | Some i -> b.Mach.funcs.(i).Mach.bf_name
+            | None -> Format.asprintf "%a" Ir.Guid.pp guid)
+        | None -> Format.asprintf "%a" Ir.Guid.pp guid)
+  in
+  (* Line counts: max across instructions sharing a location. *)
+  Hashtbl.iter
+    (fun addr total ->
+      match Mach.inst_at b addr with
+      | None -> ()
+      | Some inst ->
+          let d = inst.Mach.i_dloc in
+          if not (Ir.Dloc.is_none d) then begin
+            let fe = P.Line_profile.get_or_add prof d.Ir.Dloc.origin ~name:(name_for d.Ir.Dloc.origin) in
+            P.Line_profile.set_line_max fe (d.Ir.Dloc.line, d.Ir.Dloc.disc) total
+          end)
+    totals;
+  (* Callsite targets, from the execution totals of call instructions. *)
+  Array.iter
+    (fun (inst : Mach.inst) ->
+      match inst.Mach.i_op with
+      | Mach.MCall c | Mach.MTail_call c -> (
+          match Hashtbl.find_opt totals inst.Mach.i_addr with
+          | Some total when Int64.compare total 0L > 0 ->
+              let d = inst.Mach.i_dloc in
+              if not (Ir.Dloc.is_none d) then begin
+                let fe =
+                  P.Line_profile.get_or_add prof d.Ir.Dloc.origin
+                    ~name:(name_for d.Ir.Dloc.origin)
+                in
+                P.Line_profile.add_call fe (d.Ir.Dloc.line, d.Ir.Dloc.disc) c.Mach.m_callee total
+              end
+          | _ -> ())
+      | _ -> ())
+    b.Mach.insts;
+  (* Head counts: LBR branches landing on a function entry. *)
+  Hashtbl.iter
+    (fun (_, tgt) n ->
+      match Mach.func_index_of_addr b tgt with
+      | Some i when b.Mach.funcs.(i).Mach.bf_start = tgt ->
+          let f = b.Mach.funcs.(i) in
+          let fe = P.Line_profile.get_or_add prof f.Mach.bf_guid ~name:f.Mach.bf_name in
+          fe.P.Line_profile.fe_head <- Int64.add fe.P.Line_profile.fe_head n
+      | _ -> ())
+    agg.Ranges.branch_counts;
+  prof

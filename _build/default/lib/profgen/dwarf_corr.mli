@@ -1,0 +1,19 @@
+(** DWARF-based profile correlation — the AutoFDO baseline (§II.A).
+
+    Per-address execution totals are attributed to the (line, discriminator)
+    of the innermost debug-info frame, taking the *maximum* across the
+    instructions compiled from the same location (AutoFDO's heuristic for
+    one-to-many code expansion). This is exactly where the §III.A hazards
+    bite: code *merge* leaves one location claiming two blocks' counts, code
+    *duplication* makes the max under-report the true sum, and code *motion*
+    leaves a hot line anchored to an instruction that now runs cold.
+
+    Call-site target counts and function head counts come from LBR branch
+    records. Inline instances are merged into their origin function's flat
+    profile (AutoFDO without inline replay; see DESIGN.md). *)
+
+val correlate :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  Csspgo_codegen.Mach.binary ->
+  Csspgo_vm.Machine.sample list ->
+  Csspgo_profile.Line_profile.t

@@ -1,0 +1,51 @@
+module Mach = Csspgo_codegen.Mach
+module Vm = Csspgo_vm
+
+type agg = {
+  range_counts : (int * int, int64) Hashtbl.t;
+  branch_counts : (int * int, int64) Hashtbl.t;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (Int64.add n (Option.value (Hashtbl.find_opt tbl key) ~default:0L))
+
+let aggregate samples =
+  let agg = { range_counts = Hashtbl.create 1024; branch_counts = Hashtbl.create 1024 } in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      let lbr = s.Vm.Machine.s_lbr in
+      Array.iter (fun (src, tgt) -> bump agg.branch_counts (src, tgt) 1L) lbr;
+      for i = 1 to Array.length lbr - 1 do
+        let _, prev_tgt = lbr.(i - 1) in
+        let cur_src, _ = lbr.(i) in
+        (* A sane range stays within one linear run; discard wrap-arounds
+           caused by LBR entries recorded around program shutdown. *)
+        if prev_tgt <> 0 && cur_src >= prev_tgt then
+          bump agg.range_counts (prev_tgt, cur_src) 1L
+      done)
+    samples;
+  agg
+
+let iter_range_insts (b : Mach.binary) (lo, hi) f =
+  let rec go addr steps =
+    if steps > 100_000 then ()
+    else
+      match Mach.inst_at b addr with
+      | None -> ()
+      | Some inst ->
+          if inst.Mach.i_addr <= hi then begin
+            f inst;
+            match Mach.next_addr b addr with
+            | Some next when next > addr -> go next (steps + 1)
+            | _ -> ()
+          end
+  in
+  go lo 0
+
+let addr_totals b agg =
+  let totals = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun range n ->
+      iter_range_insts b range (fun inst -> bump totals inst.Mach.i_addr n))
+    agg.range_counts;
+  totals

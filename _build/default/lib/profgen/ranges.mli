@@ -1,0 +1,20 @@
+(** LBR sample aggregation: consecutive LBR entries bound linear execution
+    ranges ([prev.target, cur.source]), which give basic-block-level counts;
+    the entries themselves give edge (branch) counts. This is the common
+    front half of both AutoFDO and CSSPGO profile generation. *)
+
+module Mach = Csspgo_codegen.Mach
+
+type agg = {
+  range_counts : (int * int, int64) Hashtbl.t;  (** [begin, end] inclusive *)
+  branch_counts : (int * int, int64) Hashtbl.t; (** (source, target) *)
+}
+
+val aggregate : Csspgo_vm.Machine.sample list -> agg
+
+val addr_totals : Mach.binary -> agg -> (int, int64) Hashtbl.t
+(** Expand ranges to per-instruction-address execution totals. *)
+
+val iter_range_insts : Mach.binary -> int * int -> (Mach.inst -> unit) -> unit
+(** Walk the instructions covered by one range; tolerates ranges whose
+    endpoints fall outside the text map (stops walking). *)

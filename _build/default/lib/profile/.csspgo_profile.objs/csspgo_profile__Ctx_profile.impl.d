@@ -1,0 +1,1 @@
+lib/profile/ctx_profile.ml: Csspgo_ir Format Hashtbl Int64 List Probe_profile

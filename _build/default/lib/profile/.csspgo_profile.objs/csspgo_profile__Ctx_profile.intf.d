@@ -1,0 +1,1 @@
+lib/profile/ctx_profile.mli: Csspgo_ir Format Hashtbl Probe_profile

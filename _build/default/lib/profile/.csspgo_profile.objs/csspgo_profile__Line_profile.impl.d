@@ -1,0 +1,1 @@
+lib/profile/line_profile.ml: Csspgo_ir Format Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/profile/line_profile.mli: Csspgo_ir Format Hashtbl

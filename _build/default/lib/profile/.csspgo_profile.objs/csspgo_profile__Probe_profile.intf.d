@@ -1,0 +1,1 @@
+lib/profile/probe_profile.mli: Csspgo_ir Format Hashtbl

@@ -1,0 +1,1 @@
+lib/profile/text_io.ml: Csspgo_ir Ctx_profile Format Hashtbl Int64 Line_profile List Option Printf Probe_profile String

@@ -1,0 +1,1 @@
+lib/profile/text_io.mli: Ctx_profile Format Line_profile Probe_profile

@@ -1,0 +1,78 @@
+module Ir = Csspgo_ir
+
+type fentry = {
+  mutable fe_total : int64;
+  mutable fe_head : int64;
+  fe_probes : (int, int64) Hashtbl.t;
+  fe_calls : (int, (Ir.Guid.t, int64) Hashtbl.t) Hashtbl.t;
+  mutable fe_checksum : int64;
+}
+
+type t = {
+  funcs : fentry Ir.Guid.Tbl.t;
+  names : string Ir.Guid.Tbl.t;
+}
+
+let create () = { funcs = Ir.Guid.Tbl.create 64; names = Ir.Guid.Tbl.create 64 }
+
+let get t guid = Ir.Guid.Tbl.find_opt t.funcs guid
+
+let get_or_add t guid ~name =
+  match Ir.Guid.Tbl.find_opt t.funcs guid with
+  | Some fe -> fe
+  | None ->
+      let fe =
+        {
+          fe_total = 0L;
+          fe_head = 0L;
+          fe_probes = Hashtbl.create 32;
+          fe_calls = Hashtbl.create 8;
+          fe_checksum = 0L;
+        }
+      in
+      Ir.Guid.Tbl.replace t.funcs guid fe;
+      Ir.Guid.Tbl.replace t.names guid name;
+      fe
+
+let add_probe fe id n =
+  let cur = Option.value (Hashtbl.find_opt fe.fe_probes id) ~default:0L in
+  Hashtbl.replace fe.fe_probes id (Int64.add cur n);
+  fe.fe_total <- Int64.add fe.fe_total n
+
+let add_call fe id callee n =
+  let tbl =
+    match Hashtbl.find_opt fe.fe_calls id with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace fe.fe_calls id tbl;
+        tbl
+  in
+  let cur = Option.value (Hashtbl.find_opt tbl callee) ~default:0L in
+  Hashtbl.replace tbl callee (Int64.add cur n)
+
+let probe_count fe id = Option.value (Hashtbl.find_opt fe.fe_probes id) ~default:0L
+
+let call_counts fe id =
+  match Hashtbl.find_opt fe.fe_calls id with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun g c acc -> (g, c) :: acc) tbl []
+      |> List.sort (fun (g1, _) (g2, _) -> Ir.Guid.compare g1 g2)
+
+let total_samples t =
+  Ir.Guid.Tbl.fold (fun _ fe acc -> Int64.add acc fe.fe_total) t.funcs 0L
+
+let pp fmt t =
+  Ir.Guid.Tbl.iter
+    (fun guid fe ->
+      let name =
+        Option.value (Ir.Guid.Tbl.find_opt t.names guid)
+          ~default:(Format.asprintf "%a" Ir.Guid.pp guid)
+      in
+      Format.fprintf fmt "%s: total=%Ld head=%Ld checksum=%Lx@." name fe.fe_total fe.fe_head
+        fe.fe_checksum;
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) fe.fe_probes []
+      |> List.sort compare
+      |> List.iter (fun (id, c) -> Format.fprintf fmt "  #%d: %Ld@." id c))
+    t.funcs

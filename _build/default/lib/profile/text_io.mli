@@ -1,0 +1,40 @@
+(** Text serialization for profiles, in the spirit of LLVM's text sample
+    profiles — human-inspectable, diffable, and stable across versions.
+
+    Formats (one record per line, [#] comments allowed):
+
+    Probe profiles:
+    {v
+    function <name> guid=<hex> total=<n> head=<n> checksum=<hex>
+     probe <id> <count>
+     call <site-id> <callee-guid-hex> <count>
+    v}
+
+    Context profiles add a context header per node, outermost frame first:
+    {v
+    context <name> guid=<hex> [inlined]
+     frame <func-guid-hex> <site-id>
+     ... probe/call records ...
+    v}
+
+    Line profiles:
+    {v
+    function <name> guid=<hex> total=<n> head=<n>
+     line <line>.<disc> <count>
+     callline <line>.<disc> <callee-guid-hex> <count>
+    v} *)
+
+exception Parse_error of string * int  (** message, line number *)
+
+val write_probe : Format.formatter -> Probe_profile.t -> unit
+val read_probe : string -> Probe_profile.t
+
+val write_ctx : Format.formatter -> Ctx_profile.t -> unit
+val read_ctx : string -> Ctx_profile.t
+
+val write_line : Format.formatter -> Line_profile.t -> unit
+val read_line : string -> Line_profile.t
+
+val probe_to_string : Probe_profile.t -> string
+val ctx_to_string : Ctx_profile.t -> string
+val line_to_string : Line_profile.t -> string

@@ -1,0 +1,1 @@
+lib/support/fnv.ml: Char Int64 String

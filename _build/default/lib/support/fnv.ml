@@ -1,0 +1,24 @@
+type t = int64
+
+let init = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let int h x = int64 h (Int64.of_int x)
+
+let hash_string s = string init s
+
+let combine a b = int64 (int64 init a) b

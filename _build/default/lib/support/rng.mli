@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component of the simulation (workload inputs, sampling
+    jitter, skid) draws from an explicit [Rng.t] so whole experiments are
+    reproducible from a single seed. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Csspgo_codegen Csspgo_ir Csspgo_support Hashtbl Int64 List Option Printf Rng

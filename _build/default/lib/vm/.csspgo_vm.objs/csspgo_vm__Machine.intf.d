@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Csspgo_codegen Hashtbl

@@ -1,0 +1,457 @@
+open Csspgo_support
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module T = Ir.Types
+
+type pmu = {
+  sample_period : int;
+  lbr_depth : int;
+  pebs : bool;
+  skid_prob : float;
+  seed : int64;
+}
+
+let default_pmu =
+  { sample_period = 9973; lbr_depth = 16; pebs = true; skid_prob = 0.35; seed = 42L }
+
+type sample = {
+  s_lbr : (int * int) array;
+  s_stack : int array;
+}
+
+type result = {
+  cycles : int64;
+  instructions : int64;
+  ret_value : int64;
+  samples : sample list;
+  counters : int64 array;
+  icache_misses : int64;
+  taken_branches : int64;
+  mispredicts : int64;
+  value_profiles : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
+  addr_counts : (int, int64) Hashtbl.t option;
+}
+
+exception Trap of string
+
+(* ------------------------------------------------------------------ *)
+(* Decoded representation: names and guids resolved to dense indices,
+   addresses resolved to instruction indices where possible.           *)
+
+type doperand =
+  | DReg of int
+  | DImm of int64
+  | DSpill of int
+
+type dop =
+  | DArith of T.binop * int * doperand * doperand
+  | DCmp of T.cmpop * int * doperand * doperand
+  | DSelect of int * int * doperand * doperand
+  | DMov of int * doperand
+  | DLoad of int * int * doperand    (* global index *)
+  | DStore of int * doperand * doperand
+  | DSpill_ld of int * int
+  | DSpill_st of int * int
+  | DCall of dcall
+  | DTail_call of dcall
+  | DRet of doperand
+  | DJmp of int                      (* instruction index *)
+  | DJcc of int * bool * int
+  | DSwitch of doperand * (int64 * int) list * int
+  | DInc of int
+  | DValprof of int * doperand
+  | DNop
+
+and dcall = {
+  d_func : int;        (* bfunc index *)
+  d_entry : int;       (* entry instruction index *)
+  d_args : doperand array;
+  d_ret : Mach.loc option;
+  d_spill_args : int;  (* number of OSpill arguments, for the cost model *)
+}
+
+type frame = {
+  fr_func : int;
+  fr_regs : int64 array;
+  fr_slots : int64 array;
+  fr_ret_pc : int;             (* instruction index to resume at; -1 = entry *)
+  fr_ret_dst : Mach.loc option;
+}
+
+let decode_operand = function
+  | Mach.OReg r -> DReg r
+  | Mach.OImm v -> DImm v
+  | Mach.OSpill s -> DSpill s
+
+let decode (b : Mach.binary) =
+  let gindex = Hashtbl.create 16 in
+  List.iteri (fun i (name, _) -> Hashtbl.replace gindex name i) b.Mach.globals;
+  let entry_idx = Ir.Guid.Tbl.create 64 in
+  let func_by_guid = Ir.Guid.Tbl.create 64 in
+  Array.iteri
+    (fun i (f : Mach.bfunc) ->
+      Ir.Guid.Tbl.replace func_by_guid f.Mach.bf_guid i;
+      match Hashtbl.find_opt b.Mach.addr_index f.Mach.bf_start with
+      | Some idx -> Ir.Guid.Tbl.replace entry_idx f.Mach.bf_guid idx
+      | None -> ())
+    b.Mach.funcs;
+  let idx_of_addr addr =
+    match Hashtbl.find_opt b.Mach.addr_index addr with
+    | Some i -> i
+    | None -> raise (Trap (Printf.sprintf "jump to unmapped address 0x%x" addr))
+  in
+  let decode_call (c : Mach.mcall) =
+    let fi =
+      match Ir.Guid.Tbl.find_opt func_by_guid c.Mach.m_callee with
+      | Some i -> i
+      | None -> raise (Trap ("call to unknown function " ^ c.Mach.m_callee_name))
+    in
+    let entry =
+      match Ir.Guid.Tbl.find_opt entry_idx c.Mach.m_callee with
+      | Some i -> i
+      | None -> raise (Trap ("function with no code: " ^ c.Mach.m_callee_name))
+    in
+    {
+      d_func = fi;
+      d_entry = entry;
+      d_args = Array.of_list (List.map decode_operand c.Mach.m_args);
+      d_ret = c.Mach.m_ret;
+      d_spill_args =
+        List.length (List.filter (function Mach.OSpill _ -> true | _ -> false) c.Mach.m_args);
+    }
+  in
+  let dops =
+    Array.map
+      (fun (inst : Mach.inst) ->
+        match inst.Mach.i_op with
+        | Mach.MArith (op, d, a, b') -> DArith (op, d, decode_operand a, decode_operand b')
+        | Mach.MCmp (op, d, a, b') -> DCmp (op, d, decode_operand a, decode_operand b')
+        | Mach.MSelect (d, c, a, b') -> DSelect (d, c, decode_operand a, decode_operand b')
+        | Mach.MMov (d, a) -> DMov (d, decode_operand a)
+        | Mach.MLoad (d, g, i) -> DLoad (d, Hashtbl.find gindex g, decode_operand i)
+        | Mach.MStore (g, i, v) -> DStore (Hashtbl.find gindex g, decode_operand i, decode_operand v)
+        | Mach.MSpill_ld (d, s) -> DSpill_ld (d, s)
+        | Mach.MSpill_st (s, r) -> DSpill_st (s, r)
+        | Mach.MCall c -> DCall (decode_call c)
+        | Mach.MTail_call c -> DTail_call (decode_call c)
+        | Mach.MRet o -> DRet (decode_operand o)
+        | Mach.MJmp a -> DJmp (idx_of_addr a)
+        | Mach.MJcc (c, pol, a) -> DJcc (c, pol, idx_of_addr a)
+        | Mach.MSwitch (o, cases, d) ->
+            DSwitch (decode_operand o, List.map (fun (k, a) -> (k, idx_of_addr a)) cases, idx_of_addr d)
+        | Mach.MInc c -> DInc c
+        | Mach.MValprof (s, o) -> DValprof (s, decode_operand o)
+        | Mach.MNop -> DNop)
+      b.Mach.insts
+  in
+  (dops, entry_idx)
+
+(* ------------------------------------------------------------------ *)
+
+let icache_lines = 512 (* 512 * 64B = 32 KiB, direct-mapped *)
+
+let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addrs = false)
+    ?(fuel = 2_000_000_000L) (b : Mach.binary) ~entry =
+  let dops, entry_idx = decode b in
+  let insts = b.Mach.insts in
+  let n_inst = Array.length insts in
+  (* Globals. *)
+  let garrays =
+    Array.of_list
+      (List.map
+         (fun (name, size) ->
+           let a = Array.make (max size 1) 0L in
+           (match List.assoc_opt name globals_init with
+           | Some init ->
+               Array.blit init 0 a 0 (min (Array.length init) (Array.length a))
+           | None -> ());
+           a)
+         b.Mach.globals)
+  in
+  let counters = Array.make (max b.Mach.n_counters 1) 0L in
+  let value_profiles : (int, (int64, int64) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let addr_counts = if count_addrs then Some (Hashtbl.create 4096) else None in
+  (* Entry function. *)
+  let entry_guid = Ir.Guid.of_name entry in
+  let entry_fidx =
+    let r = ref (-1) in
+    Array.iteri
+      (fun i (f : Mach.bfunc) -> if Ir.Guid.equal f.Mach.bf_guid entry_guid then r := i)
+      b.Mach.funcs;
+    if !r < 0 then raise (Trap ("no entry function " ^ entry));
+    !r
+  in
+  let entry_ip =
+    match Ir.Guid.Tbl.find_opt entry_idx entry_guid with
+    | Some i -> i
+    | None -> raise (Trap ("entry function has no code: " ^ entry))
+  in
+  let mk_frame fidx ret_pc ret_dst =
+    let f = b.Mach.funcs.(fidx) in
+    {
+      fr_func = fidx;
+      fr_regs = Array.make Mach.n_phys 0L;
+      fr_slots = Array.make (max f.Mach.bf_nslots 1) 0L;
+      fr_ret_pc = ret_pc;
+      fr_ret_dst = ret_dst;
+    }
+  in
+  let write_loc (fr : frame) loc v =
+    match loc with
+    | Mach.LReg p -> fr.fr_regs.(p) <- v
+    | Mach.LSpill s -> if s < Array.length fr.fr_slots then fr.fr_slots.(s) <- v
+  in
+  let stack = ref [ mk_frame entry_fidx (-1) None ] in
+  (* Bind entry arguments. *)
+  (match !stack with
+  | top :: _ ->
+      let params = b.Mach.funcs.(entry_fidx).Mach.bf_param_locs in
+      List.iteri (fun i v -> if i < Array.length params then write_loc top params.(i) v) args
+  | [] -> ());
+  let ip = ref entry_ip in
+  let cycles = ref 0L in
+  let instructions = ref 0L in
+  let icache_misses = ref 0L in
+  let taken_branches = ref 0L in
+  let mispredicts = ref 0L in
+  let ret_value = ref 0L in
+  let running = ref true in
+  (* PMU state. *)
+  let lbr_depth = match pmu with Some p -> p.lbr_depth | None -> 16 in
+  let lbr = Array.make (max lbr_depth 1) (0, 0) in
+  let lbr_len = ref 0 in
+  let lbr_pos = ref 0 in
+  let samples = ref [] in
+  let next_sample =
+    ref (match pmu with Some p when p.sample_period > 0 -> Int64.of_int p.sample_period | _ -> Int64.max_int)
+  in
+  let rng = Rng.create (match pmu with Some p -> p.seed | None -> 1L) in
+  (* For skid simulation: kind of the last control transfer. *)
+  let last_kind = ref `Other in
+  let record_branch kind src_idx tgt_idx =
+    taken_branches := Int64.add !taken_branches 1L;
+    let src = insts.(src_idx).Mach.i_addr in
+    let tgt = if tgt_idx < n_inst then insts.(tgt_idx).Mach.i_addr else 0 in
+    lbr.(!lbr_pos) <- (src, tgt);
+    lbr_pos := (!lbr_pos + 1) mod Array.length lbr;
+    if !lbr_len < Array.length lbr then incr lbr_len;
+    last_kind := kind
+  in
+  let icache = Array.make icache_lines (-1) in
+  let predictor = Array.make (max n_inst 1) 1 in
+  let charge n = cycles := Int64.add !cycles (Int64.of_int n) in
+  let fetch_cost addr size =
+    (* Touch every 64-byte line the instruction spans. *)
+    let first = addr / 64 and last = (addr + size - 1) / 64 in
+    for line = first to last do
+      let set = line mod icache_lines in
+      if icache.(set) <> line then begin
+        icache.(set) <- line;
+        icache_misses := Int64.add !icache_misses 1L;
+        charge 20
+      end
+    done
+  in
+  let snapshot_lbr () =
+    let n = !lbr_len in
+    Array.init n (fun i ->
+        (* oldest first *)
+        let pos = (!lbr_pos - n + i + Array.length lbr) mod Array.length lbr in
+        lbr.(pos))
+  in
+  let walk_stack cur_addr =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | (fr : frame) :: rest ->
+          if fr.fr_ret_pc < 0 then List.rev acc
+          else
+            let ret_addr =
+              if fr.fr_ret_pc < n_inst then insts.(fr.fr_ret_pc).Mach.i_addr else 0
+            in
+            go (ret_addr :: acc) rest
+    in
+    Array.of_list (cur_addr :: go [] !stack)
+  in
+  let take_sample () =
+    let cur_addr = if !ip < n_inst then insts.(!ip).Mach.i_addr else 0 in
+    let stack_arr = walk_stack cur_addr in
+    let stack_arr =
+      match pmu with
+      | Some p when (not p.pebs) && !lbr_len > 0 && Rng.chance rng p.skid_prob ->
+          (* Stack lags the LBR by one control transfer. *)
+          let src, _ = lbr.((!lbr_pos - 1 + Array.length lbr) mod Array.length lbr) in
+          let drop k a = Array.sub a k (max 0 (Array.length a - k)) in
+          let prepend x a = Array.append [| x |] a in
+          (match !last_kind with
+          | `Call -> prepend src (drop 2 stack_arr)
+          | `Ret -> prepend src stack_arr
+          | `Other -> prepend src (drop 1 stack_arr))
+      | _ -> stack_arr
+    in
+    samples := { s_lbr = snapshot_lbr (); s_stack = stack_arr } :: !samples
+  in
+  let eval (fr : frame) = function
+    | DReg r -> fr.fr_regs.(r)
+    | DImm v -> v
+    | DSpill s -> if s < Array.length fr.fr_slots then fr.fr_slots.(s) else 0L
+  in
+  while !running do
+    if !instructions >= fuel then raise (Trap "fuel exhausted");
+    let i = !ip in
+    if i < 0 || i >= n_inst then raise (Trap (Printf.sprintf "ip out of text: %d" i));
+    let inst = insts.(i) in
+    fetch_cost inst.Mach.i_addr inst.Mach.i_size;
+    instructions := Int64.add !instructions 1L;
+    (match addr_counts with
+    | Some tbl ->
+        Hashtbl.replace tbl inst.Mach.i_addr
+          (Int64.add 1L (Option.value (Hashtbl.find_opt tbl inst.Mach.i_addr) ~default:0L))
+    | None -> ());
+    let fr = List.hd !stack in
+    let next = ref (i + 1) in
+    (match dops.(i) with
+    | DArith (op, d, a, b') ->
+        (* Division by a compile-time constant is strength-reduced
+           (multiply/shift sequence), far cheaper than a full divide. *)
+        let cost =
+          match (op, b') with
+          | (T.Div | T.Rem), DImm _ -> 4
+          | (T.Div | T.Rem), _ -> 20
+          | T.Mul, _ -> 3
+          | _ -> 1
+        in
+        charge cost;
+        fr.fr_regs.(d) <- T.eval_binop op (eval fr a) (eval fr b')
+    | DCmp (op, d, a, b') ->
+        charge 1;
+        fr.fr_regs.(d) <- T.eval_cmpop op (eval fr a) (eval fr b')
+    | DSelect (d, c, a, b') ->
+        charge 1;
+        fr.fr_regs.(d) <- (if fr.fr_regs.(c) <> 0L then eval fr a else eval fr b')
+    | DMov (d, a) ->
+        charge 1;
+        fr.fr_regs.(d) <- eval fr a
+    | DLoad (d, g, idx) ->
+        charge 3;
+        let arr = garrays.(g) in
+        let n = Array.length arr in
+        let k = Int64.to_int (eval fr idx) in
+        let k = ((k mod n) + n) mod n in
+        fr.fr_regs.(d) <- arr.(k)
+    | DStore (g, idx, v) ->
+        charge 3;
+        let arr = garrays.(g) in
+        let n = Array.length arr in
+        let k = Int64.to_int (eval fr idx) in
+        let k = ((k mod n) + n) mod n in
+        arr.(k) <- eval fr v
+    | DSpill_ld (d, s) ->
+        (* L1-resident, store-forwarded: effectively pipelined. *)
+        charge 1;
+        fr.fr_regs.(d) <- (if s < Array.length fr.fr_slots then fr.fr_slots.(s) else 0L)
+    | DSpill_st (s, r) ->
+        charge 1;
+        if s < Array.length fr.fr_slots then fr.fr_slots.(s) <- fr.fr_regs.(r)
+    | DCall c ->
+        (* Call overhead models prologue/epilogue and frame setup. *)
+        charge (14 + c.d_spill_args);
+        let vals = Array.map (eval fr) c.d_args in
+        let nf = mk_frame c.d_func (i + 1) c.d_ret in
+        let params = b.Mach.funcs.(c.d_func).Mach.bf_param_locs in
+        Array.iteri (fun k v -> if k < Array.length params then write_loc nf params.(k) v) vals;
+        stack := nf :: !stack;
+        record_branch `Call i c.d_entry;
+        next := c.d_entry
+    | DTail_call c ->
+        charge (10 + c.d_spill_args);
+        let vals = Array.map (eval fr) c.d_args in
+        (* The caller frame is replaced: it will never appear in stack
+           walks again (TCE missing-frame behaviour). *)
+        let nf = mk_frame c.d_func fr.fr_ret_pc fr.fr_ret_dst in
+        let params = b.Mach.funcs.(c.d_func).Mach.bf_param_locs in
+        Array.iteri (fun k v -> if k < Array.length params then write_loc nf params.(k) v) vals;
+        stack := nf :: List.tl !stack;
+        record_branch `Call i c.d_entry;
+        next := c.d_entry
+    | DRet o ->
+        charge (5 + match o with DSpill _ -> 1 | _ -> 0);
+        let v = eval fr o in
+        stack := List.tl !stack;
+        (match !stack with
+        | [] ->
+            ret_value := v;
+            running := false;
+            record_branch `Ret i i
+        | parent :: _ ->
+            (match fr.fr_ret_dst with
+            | Some loc -> write_loc parent loc v
+            | None -> ());
+            record_branch `Ret i fr.fr_ret_pc;
+            next := fr.fr_ret_pc)
+    | DJmp t ->
+        charge 3;
+        record_branch `Other i t;
+        next := t
+    | DJcc (c, pol, t) ->
+        let taken = (fr.fr_regs.(c) <> 0L) = pol in
+        (* Per-branch 2-bit saturating predictor: biased branches predict
+           near-perfectly after warmup; data-dependent alternating branches
+           pay the 12-cycle flush. *)
+        let st = predictor.(i) in
+        let predicted_taken = st >= 2 in
+        if taken <> predicted_taken then begin
+          mispredicts := Int64.add !mispredicts 1L;
+          charge 12
+        end;
+        predictor.(i) <- (if taken then min 3 (st + 1) else max 0 (st - 1));
+        if taken then begin
+          charge 3;
+          record_branch `Other i t;
+          next := t
+        end
+        else charge 1
+    | DSwitch (o, cases, d) ->
+        charge (5 + match o with DSpill _ -> 3 | _ -> 0);
+        let v = eval fr o in
+        let t = match List.assoc_opt v cases with Some t -> t | None -> d in
+        record_branch `Other i t;
+        next := t
+    | DInc c ->
+        charge 5;
+        counters.(c) <- Int64.add counters.(c) 1L
+    | DValprof (site, o) ->
+        charge 5;
+        let v = eval fr o in
+        let tbl =
+          match Hashtbl.find_opt value_profiles site with
+          | Some tbl -> tbl
+          | None ->
+              let tbl = Hashtbl.create 8 in
+              Hashtbl.replace value_profiles site tbl;
+              tbl
+        in
+        Hashtbl.replace tbl v
+          (Int64.add 1L (Option.value (Hashtbl.find_opt tbl v) ~default:0L))
+    | DNop -> charge 1);
+    ip := !next;
+    (* Sampling: fire when the cycle counter crosses the period. *)
+    if !running && Int64.compare !cycles !next_sample >= 0 then begin
+      take_sample ();
+      (match pmu with
+      | Some p when p.sample_period > 0 ->
+          next_sample := Int64.add !next_sample (Int64.of_int p.sample_period)
+      | _ -> next_sample := Int64.max_int)
+    end
+  done;
+  {
+    cycles = !cycles;
+    instructions = !instructions;
+    ret_value = !ret_value;
+    samples = List.rev !samples;
+    counters;
+    icache_misses = !icache_misses;
+    taken_branches = !taken_branches;
+    mispredicts = !mispredicts;
+    value_profiles;
+    addr_counts;
+  }

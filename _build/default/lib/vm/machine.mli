@@ -1,0 +1,63 @@
+(** The VMC executor with a Skylake-flavoured performance and PMU model.
+
+    Cost model (cycles): ALU 1 (mul 3, div/rem 20 — 4 when the divisor is a
+    compile-time constant), memory 3, spill traffic 1 (L1-resident,
+    store-forwarded), select/mov 1, call 14 / tail-call 10 (+1 per
+    spill-slot argument), ret 5, taken
+    jump +2, indirect switch +4, instrumentation counter increment 5, i-cache
+    miss +20 (direct-mapped, 32 KiB, 64 B lines).
+
+    PMU model: a sample fires every [sample_period] cycles. Each sample
+    snapshots the LBR ring (last [lbr_depth] *taken* branches, including
+    calls and returns, as source/target address pairs) and walks the frame
+    chain for a synchronized stack sample. Without [pebs], the stack lags
+    the LBR by one control transfer with probability [skid_prob] — the
+    sampling-skid artifact of §III.B. Frames entered through tail calls
+    replace their caller, so the caller is missing from the walk (the
+    TCE missing-frame problem). *)
+
+type pmu = {
+  sample_period : int;  (** cycles between samples; 0 disables sampling *)
+  lbr_depth : int;      (** 16 or 32 *)
+  pebs : bool;
+  skid_prob : float;
+  seed : int64;
+}
+
+val default_pmu : pmu
+(** period 9973 (prime, to avoid lockstep), depth 16, PEBS on. *)
+
+type sample = {
+  s_lbr : (int * int) array;  (** oldest first; (branch addr, target addr) *)
+  s_stack : int array;        (** leaf first: ip, then return addresses *)
+}
+
+type result = {
+  cycles : int64;
+  instructions : int64;
+  ret_value : int64;
+  samples : sample list;       (** in collection order *)
+  counters : int64 array;      (** instrumentation counters *)
+  icache_misses : int64;
+  taken_branches : int64;
+  mispredicts : int64;   (** per-branch 2-bit dynamic predictor misses *)
+  value_profiles : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
+      (** per-site value histograms from [Val_prof] instrumentation *)
+  addr_counts : (int, int64) Hashtbl.t option;  (** exact, when requested *)
+}
+
+exception Trap of string
+(** Unmapped jump target, missing entry function, or fuel exhausted. *)
+
+val run :
+  ?pmu:pmu option ->
+  ?globals_init:(string * int64 array) list ->
+  ?args:int64 list ->
+  ?count_addrs:bool ->
+  ?fuel:int64 ->
+  Csspgo_codegen.Mach.binary ->
+  entry:string ->
+  result
+(** Execute [entry] with [args]. Globals not listed in [globals_init] are
+    zero-initialized at their declared sizes; listed arrays override
+    contents (truncated/padded to the declared size). *)

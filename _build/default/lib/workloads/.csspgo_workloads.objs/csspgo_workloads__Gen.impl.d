@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Buffer Csspgo_support List Printf Rng String

@@ -1,0 +1,1 @@
+lib/workloads/inputs.ml: Array Csspgo_support Int64 Rng

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Array Csspgo_core Csspgo_support Inputs Int64 List Rng String

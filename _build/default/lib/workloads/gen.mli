@@ -1,0 +1,11 @@
+(** Random MiniC program generator for property-based differential testing.
+
+    Generated programs always terminate: loops are counted ([while (i < C)]
+    with a dedicated induction variable), the static call graph is acyclic
+    (a function may only call later-defined functions), and every array
+    index is total (the VM wraps indices modulo the array size).
+
+    The same seed always yields the same source text. *)
+
+val random_source : ?n_funcs:int -> ?n_globals:int -> seed:int64 -> unit -> string
+(** A full program with a [main(a, b)] entry point. *)

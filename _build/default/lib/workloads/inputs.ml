@@ -1,0 +1,5 @@
+open Csspgo_support
+
+let array rng n ~max = Array.init n (fun _ -> Int64.of_int (Rng.int rng max))
+
+let array_nonzero rng n ~max = Array.init n (fun _ -> Int64.of_int (1 + Rng.int rng (max - 1)))

@@ -1,0 +1,7 @@
+(** Deterministic input-data builders for the workload drivers. *)
+
+val array : Csspgo_support.Rng.t -> int -> max:int -> int64 array
+(** [n] uniform values in [\[0, max)]. *)
+
+val array_nonzero : Csspgo_support.Rng.t -> int -> max:int -> int64 array
+(** Values in [\[1, max)] — for hash tables where 0 means "empty". *)

@@ -1,0 +1,660 @@
+open Csspgo_support
+module Driver = Csspgo_core.Driver
+
+let spec args globals = { Driver.rs_args = args; rs_globals = globals }
+
+(* ------------------------------------------------------------------ *)
+(* adranker                                                            *)
+
+let adranker_src = {|
+module features;
+
+global feat[4096];
+global wvec[64];
+global scores[256];
+
+fn clampv(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+
+fn transform(v, kind) {
+  if (kind == 0) { return clampv(v * 3 / 2, 0, 1000000); }
+  if (kind == 1) { return clampv(v * v % 10007, 0, 1000000); }
+  return clampv(v - 7, 0, 1000000);
+}
+
+fn dot(off, n) {
+  let s = 0;
+  let i = 0;
+  while (i < n) {
+    let v = feat[off + i] * wvec[i];
+    if (v % 4 == 0) { s = s + v * 3 - i + (v >> 2); } else { s = s + v; }
+    i = i + 1;
+  }
+  return s;
+}
+
+module ranker;
+
+fn score_one(doc, n) {
+  let base = dot(doc * 64, n);
+  let t = transform(base, 0);
+  let bonus = 0;
+  if (base % 17 == 0) {
+    bonus = transform(base, 2);
+  }
+  return t + bonus;
+}
+
+fn rank(docs, n) {
+  let d = 0;
+  while (d < docs) {
+    scores[d] = score_one(d, n);
+    d = d + 1;
+  }
+  return 0;
+}
+
+fn top_score(docs) {
+  let best = 0;
+  let d = 0;
+  while (d < docs) {
+    if (scores[d] > best) { best = scores[d]; }
+    d = d + 1;
+  }
+  return best;
+}
+
+module ranker_main;
+
+fn main(docs, rounds, n) {
+  let r = 0;
+  let k = 0;
+  while (k < rounds) {
+    rank(docs, n);
+    r = r + top_score(docs);
+    k = k + 1;
+  }
+  return r;
+}
+|}
+
+let adranker_globals seed =
+  let rng = Rng.create seed in
+  [ ("feat", Inputs.array rng 4096 ~max:1000); ("wvec", Inputs.array rng 64 ~max:50) ]
+
+let adranker =
+  {
+    Driver.w_name = "adranker";
+    w_source = adranker_src;
+    w_entry = "main";
+    w_train = [ spec [ 48L; 40L; 48L ] (adranker_globals 11L) ];
+    w_eval = [ spec [ 48L; 48L; 48L ] (adranker_globals 12L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* adretriever                                                         *)
+
+let adretriever_src = {|
+module index;
+
+global htab[8192];
+global hval[8192];
+global queries[2048];
+global results[2048];
+
+fn hashk(k) {
+  let h = k * 40503 + (k >> 7);
+  return h % 8192;
+}
+
+fn probe(k) {
+  let h = hashk(k);
+  let tries = 0;
+  while (tries < 48) {
+    let slot = (h + tries) % 8192;
+    let kk = htab[slot];
+    if (kk == k) { return hval[slot]; } if (kk == 0) { return 0 - 1; }
+    tries = tries + 1;
+  }
+  return 0 - 2;
+}
+
+module query;
+
+fn lookup_batch(nq) {
+  let i = 0;
+  let hits = 0;
+  while (i < nq) {
+    let v = probe(queries[i]);
+    if (v >= 0) {
+      results[i] = v;
+      hits = hits + 1;
+    } else {
+      results[i] = 0;
+    }
+    i = i + 1;
+  }
+  return hits;
+}
+
+fn main(nq, rounds) {
+  let total = 0;
+  let k = 0;
+  while (k < rounds) {
+    total = total + lookup_batch(nq);
+    k = k + 1;
+  }
+  return total;
+}
+|}
+
+(* Populate the hash table exactly as the program's own hash would. *)
+let adretriever_globals seed =
+  let rng = Rng.create seed in
+  let htab = Array.make 8192 0L in
+  let hval = Array.make 8192 0L in
+  let keys = Inputs.array_nonzero rng 3000 ~max:1_000_000 in
+  Array.iter
+    (fun k ->
+      let h =
+        Int64.to_int (Int64.rem (Int64.add (Int64.mul k 40503L) (Int64.shift_right k 7)) 8192L)
+      in
+      let rec place i =
+        if i < 48 then begin
+          let slot = (h + i) mod 8192 in
+          if Int64.equal htab.(slot) 0L then begin
+            htab.(slot) <- k;
+            hval.(slot) <- Int64.rem k 997L
+          end
+          else place (i + 1)
+        end
+      in
+      place 0)
+    keys;
+  (* About half the queries are known keys, half are misses — randomly
+     interleaved (a strictly alternating pattern would resonate with the
+     parity of unrolled loop copies in the branch predictor). *)
+  let queries =
+    Array.init 2048 (fun _ ->
+        if Rng.chance rng 0.5 then keys.(Rng.int rng (Array.length keys))
+        else Int64.of_int (1_000_001 + Rng.int rng 1_000_000))
+  in
+  [ ("htab", htab); ("hval", hval); ("queries", queries) ]
+
+let adretriever =
+  {
+    Driver.w_name = "adretriever";
+    w_source = adretriever_src;
+    w_entry = "main";
+    w_train = [ spec [ 2048L; 28L ] (adretriever_globals 21L) ];
+    w_eval = [ spec [ 2048L; 32L ] (adretriever_globals 22L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* adfinder                                                            *)
+
+let adfinder_src = {|
+module filters;
+
+global ads[8192];
+global found[2048];
+
+fn f_budget(a) {
+  return (a & 255) > 30;
+}
+
+fn f_geo(a, g) {
+  return ((a >> 8) & 63) == g;
+}
+
+fn f_lang(a, l) {
+  let al = (a >> 14) & 15;
+  return al == l || al == 0;
+}
+
+fn f_quality(a) {
+  let q = (a >> 18) & 1023;
+  return q * 3 > 500;
+}
+
+fn pass_all(a, g, l) {
+  if (!f_budget(a)) { return 0; }
+  if (!f_geo(a, g)) { return 0; }
+  if (!f_lang(a, l)) { return 0; }
+  return f_quality(a);
+}
+
+module finder;
+
+fn find(n, g, l) {
+  let i = 0;
+  let outp = 0;
+  while (i < n) {
+    let a = ads[i];
+    if (pass_all(a, g, l)) {
+      found[outp % 2048] = i;
+      outp = outp + 1;
+    }
+    i = i + 1;
+  }
+  return outp;
+}
+
+fn main(n, rounds) {
+  let total = 0;
+  let k = 0;
+  while (k < rounds) {
+    total = total + find(n, k % 64, k % 16);
+    k = k + 1;
+  }
+  return total;
+}
+|}
+
+let adfinder_globals seed =
+  let rng = Rng.create seed in
+  [ ("ads", Inputs.array rng 8192 ~max:0x0FFFFFFF) ]
+
+let adfinder =
+  {
+    Driver.w_name = "adfinder";
+    w_source = adfinder_src;
+    w_entry = "main";
+    w_train = [ spec [ 8192L; 20L ] (adfinder_globals 31L) ];
+    w_eval = [ spec [ 8192L; 24L ] (adfinder_globals 32L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* hhvm: bytecode interpreter (single module, like a monolithic VM)    *)
+
+let hhvm_src = {|
+module hhvm_m;
+
+global code[4096];
+global vstack[256];
+global heap[1024];
+
+fn arith(op, a, b) {
+  if (op == 0) { return a + b; }
+  if (op == 1) { return a - b; }
+  if (op == 2) { return a * b; }
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+fn execute(pc_start, steps) {
+  let pc = pc_start;
+  let sp = 0;
+  let acc = 0;
+  let n = 0;
+  while (n < steps) {
+    let ins = code[pc];
+    let op = ins & 15;
+    let arg = ins >> 4;
+    switch (op) {
+      case 0: acc = arg; pc = pc + 1; case 1: vstack[sp] = acc; sp = (sp + 1) % 256; pc = pc + 1; case 2: sp = (sp + 255) % 256; acc = vstack[sp]; pc = pc + 1;
+      case 3: acc = arith(0, acc, heap[arg % 1024]); pc = pc + 1; case 4: acc = arith(1, acc, arg); pc = pc + 1; case 5: acc = arith(2, acc, 3); pc = pc + 1;
+      case 6: heap[arg % 896] = acc; pc = pc + 1; case 7: if (acc % 2 == 0) { pc = arg % 4096; } else { pc = pc + 1; } case 8: acc = heap[arg % 1024]; pc = pc + 1;
+      case 9: acc = arith(3, acc, heap[960 + (arg & 3)]); pc = pc + 1;
+      default: pc = pc + 1;
+    }
+    pc = pc % 4096;
+    n = n + 1;
+  }
+  return acc;
+}
+
+fn main(steps, rounds) {
+  let r = 0;
+  let k = 0;
+  while (k < rounds) {
+    r = r + execute(k % 64, steps);
+    k = k + 1;
+  }
+  return r;
+}
+|}
+
+(* A bytecode stream biased toward arithmetic and memory ops, with
+   occasional branches — interpreter-realistic opcode mix. *)
+let hhvm_globals seed =
+  let rng = Rng.create seed in
+  let code =
+    Array.init 4096 (fun i ->
+        let r = Rng.int rng 100 in
+        let op =
+          if r < 14 then 0
+          else if r < 24 then 1
+          else if r < 34 then 2
+          else if r < 52 then 3
+          else if r < 64 then 4
+          else if r < 72 then 5
+          else if r < 82 then 6
+          else if r < 86 then 7
+          else if r < 92 then 8
+          else 9
+        in
+        let arg = if op = 7 then (i + 17) mod 4096 else Rng.int rng 1024 in
+        Int64.of_int ((arg * 16) + op))
+  in
+  let heap = Inputs.array rng 1024 ~max:1000 in
+  (* Slots 960-963 hold the service's configured scaling divisor: constant
+     in the data, invisible to the compiler — value-profiling territory. *)
+  for i = 960 to 963 do
+    heap.(i) <- 9L
+  done;
+  [ ("code", code); ("heap", heap) ]
+
+let hhvm =
+  {
+    Driver.w_name = "hhvm";
+    w_source = hhvm_src;
+    w_entry = "main";
+    w_train = [ spec [ 30000L; 10L ] (hhvm_globals 41L) ];
+    w_eval = [ spec [ 30000L; 12L ] (hhvm_globals 42L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* haas: tree-walking evaluator                                        *)
+
+let haas_src = {|
+module tree;
+
+global t_op[16384];
+global t_left[16384];
+global t_right[16384];
+global t_val[16384];
+
+fn eval_node(idx, depth) {
+  if (depth > 14) { return 1; }
+  let op = t_op[idx];
+  if (op == 0) { return t_val[idx]; }
+  let a = eval_node(t_left[idx], depth + 1);
+  if (op == 3) {
+    let b = eval_node(t_right[idx], depth + 1);
+    if (a > b) { return a; }
+    return b;
+  }
+  let b2 = eval_node(t_right[idx], depth + 1);
+  if (op == 1) { return (a + b2) % 65521; }
+  if (op == 2) { return a * b2 % 65521; }
+  return (a - b2) % 65521;
+}
+
+module haas_svc;
+
+fn run_script(root, reps) {
+  let s = 0;
+  let i = 0;
+  while (i < reps) {
+    s = s + eval_node(root + i % 8, 0);
+    i = i + 1;
+  }
+  return s;
+}
+
+fn main(nroots, rounds) {
+  let r = 0;
+  let k = 0;
+  while (k < rounds) {
+    r = r + run_script(k % nroots, 24);
+    k = k + 1;
+  }
+  return r;
+}
+|}
+
+(* Build a forest where node i's children point strictly forward (no
+   cycles): leaves dominate at higher indices. *)
+let haas_globals seed =
+  let rng = Rng.create seed in
+  let n = 16384 in
+  let op = Array.make n 0L in
+  let left = Array.make n 0L in
+  let right = Array.make n 0L in
+  let value = Array.make n 0L in
+  for i = 0 to n - 1 do
+    let leaf = i >= n - 64 || Rng.chance rng 0.42 in
+    if leaf then begin
+      op.(i) <- 0L;
+      value.(i) <- Int64.of_int (Rng.int rng 10_000)
+    end
+    else begin
+      op.(i) <- Int64.of_int (1 + Rng.int rng 3);
+      left.(i) <- Int64.of_int (i + 1 + Rng.int rng (min 40 (n - 1 - i)));
+      right.(i) <- Int64.of_int (i + 1 + Rng.int rng (min 40 (n - 1 - i)))
+    end
+  done;
+  [ ("t_op", op); ("t_left", left); ("t_right", right); ("t_val", value) ]
+
+let haas =
+  {
+    Driver.w_name = "haas";
+    w_source = haas_src;
+    w_entry = "main";
+    w_train = [ spec [ 64L; 110L ] (haas_globals 51L) ];
+    w_eval = [ spec [ 64L; 128L ] (haas_globals 52L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* clangish: toy compiler pipeline (client workload, short training)   *)
+
+let clangish_src = {|
+module lexer;
+
+global src_chars[16384];
+global tokens[16384];
+global ast[16384];
+global out_code[16384];
+
+fn is_digit(c) { return c >= 48 && c <= 57; }
+fn is_alpha(c) { return (c >= 97 && c <= 122) || (c >= 65 && c <= 90); }
+fn is_space(c) { return c == 32 || c == 10 || c == 9; }
+
+fn classify(c) {
+  if (is_space(c)) { return 0; } if (is_digit(c)) { return 1; } if (is_alpha(c)) { return 2; }
+  if (c == 40 || c == 41) { return 3; }
+  if (c == 43 || c == 45 || c == 42 || c == 47) { return 4; }
+  return 5;
+}
+
+fn lex(n) {
+  let i = 0;
+  let nt = 0;
+  while (i < n) {
+    let k = classify(src_chars[i]);
+    if (k != 0) {
+      tokens[nt] = k * 256 + (src_chars[i] & 255);
+      nt = nt + 1;
+    }
+    i = i + 1;
+  }
+  return nt;
+}
+
+module parser_m;
+
+fn tok_kind(t) { return t / 256; }
+
+fn parse(nt) {
+  let i = 0;
+  let depth = 0;
+  let nodes = 0;
+  let errors = 0;
+  while (i < nt) {
+    let k = tok_kind(tokens[i]);
+    if (k == 3) {
+      let c = tokens[i] & 255;
+      if (c == 40) { depth = depth + 1; }
+      else {
+        if (depth == 0) { errors = errors + 1; }
+        else { depth = depth - 1; }
+      }
+    }
+    if (k == 1 || k == 2) {
+      ast[nodes] = tokens[i] + depth * 65536;
+      nodes = nodes + 1;
+    }
+    if (k == 4) {
+      ast[nodes] = tokens[i];
+      nodes = nodes + 1;
+    }
+    i = i + 1;
+  }
+  return nodes;
+}
+
+module optimizer;
+
+fn fold_pair(a, b) {
+  let ka = tok_kind(a % 65536);
+  let kb = tok_kind(b % 65536);
+  if (ka == 1 && kb == 1) { return 1; }
+  return 0;
+}
+
+fn optimize(nodes) {
+  let i = 0;
+  let folded = 0;
+  while (i + 1 < nodes) {
+    if (fold_pair(ast[i], ast[i + 1])) {
+      ast[i] = (ast[i] + ast[i + 1]) % 1000003;
+      ast[i + 1] = 0;
+      folded = folded + 1;
+      i = i + 2;
+    } else {
+      i = i + 1;
+    }
+  }
+  return folded;
+}
+
+module emitter;
+
+fn emit_one(node) {
+  let k = tok_kind(node % 65536);
+  switch (k) {
+    case 1: return node % 256 + 1000;
+    case 2: return node % 256 + 2000;
+    case 4: return node % 256 + 3000;
+    default: return 0;
+  }
+}
+
+fn emit(nodes) {
+  let i = 0;
+  let sz = 0;
+  while (i < nodes) {
+    let c = emit_one(ast[i]);
+    if (c != 0) {
+      out_code[sz] = c;
+      sz = sz + 1;
+    }
+    i = i + 1;
+  }
+  return sz;
+}
+
+module clang_driver;
+
+fn compile_unit(n) {
+  let nt = lex(n);
+  let nodes = parse(nt);
+  optimize(nodes);
+  return emit(nodes);
+}
+
+fn main(n, units) {
+  let total = 0;
+  let u = 0;
+  while (u < units) {
+    total = total + compile_unit(n);
+    u = u + 1;
+  }
+  return total;
+}
+|}
+
+let clangish_globals seed =
+  let rng = Rng.create seed in
+  (* Synthetic "source code": identifiers, numbers, parens, operators. *)
+  let chars =
+    Array.init 16384 (fun _ ->
+        let r = Rng.int rng 100 in
+        Int64.of_int
+          (if r < 20 then 32 (* space *)
+           else if r < 45 then 97 + Rng.int rng 26
+           else if r < 70 then 48 + Rng.int rng 10
+           else if r < 80 then 40
+           else if r < 90 then 41
+           else [| 43; 45; 42; 47 |].(Rng.int rng 4)))
+  in
+  [ ("src_chars", chars) ]
+
+let clangish =
+  {
+    Driver.w_name = "clangish";
+    w_source = clangish_src;
+    w_entry = "main";
+    (* Deliberately short training run: client workloads lack a long steady
+       state, so sampling coverage is thin (§IV.D). *)
+    w_train = [ spec [ 16384L; 3L ] (clangish_globals 61L) ];
+    w_eval = [ spec [ 16384L; 40L ] (clangish_globals 62L) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let server_workloads = [ adranker; adretriever; adfinder; hhvm; haas ]
+let all = server_workloads @ [ clangish ]
+
+let find name = List.find_opt (fun w -> String.equal w.Driver.w_name name) all
+
+let vecop_example = {|
+module vecop;
+
+global va[1024];
+global vb[1024];
+global vout[1024];
+
+fn scalar_add(a, b) { return a + b; }
+fn scalar_sub(a, b) { return a - b; }
+
+fn scalar_op(a, b, is_add) {
+  if (is_add) { return scalar_add(a, b); }
+  return scalar_sub(a, b);
+}
+
+fn add_vector_head(n) {
+  let i = 0;
+  while (i < n) {
+    vout[i] = scalar_op(va[i], vb[i], 1);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn sub_vector_head(n) {
+  let i = 0;
+  while (i < n) {
+    vout[i] = scalar_op(va[i], vb[i], 0);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn main(n, rounds) {
+  let k = 0;
+  let sum = 0;
+  while (k < rounds) {
+    add_vector_head(n);
+    sum = sum + vout[k % n];
+    sub_vector_head(n / 4);
+    sum = sum - vout[k % (n / 4)];
+    k = k + 1;
+  }
+  return sum;
+}
+|}

@@ -1,0 +1,37 @@
+(** The evaluation workloads (§IV.A): MiniC stand-ins shaped after the five
+    Meta server workloads plus the Clang-like client workload.
+
+    - [adranker]   — Ads ranking: dot products, feature transforms, a shared
+      scoring helper whose hot path depends on the calling context, hot
+      cross-module calls (pre-inliner territory).
+    - [adretriever] — Ads retrieval: open-addressing hash probes with hit /
+      miss / tombstone branches.
+    - [adfinder]   — Ads filtering: chains of small predicate functions with
+      a tail call at the end of the chain (TCE missing-frame territory).
+    - [hhvm]       — JIT-less bytecode interpreter: a hot switch dispatch
+      loop (single module; counter instrumentation hurts the most here).
+    - [haas]       — Hermes-like tree-walking evaluator: recursion and
+      data-dependent dispatch.
+    - [clangish]   — client workload: a toy compiler pipeline with many
+      small functions and a deliberately short training run, reproducing
+      the client-side sampling-coverage gap of §IV.D.
+
+    Training and evaluation inputs are drawn from different seeds. *)
+
+val adranker : Csspgo_core.Driver.workload
+val adretriever : Csspgo_core.Driver.workload
+val adfinder : Csspgo_core.Driver.workload
+val hhvm : Csspgo_core.Driver.workload
+val haas : Csspgo_core.Driver.workload
+val clangish : Csspgo_core.Driver.workload
+
+val server_workloads : Csspgo_core.Driver.workload list
+(** The five server workloads, in the paper's order. *)
+
+val all : Csspgo_core.Driver.workload list
+
+val find : string -> Csspgo_core.Driver.workload option
+
+val vecop_example : string
+(** The Fig. 4 vector add/sub program (scalarOp), used by the quickstart
+    example to reproduce Fig. 3's post-inline count story. *)

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Csspgo_codegen Csspgo_frontend Csspgo_ir Csspgo_support Csspgo_vm Int64 List Printf String

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Csspgo_frontend Csspgo_inference Csspgo_ir Csspgo_opt Format Gen Hashtbl Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Csspgo_frontend Csspgo_ir Csspgo_support Hashtbl List Option String Vec

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Csspgo_codegen Csspgo_core Csspgo_frontend Csspgo_ir Csspgo_opt Csspgo_support Csspgo_vm Csspgo_workloads Hashtbl Int64 List Option Printf Vec

@@ -1,0 +1,1 @@
+test/test_profgen.ml: Alcotest Csspgo_codegen Csspgo_frontend Csspgo_ir Csspgo_opt Csspgo_profgen Csspgo_profile Csspgo_vm Hashtbl Int64 Option

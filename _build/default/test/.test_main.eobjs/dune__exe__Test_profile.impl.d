@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Csspgo_ir Csspgo_profile Hashtbl Int64 List Option QCheck QCheck_alcotest

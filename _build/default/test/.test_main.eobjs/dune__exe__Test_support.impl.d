@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Csspgo_support Fnv Heap Int64 List QCheck QCheck_alcotest Rng Vec

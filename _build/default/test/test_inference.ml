@@ -1,0 +1,168 @@
+(* MCF solver and profile inference. *)
+module Ir = Csspgo_ir
+module T = Ir.Types
+module I = Ir.Instr
+module Inf = Csspgo_inference
+module F = Csspgo_frontend
+
+(* Alcotest lacks a quad checker; define one. *)
+let quad a b c d =
+  let pp fmt (w, x, y, z) =
+    Format.fprintf fmt "(%a,%a,%a,%a)" (Alcotest.pp a) w (Alcotest.pp b) x (Alcotest.pp c) y
+      (Alcotest.pp d) z
+  in
+  let eq (w1, x1, y1, z1) (w2, x2, y2, z2) =
+    Alcotest.equal a w1 w2 && Alcotest.equal b x1 x2 && Alcotest.equal c y1 y2
+    && Alcotest.equal d z1 z2
+  in
+  Alcotest.testable pp eq
+
+let test_mcf_simple_negative_cycle () =
+  (* Two nodes, a negative arc and a free return arc: the solver should
+     saturate the negative arc. *)
+  let g = Inf.Mcf.create ~n_nodes:2 in
+  let neg = Inf.Mcf.add_arc g ~src:0 ~dst:1 ~cap:10L ~cost:(-5) in
+  let back = Inf.Mcf.add_arc g ~src:1 ~dst:0 ~cap:100L ~cost:0 in
+  Inf.Mcf.solve g;
+  Alcotest.(check int64) "negative arc saturated" 10L (Inf.Mcf.flow neg);
+  Alcotest.(check int64) "return flow matches" 10L (Inf.Mcf.flow back);
+  Alcotest.(check int64) "cost" (-50L) (Inf.Mcf.total_cost g)
+
+let test_mcf_respects_positive_cost () =
+  (* Reward 3/unit but the return path costs 5/unit: no flow is profitable. *)
+  let g = Inf.Mcf.create ~n_nodes:2 in
+  let a = Inf.Mcf.add_arc g ~src:0 ~dst:1 ~cap:10L ~cost:(-3) in
+  let _ = Inf.Mcf.add_arc g ~src:1 ~dst:0 ~cap:100L ~cost:5 in
+  Inf.Mcf.solve g;
+  Alcotest.(check int64) "no profitable cycle" 0L (Inf.Mcf.flow a)
+
+let test_mcf_bottleneck () =
+  (* Chain with a narrow middle arc: flow limited by the bottleneck. *)
+  let g = Inf.Mcf.create ~n_nodes:3 in
+  let a = Inf.Mcf.add_arc g ~src:0 ~dst:1 ~cap:100L ~cost:(-2) in
+  let b = Inf.Mcf.add_arc g ~src:1 ~dst:2 ~cap:7L ~cost:(-2) in
+  let _ = Inf.Mcf.add_arc g ~src:2 ~dst:0 ~cap:1000L ~cost:0 in
+  Inf.Mcf.solve g;
+  (* The cycle through both negative arcs pushes 7; then the remaining
+     0->1 reward has no way back without... the only return is via 2. *)
+  Alcotest.(check int64) "bottleneck honored on b" 7L (Inf.Mcf.flow b);
+  Alcotest.(check bool) "a at least bottleneck" true (Int64.compare (Inf.Mcf.flow a) 7L >= 0)
+
+let annotated_loop n_measured =
+  (* entry(1) -> header -> body(n) -> header; header -> exit(1) *)
+  let p =
+    F.Lower.compile
+      "fn main(n) { let s = 0; let i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+  in
+  Csspgo_ir.Program.iter_funcs
+    (fun f -> ignore (Csspgo_opt.Simplify.run ~config:Csspgo_opt.Config.o2_nopgo f))
+    p;
+  let f = Ir.Program.func p "main" in
+  (* raw measurement: only the loop body has a count *)
+  (match Ir.Cfg.natural_loops f with
+  | [ loop ] ->
+      Hashtbl.iter
+        (fun l () ->
+          if l <> loop.Ir.Cfg.header then (Ir.Func.block f l).Ir.Block.count <- n_measured)
+        loop.Ir.Cfg.body
+  | _ -> Alcotest.fail "expected one loop");
+  (Ir.Func.entry_block f).Ir.Block.count <- 1L;
+  f.Ir.Func.annotated <- true;
+  (p, f)
+
+let test_infer_makes_consistent () =
+  let _, f = annotated_loop 1000L in
+  Inf.Infer.infer_func f;
+  Alcotest.(check (list (quad int int64 int64 int64))) "no inconsistencies" []
+    (List.map
+       (fun (l, a, b, c) -> (l, a, b, c))
+       (Inf.Infer.consistency_errors f))
+
+let test_infer_preserves_hot_signal () =
+  let _, f = annotated_loop 1000L in
+  Inf.Infer.infer_func f;
+  (* The loop header must now be about as hot as the body. *)
+  match Ir.Cfg.natural_loops f with
+  | [ loop ] ->
+      let header = Ir.Func.block f loop.Ir.Cfg.header in
+      Alcotest.(check bool) "header recovered hot" true
+        (Int64.compare header.Ir.Block.count 900L >= 0)
+  | _ -> Alcotest.fail "loop lost"
+
+let test_infer_zero_profile_stays_zero () =
+  let _, f = annotated_loop 0L in
+  (Ir.Func.entry_block f).Ir.Block.count <- 0L;
+  Inf.Infer.infer_func f;
+  Alcotest.(check int64) "no phantom counts" 0L (Ir.Func.total_count f)
+
+let prop_infer_consistency =
+  (* Random raw counts on the diamond program always become consistent. *)
+  QCheck.Test.make ~name:"inference yields flow-consistent profiles" ~count:60
+    QCheck.(list_of_size (Gen.return 8) (int_range 0 10_000))
+    (fun raw ->
+      let p =
+        F.Lower.compile
+          "fn main(a) { let x = 0; if (a > 1) { x = a; } else { x = 2; } if (a > 10) { x = x + 1; } return x; }"
+      in
+      Csspgo_ir.Program.iter_funcs
+        (fun f -> ignore (Csspgo_opt.Simplify.run ~config:Csspgo_opt.Config.o2_nopgo f))
+        p;
+      let f = Ir.Program.func p "main" in
+      let i = ref 0 in
+      Ir.Func.iter_blocks
+        (fun b ->
+          b.Ir.Block.count <-
+            Int64.of_int (try List.nth raw !i with _ -> 0);
+          incr i)
+        f;
+      f.Ir.Func.annotated <- true;
+      Inf.Infer.infer_func f;
+      Inf.Infer.consistency_errors f = [])
+
+let test_infer_idempotent () =
+  let _, f = annotated_loop 500L in
+  Inf.Infer.infer_func f;
+  let snapshot =
+    Ir.Func.fold_blocks (fun acc b -> (b.Ir.Block.id, b.Ir.Block.count) :: acc) [] f
+  in
+  Inf.Infer.infer_func f;
+  let snapshot2 =
+    Ir.Func.fold_blocks (fun acc b -> (b.Ir.Block.id, b.Ir.Block.count) :: acc) [] f
+  in
+  Alcotest.(check (list (pair int int64))) "second inference is a no-op" snapshot snapshot2
+
+let test_infer_bridges_gap () =
+  (* A hot block with an unmeasured predecessor: flow must be routed through
+     the gap rather than dropped. *)
+  let p =
+    F.Lower.compile
+      "fn main(a) { let x = a + 1; let y = x * 2; let z = y + 3; if (z > 0) { return z; } return 0; }"
+  in
+  Csspgo_ir.Program.iter_funcs
+    (fun f -> ignore (Csspgo_opt.Simplify.run ~config:Csspgo_opt.Config.o2_nopgo f))
+    p;
+  let f = Ir.Program.func p "main" in
+  (* measure only a non-entry block *)
+  Ir.Func.iter_blocks
+    (fun b -> b.Ir.Block.count <- (if b.Ir.Block.id = f.Ir.Func.entry then 0L else 900L))
+    f;
+  f.Ir.Func.annotated <- true;
+  Inf.Infer.infer_func f;
+  Alcotest.(check bool) "entry receives flow" true
+    (Int64.compare (Ir.Func.entry_count f) 500L >= 0);
+  Alcotest.(check (list (quad int int64 int64 int64))) "consistent" []
+    (Inf.Infer.consistency_errors f)
+
+let suite =
+  ( "inference",
+    [
+      Alcotest.test_case "mcf negative cycle" `Quick test_mcf_simple_negative_cycle;
+      Alcotest.test_case "mcf positive cost" `Quick test_mcf_respects_positive_cost;
+      Alcotest.test_case "mcf bottleneck" `Quick test_mcf_bottleneck;
+      Alcotest.test_case "infer consistent" `Quick test_infer_makes_consistent;
+      Alcotest.test_case "infer hot signal" `Quick test_infer_preserves_hot_signal;
+      Alcotest.test_case "infer zero stays zero" `Quick test_infer_zero_profile_stays_zero;
+      Alcotest.test_case "infer idempotent" `Quick test_infer_idempotent;
+      Alcotest.test_case "infer bridges gaps" `Quick test_infer_bridges_gap;
+      QCheck_alcotest.to_alcotest prop_infer_consistency;
+    ] )

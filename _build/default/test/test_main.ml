@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "csspgo"
+    [
+      Test_support.suite;
+      Test_ir.suite;
+      Test_frontend.suite;
+      Test_opt.suite;
+      Test_codegen.suite;
+      Test_vm.suite;
+      Test_profile.suite;
+      Test_inference.suite;
+      Test_profgen.suite;
+      Test_core.suite;
+      Test_differential.suite;
+    ]

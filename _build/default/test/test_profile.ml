@@ -1,0 +1,218 @@
+(* Profile data structures: line profiles, probe profiles, context trie. *)
+module Ir = Csspgo_ir
+module P = Csspgo_profile
+module LP = P.Line_profile
+module PP = P.Probe_profile
+module CP = P.Ctx_profile
+
+let g name = Ir.Guid.of_name name
+
+let test_line_profile_max () =
+  let t = LP.create () in
+  let fe = LP.get_or_add t (g "f") ~name:"f" in
+  LP.set_line_max fe (3, 0) 10L;
+  LP.set_line_max fe (3, 0) 7L;
+  Alcotest.(check int64) "max keeps 10" 10L (LP.line_count fe (3, 0));
+  LP.set_line_max fe (3, 0) 12L;
+  Alcotest.(check int64) "max raises to 12" 12L (LP.line_count fe (3, 0));
+  LP.add_call fe (3, 0) (g "callee") 5L;
+  LP.add_call fe (3, 0) (g "callee") 6L;
+  Alcotest.(check (list (pair int64 int64))) "call counts sum"
+    [ (g "callee", 11L) ]
+    (LP.call_counts fe (3, 0))
+
+let test_probe_profile_sum () =
+  let t = PP.create () in
+  let fe = PP.get_or_add t (g "f") ~name:"f" in
+  PP.add_probe fe 1 10L;
+  PP.add_probe fe 1 7L;
+  Alcotest.(check int64) "probes sum" 17L (PP.probe_count fe 1);
+  Alcotest.(check int64) "total" 17L fe.PP.fe_total
+
+let mk_trie () =
+  let t = CP.create () in
+  (* main -> (site 3) foo -> (site 2) bar, plus base foo *)
+  let path =
+    [ ((g "main", 3), g "foo", "foo"); ((g "foo", 2), g "bar", "bar") ]
+  in
+  let bar_node = Option.get (CP.node_at t ~path) in
+  PP.add_probe bar_node.CP.n_prof 1 100L;
+  let foo_node = Option.get (CP.node_at t ~path:[ ((g "main", 3), g "foo", "foo") ]) in
+  PP.add_probe foo_node.CP.n_prof 1 50L;
+  let base_foo = CP.base t (g "foo") ~name:"foo" in
+  PP.add_probe base_foo.CP.n_prof 1 7L;
+  t
+
+let test_trie_structure () =
+  let t = mk_trie () in
+  Alcotest.(check int) "node count" 4 (CP.n_nodes t);
+  Alcotest.(check int64) "total samples" 157L (CP.total_samples t);
+  let found =
+    CP.find_node t ~leaf:(g "bar") (fun ctx ->
+        ctx = [ (g "main", 3); (g "foo", 2) ])
+  in
+  Alcotest.(check bool) "deep context resolvable" true (found <> None)
+
+let test_promote_to_base () =
+  let t = mk_trie () in
+  let main = CP.base t (g "main") ~name:"main" in
+  CP.promote_to_base t ~parent:main ~key:(3, g "foo");
+  (* foo's context merged into base foo; bar context re-rooted under base foo *)
+  let base_foo = CP.base t (g "foo") ~name:"foo" in
+  Alcotest.(check int64) "merged counts" 57L (PP.probe_count base_foo.CP.n_prof 1);
+  Alcotest.(check bool) "bar now under base foo" true
+    (Hashtbl.mem base_foo.CP.n_children (2, g "bar"));
+  (* no double counting on repeated promotion *)
+  CP.promote_to_base t ~parent:main ~key:(3, g "foo");
+  Alcotest.(check int64) "idempotent" 57L (PP.probe_count base_foo.CP.n_prof 1);
+  Alcotest.(check int64) "conserved" 157L (CP.total_samples t)
+
+let test_trim_cold_conserves () =
+  let t = mk_trie () in
+  let before = CP.total_samples t in
+  let removed = CP.trim_cold t ~threshold:Int64.max_int in
+  Alcotest.(check bool) "contexts removed" true (removed > 0);
+  Alcotest.(check int64) "samples conserved" before (CP.total_samples t);
+  (* everything is now in base profiles *)
+  CP.iter_nodes t (fun ctx node ->
+      if ctx <> [] && Int64.compare node.CP.n_prof.PP.fe_total 0L > 0 then
+        Alcotest.fail "non-base counts remain after full trim")
+
+let test_trim_cold_keeps_hot () =
+  let t = mk_trie () in
+  let removed = CP.trim_cold t ~threshold:60L in
+  (* bar subtree total = 100 stays; foo node itself is parent of bar so its
+     subtree total is 150 -> stays *)
+  ignore removed;
+  Alcotest.(check bool) "hot context survives" true
+    (CP.find_node t ~leaf:(g "bar") (fun ctx -> List.length ctx = 2) <> None)
+
+let test_size_bytes_grows () =
+  let t = mk_trie () in
+  let s1 = CP.size_bytes t in
+  let deep_path =
+    [ ((g "main", 3), g "foo", "foo");
+      ((g "foo", 2), g "bar", "bar");
+      ((g "bar", 9), g "baz", "baz") ]
+  in
+  let n = Option.get (CP.node_at t ~path:deep_path) in
+  PP.add_probe n.CP.n_prof 1 1L;
+  Alcotest.(check bool) "size grows with contexts" true (CP.size_bytes t > s1)
+
+(* --- text serialization round trips --------------------------------- *)
+
+let test_probe_roundtrip () =
+  let t = PP.create () in
+  let fe = PP.get_or_add t (g "f") ~name:"f" in
+  fe.PP.fe_head <- 12L;
+  fe.PP.fe_checksum <- 0xDEADL;
+  PP.add_probe fe 1 100L;
+  PP.add_probe fe 3 7L;
+  PP.add_call fe 2 (g "callee") 55L;
+  let s = P.Text_io.probe_to_string t in
+  let t2 = P.Text_io.read_probe s in
+  let fe2 = Option.get (PP.get t2 (g "f")) in
+  Alcotest.(check int64) "head" 12L fe2.PP.fe_head;
+  Alcotest.(check int64) "checksum" 0xDEADL fe2.PP.fe_checksum;
+  Alcotest.(check int64) "probe 1" 100L (PP.probe_count fe2 1);
+  Alcotest.(check int64) "probe 3" 7L (PP.probe_count fe2 3);
+  Alcotest.(check (list (pair int64 int64))) "calls" [ (g "callee", 55L) ]
+    (PP.call_counts fe2 2);
+  (* stable: serializing again yields identical text *)
+  Alcotest.(check string) "canonical" s (P.Text_io.probe_to_string t2)
+
+let test_ctx_roundtrip () =
+  let t = mk_trie () in
+  (* add an inline mark and a head count for coverage *)
+  (match CP.find_node t ~leaf:(g "bar") (fun ctx -> List.length ctx = 2) with
+  | Some n ->
+      n.CP.n_inlined <- true;
+      n.CP.n_prof.PP.fe_head <- 9L
+  | None -> Alcotest.fail "bar context missing");
+  let s = CP.total_samples t in
+  let text = P.Text_io.ctx_to_string t in
+  let t2 = P.Text_io.read_ctx text in
+  Alcotest.(check int64) "samples preserved" s (CP.total_samples t2);
+  Alcotest.(check int) "node count preserved" (CP.n_nodes t) (CP.n_nodes t2);
+  (match CP.find_node t2 ~leaf:(g "bar") (fun ctx -> List.length ctx = 2) with
+  | Some n ->
+      Alcotest.(check bool) "inline mark preserved" true n.CP.n_inlined;
+      Alcotest.(check int64) "head preserved" 9L n.CP.n_prof.PP.fe_head
+  | None -> Alcotest.fail "bar context lost");
+  Alcotest.(check string) "canonical" text (P.Text_io.ctx_to_string t2)
+
+let test_line_roundtrip () =
+  let t = LP.create () in
+  let fe = LP.get_or_add t (g "f") ~name:"f" in
+  fe.LP.fe_head <- 4L;
+  LP.set_line_max fe (2, 0) 40L;
+  LP.set_line_max fe (3, 1) 7L;
+  LP.add_call fe (2, 0) (g "callee") 33L;
+  let text = P.Text_io.line_to_string t in
+  let t2 = P.Text_io.read_line text in
+  let fe2 = Option.get (LP.get t2 (g "f")) in
+  Alcotest.(check int64) "line 2.0" 40L (LP.line_count fe2 (2, 0));
+  Alcotest.(check int64) "line 3.1" 7L (LP.line_count fe2 (3, 1));
+  Alcotest.(check int64) "head" 4L fe2.LP.fe_head;
+  Alcotest.(check string) "canonical" text (P.Text_io.line_to_string t2)
+
+let test_text_io_errors () =
+  let fails s = match P.Text_io.read_probe s with
+    | exception P.Text_io.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "orphan probe" true (fails "probe 1 5");
+  Alcotest.(check bool) "junk" true (fails "wibble");
+  Alcotest.(check bool) "bad int" true
+    (fails "function f guid=ff total=0 head=0 checksum=0\n probe x 5");
+  (* comments and blank lines are fine *)
+  Alcotest.(check bool) "comments ok" false
+    (fails "# header\n\nfunction f guid=ff total=0 head=0 checksum=0\n probe 1 5 # hot")
+
+let prop_probe_roundtrip =
+  QCheck.Test.make ~name:"probe profile text round-trips" ~count:100
+    QCheck.(list (pair (int_range 1 40) (int_range 1 100000)))
+    (fun pairs ->
+      let t = PP.create () in
+      let fe = PP.get_or_add t (g "f") ~name:"f" in
+      List.iter (fun (id, c) -> PP.add_probe fe id (Int64.of_int c)) pairs;
+      let t2 = P.Text_io.read_probe (P.Text_io.probe_to_string t) in
+      PP.total_samples t2 = PP.total_samples t)
+
+let prop_merge_fentry_conserves =
+  QCheck.Test.make ~name:"merge_fentry conserves probe totals" ~count:100
+    QCheck.(list (pair (int_range 1 20) (int_range 1 1000)))
+    (fun pairs ->
+      let a =
+        { PP.fe_total = 0L; fe_head = 0L; fe_probes = Hashtbl.create 8;
+          fe_calls = Hashtbl.create 1; fe_checksum = 0L }
+      in
+      let b =
+        { PP.fe_total = 0L; fe_head = 0L; fe_probes = Hashtbl.create 8;
+          fe_calls = Hashtbl.create 1; fe_checksum = 0L }
+      in
+      List.iteri
+        (fun i (id, c) ->
+          PP.add_probe (if i mod 2 = 0 then a else b) id (Int64.of_int c))
+        pairs;
+      let total = Int64.add a.PP.fe_total b.PP.fe_total in
+      CP.merge_fentry ~into:a b;
+      Int64.equal a.PP.fe_total total)
+
+let suite =
+  ( "profile",
+    [
+      Alcotest.test_case "line profile max heuristic" `Quick test_line_profile_max;
+      Alcotest.test_case "probe profile sums" `Quick test_probe_profile_sum;
+      Alcotest.test_case "trie structure" `Quick test_trie_structure;
+      Alcotest.test_case "promote to base" `Quick test_promote_to_base;
+      Alcotest.test_case "trim cold conserves" `Quick test_trim_cold_conserves;
+      Alcotest.test_case "trim keeps hot" `Quick test_trim_cold_keeps_hot;
+      Alcotest.test_case "size estimate" `Quick test_size_bytes_grows;
+      Alcotest.test_case "probe text roundtrip" `Quick test_probe_roundtrip;
+      Alcotest.test_case "ctx text roundtrip" `Quick test_ctx_roundtrip;
+      Alcotest.test_case "line text roundtrip" `Quick test_line_roundtrip;
+      Alcotest.test_case "text parse errors" `Quick test_text_io_errors;
+      QCheck_alcotest.to_alcotest prop_probe_roundtrip;
+      QCheck_alcotest.to_alcotest prop_merge_fentry_conserves;
+    ] )
