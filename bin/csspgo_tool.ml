@@ -5,7 +5,8 @@
      run      FILE     compile and execute main with integer arguments
      pgo      NAME     run a PGO variant end-to-end on a named workload
      probes   FILE     show the pseudo-probe metadata of a probed build
-     contexts NAME     print the reconstructed context trie for a workload *)
+     contexts NAME     print the reconstructed context trie for a workload
+     fuzz              differential fuzzing campaign over random programs *)
 
 module F = Csspgo_frontend
 module Ir = Csspgo_ir
@@ -182,9 +183,123 @@ let contexts_cmd =
     (Cmd.info "contexts" ~doc:"Print the reconstructed context trie of a workload")
     Term.(const run $ workload_arg)
 
+(* --- fuzz ---------------------------------------------------------- *)
+
+module Fuzz = Csspgo_fuzz
+
+let seeds_conv =
+  let parse s =
+    match String.index_opt s '-' with
+    | Some i -> (
+        let lo = String.sub s 0 i
+        and hi = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo >= 0 && hi >= lo -> Ok (lo, hi)
+        | _ -> Error (`Msg (Printf.sprintf "invalid seed range %S (want LO-HI)" s)))
+    | None -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok (n, n)
+        | _ -> Error (`Msg (Printf.sprintf "invalid seed range %S (want LO-HI)" s)))
+  in
+  let print fmt (lo, hi) = Format.fprintf fmt "%d-%d" lo hi in
+  Arg.conv (parse, print)
+
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt seeds_conv (1, 1000)
+      & info [ "seeds" ] ~docv:"LO-HI" ~doc:"Inclusive seed range to fuzz")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Corpus directory for minimized reproducers")
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_plans_per_seed
+      & info [ "plans" ] ~docv:"N" ~doc:"Random pipeline permutations per seed")
+  in
+  let n_funcs_arg =
+    Arg.(
+      value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_n_funcs
+      & info [ "n-funcs" ] ~docv:"N" ~doc:"Functions per generated program")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_size
+      & info [ "size" ] ~docv:"N" ~doc:"Program size knob (statements per block)")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float Fuzz.Campaign.default_config.Fuzz.Campaign.cf_quality_floor
+      & info [ "quality-floor" ] ~docv:"F"
+          ~doc:"Minimum probe-vs-instrumentation block overlap")
+  in
+  let no_variants_arg =
+    Arg.(value & flag & info [ "no-variants" ] ~doc:"Skip the five Driver PGO variants")
+  in
+  let no_minimize_arg =
+    Arg.(value & flag & info [ "no-minimize" ] ~doc:"Report failures without shrinking")
+  in
+  let max_failures_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-failures" ] ~docv:"N" ~doc:"Stop the campaign after N failures")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
+  in
+  let run (lo, hi) out plans n_funcs size floor no_variants no_minimize max_failures
+      inject =
+    let cfg =
+      {
+        Fuzz.Campaign.default_config with
+        Fuzz.Campaign.cf_plans_per_seed = plans;
+        cf_n_funcs = n_funcs;
+        cf_size = size;
+        cf_quality_floor = floor;
+        cf_variants = not no_variants;
+        cf_minimize = not no_minimize;
+        cf_max_failures = max_failures;
+        cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
+      }
+    in
+    let st = Fuzz.Campaign.run ?out_dir:out cfg ~seeds:(lo, hi) in
+    List.iter
+      (fun (fl : Fuzz.Campaign.failure) ->
+        Printf.printf "FAIL seed %Ld  %s  at %s\n  %s\n" fl.Fuzz.Campaign.fl_seed
+          (Fuzz.Campaign.kind_name fl.Fuzz.Campaign.fl_kind)
+          (Fuzz.Campaign.site_to_string fl.Fuzz.Campaign.fl_site)
+          fl.Fuzz.Campaign.fl_detail;
+        match fl.Fuzz.Campaign.fl_minimized with
+        | Some m ->
+            Printf.printf "  minimized to %d lines%s\n"
+              (Fuzz.Reduce.count_source_lines m)
+              (match out with Some d -> Printf.sprintf " (see %s/)" d | None -> "")
+        | None -> ())
+      (List.rev st.Fuzz.Campaign.st_failures);
+    Format.printf "%a@." Fuzz.Campaign.pp_stats st;
+    if Fuzz.Campaign.n_failures st > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing campaign: permuted pass pipelines and PGO variants \
+          against an -O0 reference, with test-case minimization")
+    Term.(
+      const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
+      $ no_variants_arg $ no_minimize_arg $ max_failures_arg $ inject_arg)
+
 let () =
   let info =
     Cmd.info "csspgo" ~version:"1.0.0"
       ~doc:"CSSPGO: context-sensitive sampling-based PGO with pseudo-instrumentation"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd; fuzz_cmd ]))

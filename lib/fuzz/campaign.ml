@@ -1,0 +1,463 @@
+(* Differential fuzzing campaign runner.
+
+   Per seed: generate a MiniC program, build a fixed -O0 reference, then
+   check three oracle families against it:
+   - randomly permuted pass pipelines (sampled from [Opt.Pass.all_steps],
+     probes/instrumentation/layout/inlining randomized) must compute the
+     same result, with [Ir.Verify] run after every pass;
+   - all five [Core.Driver] PGO variants must compute the same result;
+   - the probe profile's block overlap against the instrumentation ground
+     truth must stay above a floor (profile-quality regression oracle).
+
+   Failures are minimized with [Reduce] and written to a corpus directory
+   as a .minic reproducer plus a .repro replay note. Everything is
+   deterministic in the seed. *)
+
+module F = Csspgo_frontend
+module Ir = Csspgo_ir
+module Opt = Csspgo_opt
+module Cg = Csspgo_codegen
+module Vm = Csspgo_vm
+module W = Csspgo_workloads
+module Core = Csspgo_core
+module S = Csspgo_support
+module D = Core.Driver
+
+(* --- plans ---------------------------------------------------------- *)
+
+type plan = {
+  pl_steps : Opt.Pass.step list;
+  pl_probes : bool;
+  pl_instrument : bool;
+  pl_inline : bool;
+  pl_probes_strong : bool;
+  pl_layout : [ `Hot_path | `Ext_tsp ];
+}
+
+let plan_to_string pl =
+  let b c = if c then '+' else '-' in
+  Printf.sprintf "steps=%s probes%c instr%c inline%c strong%c layout=%s"
+    (String.concat "," (List.map Opt.Pass.step_name pl.pl_steps))
+    (b pl.pl_probes) (b pl.pl_instrument) (b pl.pl_inline) (b pl.pl_probes_strong)
+    (match pl.pl_layout with `Hot_path -> "hot-path" | `Ext_tsp -> "ext-tsp")
+
+let sample_plan rng =
+  let arr = Array.of_list Opt.Pass.all_steps in
+  S.Rng.shuffle rng arr;
+  let steps =
+    List.filter (fun _ -> not (S.Rng.chance rng 0.25)) (Array.to_list arr)
+  in
+  (* Sometimes repeat the cleanup pair, mirroring the default pipeline's
+     second constfold/simplify round. *)
+  let steps =
+    if S.Rng.chance rng 0.3 then steps @ [ Opt.Pass.Constfold; Opt.Pass.Simplify ]
+    else steps
+  in
+  {
+    pl_steps = steps;
+    pl_probes = S.Rng.bool rng;
+    pl_instrument = S.Rng.chance rng 0.3;
+    pl_inline = S.Rng.bool rng;
+    pl_probes_strong = S.Rng.chance rng 0.3;
+    pl_layout = (if S.Rng.bool rng then `Ext_tsp else `Hot_path);
+  }
+
+(* Decouple the plan stream from the program-generation stream (Gen also
+   seeds its Rng with the raw seed). *)
+let plan_rng seed = S.Rng.create (Int64.logxor seed 0x9E3779B97F4A7C15L)
+
+(* --- oracles -------------------------------------------------------- *)
+
+type failure_kind = Result_mismatch | Verify_error | Quality_low | Crash
+
+let kind_name = function
+  | Result_mismatch -> "result-mismatch"
+  | Verify_error -> "verify-error"
+  | Quality_low -> "quality-low"
+  | Crash -> "crash"
+
+type site =
+  | Reference
+  | Plan of plan
+  | Variant of D.variant
+  | Quality
+
+let site_to_string = function
+  | Reference -> "reference (-O0 baseline)"
+  | Plan pl -> "plan " ^ plan_to_string pl
+  | Variant v -> "pgo variant " ^ D.variant_name v
+  | Quality -> "probe-vs-instrumentation profile quality"
+
+type failure = {
+  fl_seed : int64;
+  fl_kind : failure_kind;
+  fl_site : site;
+  fl_detail : string;
+  fl_source : string;
+  fl_minimized : string option;
+}
+
+type config = {
+  cf_plans_per_seed : int;
+  cf_n_funcs : int;
+  cf_size : int;
+  cf_fuel : int64;           (** budget for the -O0 reference run *)
+  cf_variants : bool;        (** also run the five Driver PGO variants *)
+  cf_quality_floor : float;
+  cf_quality_min_total : int64;
+      (** skip the quality oracle below this ground-truth block count:
+          overlap on nearly-unexecuted programs is all noise *)
+  cf_minimize : bool;
+  cf_max_failures : int option;  (** stop the campaign after this many *)
+  cf_inject : (string * (Ir.Func.t -> unit)) option;
+      (** deliberately broken extra pass appended to every plan pipeline —
+          the harness's own mutation test *)
+}
+
+let default_config =
+  {
+    cf_plans_per_seed = 4;
+    cf_n_funcs = 5;
+    cf_size = 2;
+    cf_fuel = 20_000_000L;
+    cf_variants = true;
+    cf_quality_floor = 0.5;
+    cf_quality_min_total = 300L;
+    cf_minimize = true;
+    cf_max_failures = None;
+    cf_inject = None;
+  }
+
+(* A constfold that "folds" conditional branches by dropping the guard and
+   always taking the false edge — the planted miscompile used to prove the
+   harness detects and minimizes real semantic bugs. *)
+let planted_bug =
+  ( "broken-constfold-drops-guard",
+    fun (f : Ir.Func.t) ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          match b.Ir.Block.term with
+          | Ir.Instr.Br (_, _, els) -> Ir.Block.set_term b (Ir.Instr.Jmp els)
+          | _ -> ())
+        f )
+
+exception Discarded
+exception Fail of failure_kind * site * string
+
+let guarded_run site f =
+  try f () with
+  | Discarded -> raise Discarded
+  | Fail _ as e -> raise e
+  | e -> raise (Fail (Crash, site, Printexc.to_string e))
+
+let guarded_build site f =
+  try f () with
+  | (Discarded | Fail _) as e -> raise e
+  | Failure msg -> raise (Fail (Verify_error, site, msg))
+  | e -> raise (Fail (Crash, site, Printexc.to_string e))
+
+let run_bin ~fuel bin args =
+  match Vm.Machine.run ~pmu:None ~fuel bin ~entry:"main" ~args with
+  | r -> r.Vm.Machine.ret_value
+  | exception Vm.Machine.Trap "fuel exhausted" -> raise Discarded
+
+let build_reference src =
+  let p = F.Lower.compile src in
+  Opt.Pass.optimize ~config:Opt.Config.o0 p;
+  Ir.Verify.check_exn p;
+  Cg.Emit.emit ~options:Cg.Emit.default_options p
+
+let config_of_plan pl =
+  {
+    Opt.Config.o2 with
+    Opt.Config.inline_mode =
+      (if pl.pl_inline then Opt.Config.Inline_static else Opt.Config.Inline_none);
+    probes_strong = pl.pl_probes_strong;
+    verify_between_passes = true;
+  }
+
+let build_plan ?inject pl src =
+  let p = F.Lower.compile src in
+  if pl.pl_probes then Core.Pseudo_probe.insert p;
+  if pl.pl_instrument then ignore (Core.Instrument.instrument p);
+  Opt.Pass.optimize_with ~config:(config_of_plan pl) ~steps:pl.pl_steps p;
+  (match inject with
+  | Some (_, g) ->
+      Ir.Program.iter_funcs g p;
+      Ir.Verify.check_exn p
+  | None -> ());
+  Cg.Emit.emit
+    ~options:{ Cg.Emit.default_options with Cg.Emit.layout = pl.pl_layout }
+    p
+
+(* Fuzz programs are tiny: at the driver's default sampling period they
+   finish within a handful of samples and every probe profile comes out
+   empty. Sample much denser and repeat the training input so the quality
+   oracle sees a real profile. *)
+let driver_options =
+  {
+    D.default_options with
+    D.pmu = { Vm.Machine.default_pmu with Vm.Machine.sample_period = 101 };
+  }
+
+let train_reps = 8
+
+let workload_of ~seed src args =
+  let spec = { D.rs_args = args; rs_globals = [] } in
+  {
+    D.w_name = Printf.sprintf "fuzz-%Ld" seed;
+    w_source = src;
+    w_entry = "main";
+    w_train = List.init train_reps (fun _ -> spec);
+    w_eval = [ spec ];
+  }
+
+let args_of_seed seed = [ Int64.of_int (Int64.to_int seed land 0xff); 17L ]
+
+let all_variants =
+  [ D.Nopgo; D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full; D.Instr_pgo ]
+
+let total_counts p =
+  let t = ref 0L in
+  Ir.Program.iter_funcs (fun f -> t := Int64.add !t (Ir.Func.total_count f)) p;
+  !t
+
+type checked = C_pass | C_discard | C_fail of failure_kind * site * string
+
+(* Run one plan against the reference result; raises [Fail] / [Discarded]. *)
+let check_plan cfg pl src args ref_result =
+  let site = Plan pl in
+  let bin = guarded_build site (fun () -> build_plan ?inject:cfg.cf_inject pl src) in
+  let r = guarded_run site (fun () -> run_bin ~fuel:(Int64.mul 4L cfg.cf_fuel) bin args) in
+  if not (Int64.equal r ref_result) then
+    raise
+      (Fail
+         ( Result_mismatch,
+           site,
+           Printf.sprintf "reference=%Ld plan=%Ld" ref_result r ))
+
+(* Run one Driver PGO variant against the reference result. *)
+let check_variant cfg v w args ref_result =
+  let site = Variant v in
+  let o = guarded_build site (fun () -> D.run_variant ~options:driver_options v w) in
+  let r =
+    guarded_run site (fun () -> run_bin ~fuel:(Int64.mul 4L cfg.cf_fuel) o.D.o_binary args)
+  in
+  if not (Int64.equal r ref_result) then
+    raise
+      (Fail
+         ( Result_mismatch,
+           site,
+           Printf.sprintf "reference=%Ld %s=%Ld" ref_result (D.variant_name v) r ));
+  o
+
+(* The overlap oracle is only meaningful when the profiling run was long
+   enough for the PMU to fire a useful number of times.  A program can
+   execute hundreds of blocks and still finish in fewer cycles than one
+   sampling period, in which case the probe profile is *correctly* empty
+   and overlap 0.0 says nothing about correlation quality.  Require both
+   enough ground-truth weight and enough expected samples. *)
+let quality_min_samples = 20L
+
+let check_quality cfg ?on_overlap ~truth ~cand ~pcycles () =
+  let period =
+    Int64.of_int driver_options.D.pmu.Vm.Machine.sample_period
+  in
+  let expected_samples = Int64.div pcycles period in
+  if
+    Int64.compare (total_counts truth) cfg.cf_quality_min_total >= 0
+    && Int64.compare expected_samples quality_min_samples >= 0
+  then begin
+    let ov = Core.Quality.block_overlap ~truth cand in
+    (match on_overlap with Some f -> f ov | None -> ());
+    if ov < cfg.cf_quality_floor then
+      raise
+        (Fail
+           ( Quality_low,
+             Quality,
+             Printf.sprintf "block overlap %.3f below floor %.2f" ov
+               cfg.cf_quality_floor ))
+  end
+
+(* Classify one source. [only] restricts the check to a single failing site
+   — the focused replay the minimizer drives; [reducing] makes sources that
+   no longer parse uninteresting instead of crash reports. *)
+let classify ?(reducing = false) ?only ?on_overlap (cfg : config) ~seed src =
+  let args = args_of_seed seed in
+  try
+    let ref_result =
+      let bin = guarded_build Reference (fun () -> build_reference src) in
+      guarded_run Reference (fun () -> run_bin ~fuel:cfg.cf_fuel bin args)
+    in
+    (match only with
+    | Some Reference -> ()
+    | Some (Plan pl) -> check_plan cfg pl src args ref_result
+    | Some (Variant v) ->
+        ignore (check_variant cfg v (workload_of ~seed src args) args ref_result)
+    | Some Quality ->
+        let w = workload_of ~seed src args in
+        let truth =
+          (guarded_build (Variant D.Instr_pgo) (fun () -> D.run_variant ~options:driver_options D.Instr_pgo w))
+            .D.o_annotated
+        in
+        let cand_o =
+          guarded_build (Variant D.Csspgo_probe_only) (fun () ->
+              D.run_variant ~options:driver_options D.Csspgo_probe_only w)
+        in
+        check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
+          ~pcycles:cand_o.D.o_profiling_cycles ()
+    | None ->
+        let rng = plan_rng seed in
+        for _ = 1 to cfg.cf_plans_per_seed do
+          check_plan cfg (sample_plan rng) src args ref_result
+        done;
+        if cfg.cf_variants then begin
+          let w = workload_of ~seed src args in
+          let outcomes =
+            List.map (fun v -> (v, check_variant cfg v w args ref_result)) all_variants
+          in
+          let truth = (List.assq D.Instr_pgo outcomes).D.o_annotated in
+          let cand_o = List.assq D.Csspgo_probe_only outcomes in
+          check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
+            ~pcycles:cand_o.D.o_profiling_cycles ()
+        end);
+    C_pass
+  with
+  | Discarded -> C_discard
+  | Fail (k, s, d) -> C_fail (k, s, d)
+  | (F.Lexer.Lex_error _ | F.Parser.Parse_error _ | F.Lower.Lower_error _) when reducing
+    ->
+      C_pass
+
+(* --- campaign ------------------------------------------------------- *)
+
+type stats = {
+  mutable st_runs : int;
+  mutable st_discards : int;
+  mutable st_mismatches : int;
+  mutable st_verify_errors : int;
+  mutable st_quality_lows : int;
+  mutable st_crashes : int;
+  mutable st_min_overlap : float;  (** 1.0 when no quality check ever ran *)
+  mutable st_failures : failure list;  (** most recent first *)
+}
+
+let n_failures st =
+  st.st_mismatches + st.st_verify_errors + st.st_quality_lows + st.st_crashes
+
+let pp_stats fmt st =
+  Format.fprintf fmt
+    "runs %d  discards %d (%.1f%%)  failures %d (mismatch %d, verify %d, quality %d, \
+     crash %d)  min-overlap %.3f"
+    st.st_runs st.st_discards
+    (if st.st_runs = 0 then 0.0
+     else 100.0 *. float_of_int st.st_discards /. float_of_int st.st_runs)
+    (n_failures st) st.st_mismatches st.st_verify_errors st.st_quality_lows
+    st.st_crashes st.st_min_overlap
+
+let interesting cfg ~seed site kind cand =
+  match classify ~reducing:true ~only:site cfg ~seed cand with
+  | C_fail (k, _, _) -> k = kind
+  | C_pass | C_discard -> false
+
+let repro_command cfg ~seed =
+  Printf.sprintf
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s --out corpus/"
+    seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
+    (if cfg.cf_variants then "" else " --no-variants")
+    (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""
+     else Printf.sprintf " --quality-floor %g" cfg.cf_quality_floor)
+    (* a custom cf_inject is not expressible on the CLI; --inject-bug is
+       the closest replay for any injection *)
+    (match cfg.cf_inject with None -> "" | Some _ -> " --inject-bug")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_corpus dir cfg fl =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let base = Filename.concat dir (Printf.sprintf "seed-%Ld" fl.fl_seed) in
+  (match fl.fl_minimized with
+  | Some m ->
+      write_file (base ^ ".minic") m;
+      write_file (base ^ ".orig.minic") fl.fl_source
+  | None -> write_file (base ^ ".minic") fl.fl_source);
+  write_file (base ^ ".repro")
+    (Printf.sprintf
+       "# csspgo fuzz reproducer\n\
+        # seed:   %Ld\n\
+        # oracle: %s\n\
+        # site:   %s\n\
+        # detail: %s\n\
+        # lines:  %d (original %d)\n\
+        # replay: %s\n"
+       fl.fl_seed (kind_name fl.fl_kind) (site_to_string fl.fl_site) fl.fl_detail
+       (Reduce.count_source_lines
+          (Option.value fl.fl_minimized ~default:fl.fl_source))
+       (Reduce.count_source_lines fl.fl_source)
+       (repro_command cfg ~seed:fl.fl_seed))
+
+let run_seed ?(stats : stats option) (cfg : config) seed =
+  let src = W.Gen.random_source ~n_funcs:cfg.cf_n_funcs ~size:cfg.cf_size ~seed () in
+  let on_overlap ov =
+    match stats with
+    | Some st -> if ov < st.st_min_overlap then st.st_min_overlap <- ov
+    | None -> ()
+  in
+  match classify ~on_overlap cfg ~seed src with
+  | C_pass -> None
+  | C_discard ->
+      (match stats with Some st -> st.st_discards <- st.st_discards + 1 | None -> ());
+      None
+  | C_fail (kind, site, detail) ->
+      let minimized =
+        if cfg.cf_minimize then
+          Some (Reduce.minimize ~check:(interesting cfg ~seed site kind) src)
+        else None
+      in
+      Some
+        {
+          fl_seed = seed;
+          fl_kind = kind;
+          fl_site = site;
+          fl_detail = detail;
+          fl_source = src;
+          fl_minimized = minimized;
+        }
+
+let run ?out_dir ?(progress = fun (_ : stats) -> ()) (cfg : config) ~seeds:(lo, hi) =
+  let st =
+    {
+      st_runs = 0;
+      st_discards = 0;
+      st_mismatches = 0;
+      st_verify_errors = 0;
+      st_quality_lows = 0;
+      st_crashes = 0;
+      st_min_overlap = 1.0;
+      st_failures = [];
+    }
+  in
+  let stop () =
+    match cfg.cf_max_failures with Some n -> n_failures st >= n | None -> false
+  in
+  let s = ref lo in
+  while !s <= hi && not (stop ()) do
+    let seed = Int64.of_int !s in
+    st.st_runs <- st.st_runs + 1;
+    (match run_seed ~stats:st cfg seed with
+    | None -> ()
+    | Some fl ->
+        (match fl.fl_kind with
+        | Result_mismatch -> st.st_mismatches <- st.st_mismatches + 1
+        | Verify_error -> st.st_verify_errors <- st.st_verify_errors + 1
+        | Quality_low -> st.st_quality_lows <- st.st_quality_lows + 1
+        | Crash -> st.st_crashes <- st.st_crashes + 1);
+        st.st_failures <- fl :: st.st_failures;
+        (match out_dir with Some dir -> write_corpus dir cfg fl | None -> ()));
+    progress st;
+    incr s
+  done;
+  st

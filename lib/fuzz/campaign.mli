@@ -1,0 +1,104 @@
+(** Differential fuzzing campaign runner.
+
+    Each seed deterministically yields one random MiniC program
+    ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
+    randomly permuted pass pipelines, and (optionally) all five
+    [Core.Driver] PGO variants. Three oracle families guard the paper's
+    central claim — that probes, context-sensitive profiles and aggressive
+    optimization never perturb semantics or profile quality:
+
+    - {b result equality}: every build computes the reference result;
+    - {b IR well-formedness}: [Ir.Verify] is re-run after every pass of
+      every permuted pipeline;
+    - {b profile quality}: [Core.Quality.block_overlap] of the probe
+      profile against the instrumentation ground truth stays above
+      [cf_quality_floor] (skipped for nearly-unexecuted programs).
+
+    Programs that exhaust the reference fuel budget are discards, not
+    passes — campaign statistics report them separately so a campaign
+    cannot silently become vacuous. Failures are shrunk with [Reduce] and
+    written to a corpus directory. *)
+
+type plan = {
+  pl_steps : Csspgo_opt.Pass.step list;  (** permuted post-inline pipeline *)
+  pl_probes : bool;
+  pl_instrument : bool;
+  pl_inline : bool;
+  pl_probes_strong : bool;
+  pl_layout : [ `Ext_tsp | `Hot_path ];
+}
+
+val plan_to_string : plan -> string
+
+val sample_plan : Csspgo_support.Rng.t -> plan
+
+type failure_kind = Result_mismatch | Verify_error | Quality_low | Crash
+
+val kind_name : failure_kind -> string
+
+type site =
+  | Reference                        (** the -O0 baseline itself broke *)
+  | Plan of plan
+  | Variant of Csspgo_core.Driver.variant
+  | Quality
+
+val site_to_string : site -> string
+
+type failure = {
+  fl_seed : int64;
+  fl_kind : failure_kind;
+  fl_site : site;
+  fl_detail : string;
+  fl_source : string;               (** original generated program *)
+  fl_minimized : string option;     (** delta-debugged reproducer *)
+}
+
+type config = {
+  cf_plans_per_seed : int;
+  cf_n_funcs : int;
+  cf_size : int;
+  cf_fuel : int64;
+  cf_variants : bool;
+  cf_quality_floor : float;
+  cf_quality_min_total : int64;
+  cf_minimize : bool;
+  cf_max_failures : int option;
+  cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
+}
+
+val default_config : config
+
+val planted_bug : string * (Csspgo_ir.Func.t -> unit)
+(** A deliberately broken pass (conditional guards dropped, false edge
+    always taken) used to prove the harness detects and minimizes planted
+    miscompiles. Wire it in via [cf_inject]. *)
+
+type stats = {
+  mutable st_runs : int;
+  mutable st_discards : int;
+  mutable st_mismatches : int;
+  mutable st_verify_errors : int;
+  mutable st_quality_lows : int;
+  mutable st_crashes : int;
+  mutable st_min_overlap : float;
+  mutable st_failures : failure list;
+}
+
+val n_failures : stats -> int
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_seed : ?stats:stats -> config -> int64 -> failure option
+(** Check a single seed; [None] is a pass or a discard (discards are
+    counted into [stats] when given). Minimization runs when the config
+    asks for it. *)
+
+val run :
+  ?out_dir:string ->
+  ?progress:(stats -> unit) ->
+  config ->
+  seeds:int * int ->
+  stats
+(** Run seeds [lo..hi] inclusive, stopping early at [cf_max_failures].
+    When [out_dir] is given, each failure is written there as
+    [seed-N.minic] (minimized), [seed-N.orig.minic] and [seed-N.repro].
+    [progress] is called after every seed. *)

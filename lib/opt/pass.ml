@@ -4,6 +4,58 @@ let src = Logs.Src.create "csspgo.opt" ~doc:"optimization pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* The post-inline per-function pipeline is data, not control flow: a list
+   of steps that can be inspected, reordered and resampled (the fuzzing
+   harness permutes it to hunt for pass-ordering bugs). *)
+type step =
+  | Constfold
+  | Simplify
+  | Licm
+  | Unroll
+  | Ifcvt
+  | Tail_dup
+  | Tail_merge
+  | Dce
+
+let step_name = function
+  | Constfold -> "constfold"
+  | Simplify -> "simplify"
+  | Licm -> "licm"
+  | Unroll -> "unroll"
+  | Ifcvt -> "ifcvt"
+  | Tail_dup -> "tail-dup"
+  | Tail_merge -> "tail-merge"
+  | Dce -> "dce"
+
+let all_steps = [ Constfold; Simplify; Licm; Unroll; Ifcvt; Tail_dup; Tail_merge; Dce ]
+
+let run_step ~(config : Config.t) step (f : Ir.Func.t) =
+  match step with
+  | Constfold -> Constfold.run f
+  | Simplify -> Simplify.run ~config f
+  | Licm -> Licm.run f
+  | Unroll -> Unroll.run ~config f
+  | Ifcvt -> Ifcvt.run ~config f
+  | Tail_dup -> Tail_dup.run ~config f
+  | Tail_merge -> Tail_merge.run f
+  | Dce -> Dce.run f
+
+let steps_of_config (config : Config.t) =
+  if config.Config.opt_level < 1 then []
+  else if config.Config.opt_level = 1 then [ Constfold; Simplify ]
+  else
+    [ Constfold; Simplify ]
+    @ (if config.Config.enable_licm then [ Licm ] else [])
+    @ (if config.Config.enable_unroll then [ Unroll ] else [])
+    (* If-conversion before tail duplication: duplicating a join block into
+       the arms destroys the diamond pattern (profitability, not safety —
+       any order must stay semantics-preserving). *)
+    @ (if config.Config.enable_ifcvt then [ Ifcvt ] else [])
+    @ (if config.Config.enable_tail_dup then [ Tail_dup ] else [])
+    @ [ Constfold; Simplify ]
+    @ (if config.Config.enable_tail_merge then [ Tail_merge ] else [])
+    @ [ Dce; Simplify ]
+
 let verify_if ~(config : Config.t) p stage =
   if config.Config.verify_between_passes then
     match Ir.Verify.program p with
@@ -16,29 +68,36 @@ let verify_if ~(config : Config.t) p stage =
         in
         failwith msg
 
-let optimize_func ~(config : Config.t) (f : Ir.Func.t) =
-  if config.Config.opt_level >= 1 then begin
-    ignore (Constfold.run f);
-    ignore (Simplify.run ~config f)
-  end;
-  if config.Config.opt_level >= 2 then begin
-    if config.Config.enable_licm then ignore (Licm.run f);
-    if config.Config.enable_unroll then ignore (Unroll.run ~config f);
-    (* If-conversion must precede tail duplication: duplicating a join block
-       into the arms destroys the diamond pattern. *)
-    if config.Config.enable_ifcvt then ignore (Ifcvt.run ~config f);
-    if config.Config.enable_tail_dup then ignore (Tail_dup.run ~config f);
-    ignore (Constfold.run f);
-    ignore (Simplify.run ~config f);
-    if config.Config.enable_tail_merge then ignore (Tail_merge.run f);
-    ignore (Dce.run f);
-    ignore (Simplify.run ~config f);
-    (* Passes maintain counts only approximately; re-infer a consistent
-       profile for codegen (edge flows re-derived from block counts). *)
-    if f.Ir.Func.annotated then Csspgo_inference.Infer.infer_func f
-  end
+let verify_func_if ~(config : Config.t) p f stage =
+  if config.Config.verify_between_passes then
+    match Ir.Verify.func ~program:p f with
+    | [] -> ()
+    | errs ->
+        let msg =
+          Format.asprintf "@[<v>after %s in %s:@ %a@]" stage f.Ir.Func.name
+            (Format.pp_print_list Ir.Verify.pp_error)
+            errs
+        in
+        failwith msg
 
-let optimize ~(config : Config.t) (p : Ir.Program.t) =
+let optimize_func_with ~(config : Config.t) ~steps ?(program : Ir.Program.t option)
+    (f : Ir.Func.t) =
+  List.iter
+    (fun step ->
+      ignore (run_step ~config step f);
+      match program with
+      | Some p -> verify_func_if ~config p f (step_name step)
+      | None -> ())
+    steps;
+  (* Passes maintain counts only approximately; re-infer a consistent
+     profile for codegen (edge flows re-derived from block counts). *)
+  if config.Config.opt_level >= 2 && f.Ir.Func.annotated then
+    Csspgo_inference.Infer.infer_func f
+
+let optimize_func ~(config : Config.t) (f : Ir.Func.t) =
+  optimize_func_with ~config ~steps:(steps_of_config config) f
+
+let optimize_with ~(config : Config.t) ~steps (p : Ir.Program.t) =
   (* Even at -O0 the lowering junk blocks must go. *)
   Ir.Program.iter_funcs (fun f -> ignore (Simplify.run ~config f)) p;
   verify_if ~config p "initial simplify";
@@ -55,6 +114,9 @@ let optimize ~(config : Config.t) (p : Ir.Program.t) =
         Log.debug (fun m -> m "dropped %d fully-inlined functions" (List.length dropped))
     end;
     verify_if ~config p "inlining";
-    Ir.Program.iter_funcs (optimize_func ~config) p;
+    Ir.Program.iter_funcs (fun f -> optimize_func_with ~config ~steps ~program:p f) p;
     verify_if ~config p "function pipeline"
   end
+
+let optimize ~(config : Config.t) (p : Ir.Program.t) =
+  optimize_with ~config ~steps:(steps_of_config config) p

@@ -4,6 +4,7 @@ type ctx = {
   rng : Rng.t;
   buf : Buffer.t;
   globals : string array;
+  size : int;  (* statement/expression richness knob; 2 = historical default *)
   (* functions callable from the one being generated: (name, arity) *)
   mutable callable : (string * int) list;
   mutable vars : string list;     (* in scope, assignable *)
@@ -11,6 +12,9 @@ type ctx = {
   mutable fresh : int;
   mutable depth : int;
   mutable calls_left : int;  (* per-function budget: bounds call fan-out *)
+  mutable loop_calls_left : int;
+      (* tighter budget for calls nested inside loops: the multiplicative
+         blow-up of loop nests * call fan-out is what exhausts fuel *)
 }
 
 let fresh_var ctx =
@@ -32,14 +36,21 @@ let rec gen_expr ctx d =
         let g = Rng.choose ctx.rng ctx.globals in
         Printf.sprintf "%s[%s]" g (gen_expr ctx 0)
     | _ ->
-        (* Calls only outside loops/branches and within a small
-           per-function budget: bounds the multiplicative blow-up of random
-           loop nests * call fan-out, so generated programs always finish
-           within test fuel. *)
-        if ctx.callable = [] || d <= 0 || ctx.depth > 0 || ctx.calls_left <= 0 then
-          string_of_int (Rng.int ctx.rng 100)
+        (* Calls draw from two budgets: a per-function one, and a much
+           tighter one for calls nested inside loops/branches. Both bound
+           the multiplicative blow-up of random loop nests * call fan-out,
+           so most generated programs finish within test fuel; the rest are
+           discarded by the out-of-fuel guard of whatever harness runs
+           them. *)
+        let in_nest = ctx.depth > 0 in
+        let allowed =
+          ctx.callable <> [] && d > 0 && ctx.calls_left > 0
+          && ((not in_nest) || ctx.loop_calls_left > 0)
+        in
+        if not allowed then string_of_int (Rng.int ctx.rng 100)
         else begin
           ctx.calls_left <- ctx.calls_left - 1;
+          if in_nest then ctx.loop_calls_left <- ctx.loop_calls_left - 1;
           let name, arity =
             List.nth ctx.callable (Rng.int ctx.rng (List.length ctx.callable))
           in
@@ -49,7 +60,7 @@ let rec gen_expr ctx d =
   in
   if d <= 0 then atom ()
   else
-    match Rng.int ctx.rng 14 with
+    match Rng.int ctx.rng 15 with
     | 0 -> Printf.sprintf "(%s + %s)" (gen_expr ctx (d - 1)) (gen_expr ctx (d - 1))
     | 1 -> Printf.sprintf "(%s - %s)" (gen_expr ctx (d - 1)) (gen_expr ctx (d - 1))
     | 2 -> Printf.sprintf "(%s * %s)" (gen_expr ctx (d - 1)) (gen_expr ctx (d - 1))
@@ -65,11 +76,12 @@ let rec gen_expr ctx d =
     | 10 -> Printf.sprintf "(%s && %s)" (gen_expr ctx (d - 1)) (gen_expr ctx (d - 1))
     | 11 -> Printf.sprintf "(%s || %s)" (gen_expr ctx (d - 1)) (gen_expr ctx (d - 1))
     | 12 -> Printf.sprintf "(!%s)" (gen_expr ctx (d - 1))
+    | 13 -> Printf.sprintf "(-%s)" (gen_expr ctx (d - 1))
     | _ -> atom ()
 
 let rec gen_stmt ctx level =
   let pad = indent level in
-  match Rng.int ctx.rng 12 with
+  match Rng.int ctx.rng 13 with
   | 0 | 1 | 2 ->
       let v = fresh_var ctx in
       Buffer.add_string ctx.buf
@@ -128,11 +140,19 @@ let rec gen_stmt ctx level =
       ctx.vars <- saved;
       Buffer.add_string ctx.buf (Printf.sprintf "%s}\n" pad);
       ctx.depth <- ctx.depth - 1
+  | 10 ->
+      (* Global-to-global aliasing store: same array on both sides, so the
+         load may or may not observe the store depending on index overlap —
+         a pattern that punishes passes assuming distinct memory. *)
+      let g = Rng.choose ctx.rng ctx.globals in
+      Buffer.add_string ctx.buf
+        (Printf.sprintf "%s%s[%s] = (%s[%s] + %s);\n" pad g (gen_expr ctx 1) g
+           (gen_expr ctx 1) (gen_expr ctx 1))
   | _ ->
       Buffer.add_string ctx.buf (Printf.sprintf "%s%s;\n" pad (gen_expr ctx 2))
 
 and gen_block ctx level =
-  let n = 1 + Rng.int ctx.rng 3 in
+  let n = 1 + Rng.int ctx.rng (max 1 (ctx.size + 1)) in
   for _ = 1 to n do
     gen_stmt ctx level
   done
@@ -143,19 +163,21 @@ let gen_fn ctx name arity =
   ctx.ro_vars <- [];
   ctx.fresh <- 0;
   ctx.depth <- 0;
-  ctx.calls_left <- 3;
+  ctx.calls_left <- 1 + ctx.size;
+  ctx.loop_calls_left <- 1;
   Buffer.add_string ctx.buf
     (Printf.sprintf "fn %s(%s) {\n" name (String.concat ", " params));
   gen_block ctx 1;
   Buffer.add_string ctx.buf (Printf.sprintf "  return %s;\n" (gen_expr ctx 2));
   Buffer.add_string ctx.buf "}\n\n"
 
-let random_source ?(n_funcs = 6) ?(n_globals = 2) ~seed () =
+let random_source ?(n_funcs = 6) ?(n_globals = 2) ?(size = 2) ~seed () =
   let rng = Rng.create seed in
   let globals = Array.init n_globals (fun i -> Printf.sprintf "g%d" i) in
   let ctx =
-    { rng; buf = Buffer.create 4096; globals; callable = []; vars = []; ro_vars = [];
-      fresh = 0; depth = 0; calls_left = 3 }
+    { rng; buf = Buffer.create 4096; globals; size = max 0 size; callable = [];
+      vars = []; ro_vars = []; fresh = 0; depth = 0; calls_left = 3;
+      loop_calls_left = 1 }
   in
   Array.iter
     (fun g ->

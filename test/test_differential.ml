@@ -24,6 +24,13 @@ let run bin args =
   | r -> r.Vm.Machine.ret_value
   | exception Vm.Machine.Trap "fuel exhausted" -> raise Out_of_fuel
 
+(* Out-of-fuel runs are counted as passes below to stay inside QCheck's
+   discard budget, but each one is vacuous: the property checked nothing.
+   Track them so a generator regression that makes most programs diverge
+   fails loudly instead of silently green-washing the suite. *)
+let n_checked = ref 0
+let n_vacuous = ref 0
+
 let differential seed =
   let src = W.Gen.random_source ~n_funcs:5 ~seed () in
   let args = [ Int64.of_int (Int64.to_int seed land 0xff); 17L ] in
@@ -45,6 +52,7 @@ let differential seed =
     (o0, o2, o2p, o2i, o2l)
   with
   | o0, o2, o2p, o2i, o2l ->
+      incr n_checked;
       if
         not
           (Int64.equal o0 o2 && Int64.equal o2 o2p && Int64.equal o2 o2i
@@ -57,7 +65,8 @@ let differential seed =
   | exception Out_of_fuel ->
       (* A generated program that runs too long is vacuous for this
          property (and QCheck's discard budget is too tight to assume-fail
-         it away): count it as a pass. *)
+         it away): count it as a pass, but record the discard. *)
+      incr n_vacuous;
       true
   | exception e ->
       QCheck.Test.fail_reportf "crash at seed %Ld: %s@.%s" seed (Printexc.to_string e) src
@@ -92,15 +101,31 @@ let prop_pgo_roundtrip =
           [ Core.Driver.Nopgo; Core.Driver.Autofdo; Core.Driver.Csspgo_probe_only;
             Core.Driver.Csspgo_full; Core.Driver.Instr_pgo ]
       with
-      | v0 :: rest -> List.for_all (Int64.equal v0) rest
+      | v0 :: rest ->
+          incr n_checked;
+          List.for_all (Int64.equal v0) rest
       | [] -> false
-      | exception Out_of_fuel -> true
+      | exception Out_of_fuel ->
+          incr n_vacuous;
+          true
       | exception e ->
           QCheck.Test.fail_reportf "crash at seed %Ld: %s@.%s" seed (Printexc.to_string e) src)
+
+(* Runs after the two properties above (alcotest preserves registration
+   order within a suite): if over half the generated programs ran out of
+   fuel, the properties were mostly vacuous and the green result means
+   nothing — fail instead of quietly passing. *)
+let test_not_vacuous () =
+  (* total = 0 only when the properties themselves were filtered out *)
+  let total = !n_checked + !n_vacuous in
+  if total > 0 && !n_vacuous * 2 > total then
+    Alcotest.failf "differential properties mostly vacuous: %d/%d runs discarded (out of fuel)"
+      !n_vacuous total
 
 let suite =
   ( "differential",
     [
       QCheck_alcotest.to_alcotest ~long:false prop_differential;
       QCheck_alcotest.to_alcotest ~long:false prop_pgo_roundtrip;
+      Alcotest.test_case "discard rate below 50%" `Quick test_not_vacuous;
     ] )

@@ -1,0 +1,61 @@
+(* Mutation check for the fuzzing harness itself: plant a known
+   miscompile (a broken "constfold" that drops conditional guards) into
+   the campaign's pipeline and require that (a) the differential oracles
+   catch it within a handful of seeds, and (b) the minimizer shrinks the
+   reproducer to something a human can read. A harness that cannot find
+   a deliberately planted bug proves nothing about the real pipeline. *)
+module Fz = Csspgo_fuzz
+
+let campaign_config =
+  {
+    Fz.Campaign.default_config with
+    Fz.Campaign.cf_variants = false;
+    (* variant runs can't see the injected pass; skip them for speed *)
+    cf_inject = Some Fz.Campaign.planted_bug;
+    cf_max_failures = Some 1;
+  }
+
+let find_planted_failure () =
+  let stats = Fz.Campaign.run campaign_config ~seeds:(1, 50) in
+  match stats.Fz.Campaign.st_failures with
+  | [] -> Alcotest.fail "planted miscompile survived 50 seeds undetected"
+  | f :: _ -> f
+
+let test_detects_planted_bug () =
+  let f = find_planted_failure () in
+  (match f.Fz.Campaign.fl_kind with
+  | Fz.Campaign.Result_mismatch | Fz.Campaign.Verify_error -> ()
+  | k ->
+      Alcotest.failf "planted bug reported as %s, expected a miscompile"
+        (Fz.Campaign.kind_name k));
+  match f.Fz.Campaign.fl_minimized with
+  | None -> Alcotest.fail "no minimized reproducer produced"
+  | Some m ->
+      let n = Fz.Reduce.count_source_lines m in
+      let orig = Fz.Reduce.count_source_lines f.Fz.Campaign.fl_source in
+      if n > 20 then
+        Alcotest.failf "reproducer still %d lines (original %d), want <= 20" n
+          orig;
+      if n >= orig then
+        Alcotest.failf "minimizer did not shrink: %d -> %d lines" orig n
+
+let test_clean_pipeline_quiet () =
+  (* Same seeds, no injected bug: the real pipeline must stay green, so
+     the mutation test above cannot be passing on harness noise. *)
+  let cfg =
+    { campaign_config with Fz.Campaign.cf_inject = None; cf_max_failures = None }
+  in
+  let stats = Fz.Campaign.run cfg ~seeds:(1, 10) in
+  Alcotest.(check int) "no failures without injection" 0
+    (Fz.Campaign.n_failures stats);
+  Alcotest.(check bool) "some seeds actually ran" true
+    (stats.Fz.Campaign.st_runs > stats.Fz.Campaign.st_discards)
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "campaign detects planted miscompile" `Quick
+        test_detects_planted_bug;
+      Alcotest.test_case "clean pipeline stays green" `Quick
+        test_clean_pipeline_quiet;
+    ] )

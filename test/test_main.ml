@@ -12,4 +12,5 @@ let () =
       Test_profgen.suite;
       Test_core.suite;
       Test_differential.suite;
+      Test_fuzz.suite;
     ]

@@ -179,6 +179,106 @@ let prop_probe_roundtrip =
       let t2 = P.Text_io.read_probe (P.Text_io.probe_to_string t) in
       PP.total_samples t2 = PP.total_samples t)
 
+(* Generator-driven round-trips over whole profiles: build a random
+   multi-function profile through the public API, then require the
+   canonical text to survive print -> parse -> print unchanged (the
+   writers sort, so the text form is canonical and string equality is
+   full structural equality). Empty profiles arise from the empty spec
+   list; the context property also exercises cold-trimmed tries. *)
+
+let fname i = Printf.sprintf "fn%d" i
+
+let fentry_spec_gen =
+  QCheck.(
+    pair
+      (pair (int_range 0 5) (int_range 0 1000))
+      (pair
+         (small_list (pair (int_range 1 60) (int_range 1 100_000)))
+         (small_list (triple (int_range 1 60) (int_range 0 5) (int_range 1 5000)))))
+
+let prop_probe_profile_roundtrip =
+  QCheck.Test.make ~name:"probe profiles round-trip (multi-function)" ~count:200
+    QCheck.(small_list fentry_spec_gen)
+    (fun specs ->
+      let t = PP.create () in
+      List.iter
+        (fun ((fi, head), (probes, calls)) ->
+          let fe = PP.get_or_add t (g (fname fi)) ~name:(fname fi) in
+          fe.PP.fe_head <- Int64.of_int head;
+          fe.PP.fe_checksum <- Int64.of_int (fi * 7919);
+          List.iter (fun (id, c) -> PP.add_probe fe id (Int64.of_int c)) probes;
+          List.iter
+            (fun (site, callee, c) ->
+              PP.add_call fe site (g (fname callee)) (Int64.of_int c))
+            calls)
+        specs;
+      let s = P.Text_io.probe_to_string t in
+      String.equal s (P.Text_io.probe_to_string (P.Text_io.read_probe s)))
+
+let prop_line_profile_roundtrip =
+  QCheck.Test.make ~name:"line profiles round-trip (multi-function)" ~count:200
+    QCheck.(small_list fentry_spec_gen)
+    (fun specs ->
+      let t = LP.create () in
+      List.iter
+        (fun ((fi, head), (lines, calls)) ->
+          let fe = LP.get_or_add t (g (fname fi)) ~name:(fname fi) in
+          fe.LP.fe_head <- Int64.of_int head;
+          List.iter
+            (fun (l, c) -> LP.add_line fe (l, l mod 3) (Int64.of_int c))
+            lines;
+          List.iter
+            (fun (l, callee, c) ->
+              LP.add_call fe (l, l mod 3) (g (fname callee)) (Int64.of_int c))
+            calls)
+        specs;
+      let s = P.Text_io.line_to_string t in
+      String.equal s (P.Text_io.line_to_string (P.Text_io.read_line s)))
+
+let ctx_spec_gen =
+  (* one context: a root function, a chain of (callsite, callee) frames,
+     probe counts at the leaf, and the pre-inliner mark *)
+  QCheck.(
+    pair
+      (pair (int_range 0 3) (small_list (pair (int_range 1 9) (int_range 0 3))))
+      (pair (small_list (pair (int_range 1 30) (int_range 1 10_000))) bool))
+
+let prop_ctx_profile_roundtrip =
+  QCheck.Test.make ~name:"context profiles round-trip (incl. cold-trimmed)"
+    ~count:200
+    QCheck.(pair (small_list ctx_spec_gen) (option (int_range 1 5000)))
+    (fun (specs, trim) ->
+      let t = CP.create () in
+      List.iter
+        (fun ((root_fi, frames), (probes, inlined)) ->
+          let node =
+            match frames with
+            | [] -> CP.base t (g (fname root_fi)) ~name:(fname root_fi)
+            | _ ->
+                let path =
+                  List.rev
+                    (fst
+                       (List.fold_left
+                          (fun (acc, parent) (site, child_fi) ->
+                            ( ((g (fname parent), site), g (fname child_fi),
+                               fname child_fi)
+                              :: acc,
+                              child_fi ))
+                          ([], root_fi) frames))
+                in
+                Option.get (CP.node_at t ~path)
+          in
+          node.CP.n_inlined <- inlined;
+          List.iter
+            (fun (id, c) -> PP.add_probe node.CP.n_prof id (Int64.of_int c))
+            probes)
+        specs;
+      (match trim with
+      | Some threshold -> ignore (CP.trim_cold t ~threshold:(Int64.of_int threshold))
+      | None -> ());
+      let s = P.Text_io.ctx_to_string t in
+      String.equal s (P.Text_io.ctx_to_string (P.Text_io.read_ctx s)))
+
 let prop_merge_fentry_conserves =
   QCheck.Test.make ~name:"merge_fentry conserves probe totals" ~count:100
     QCheck.(list (pair (int_range 1 20) (int_range 1 1000)))
@@ -214,5 +314,8 @@ let suite =
       Alcotest.test_case "line text roundtrip" `Quick test_line_roundtrip;
       Alcotest.test_case "text parse errors" `Quick test_text_io_errors;
       QCheck_alcotest.to_alcotest prop_probe_roundtrip;
+      QCheck_alcotest.to_alcotest prop_probe_profile_roundtrip;
+      QCheck_alcotest.to_alcotest prop_line_profile_roundtrip;
+      QCheck_alcotest.to_alcotest prop_ctx_profile_roundtrip;
       QCheck_alcotest.to_alcotest prop_merge_fentry_conserves;
     ] )

@@ -50,6 +50,65 @@ let test_heap_peek () =
   Alcotest.(check (option int)) "peek max" (Some 20) (Heap.peek h);
   Alcotest.(check int) "length" 2 (Heap.length h)
 
+let test_heap_duplicate_priorities () =
+  (* Elements comparing equal must all come out, none lost or invented. *)
+  let cmp (p, _) (q, _) = compare (p : int) q in
+  let h = Heap.create cmp in
+  List.iter (Heap.push h)
+    [ (1, "a"); (2, "b"); (1, "c"); (2, "d"); (1, "e") ];
+  Alcotest.(check int) "length with duplicates" 5 (Heap.length h);
+  let drained = Heap.to_sorted_list h in
+  Alcotest.(check (list int)) "priorities descending" [ 2; 2; 1; 1; 1 ]
+    (List.map fst drained);
+  Alcotest.(check (list string)) "payloads preserved as a set"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (List.sort compare (List.map snd drained))
+
+let test_heap_pop_empty () =
+  let h = Heap.create compare in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop singleton" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop after drain" None (Heap.pop h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h);
+  (* heap stays usable after being emptied *)
+  Heap.push h 5;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "reuse after empty" (Some 5) (Heap.pop h)
+
+let test_vec_growth () =
+  (* Push far beyond any plausible initial capacity and check contents. *)
+  let v = Vec.create () in
+  for i = 0 to 9999 do
+    Vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length 10000" 10_000 (Vec.length v);
+  Alcotest.(check int) "first" 0 (Vec.get v 0);
+  Alcotest.(check int) "middle" (5000 * 3) (Vec.get v 5000);
+  Alcotest.(check int) "last" (9999 * 3) (Vec.last v);
+  (* make with an explicit size also survives growth past it *)
+  let w = Vec.make 4 7 in
+  for _ = 1 to 100 do
+    Vec.push w 9
+  done;
+  Alcotest.(check int) "make + growth length" 104 (Vec.length w);
+  Alcotest.(check int) "make prefix intact" 7 (Vec.get w 3);
+  Alcotest.(check int) "pushed suffix intact" 9 (Vec.get w 103)
+
+let test_vec_pop_empty () =
+  let v = Vec.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop v));
+  Vec.push v 1;
+  ignore (Vec.pop v);
+  Alcotest.check_raises "pop after drain" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop v));
+  (* clear resets length; pop on cleared vec raises too *)
+  Vec.push v 2;
+  Vec.clear v;
+  Alcotest.check_raises "pop after clear" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop v))
+
 let test_rng_determinism () =
   let a = Rng.create 7L and b = Rng.create 7L in
   for _ = 1 to 100 do
@@ -99,6 +158,11 @@ let suite =
       Alcotest.test_case "vec ops" `Quick test_vec_ops;
       Alcotest.test_case "heap order" `Quick test_heap_order;
       Alcotest.test_case "heap peek" `Quick test_heap_peek;
+      Alcotest.test_case "heap duplicate priorities" `Quick
+        test_heap_duplicate_priorities;
+      Alcotest.test_case "heap pop empty" `Quick test_heap_pop_empty;
+      Alcotest.test_case "vec growth past capacity" `Quick test_vec_growth;
+      Alcotest.test_case "vec pop empty" `Quick test_vec_pop_empty;
       Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
       Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
       Alcotest.test_case "fnv known" `Quick test_fnv_known;
