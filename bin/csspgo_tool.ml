@@ -3,10 +3,14 @@
    Subcommands:
      compile  FILE     parse, optimize, emit; print binary statistics
      run      FILE     compile and execute main with integer arguments
-     pgo      NAME     run a PGO variant end-to-end on a named workload
+     pgo      NAME     run PGO variant(s) end-to-end on a named workload
      probes   FILE     show the pseudo-probe metadata of a probed build
      contexts NAME     print the reconstructed context trie for a workload
-     fuzz              differential fuzzing campaign over random programs *)
+     fuzz              differential fuzzing campaign over random programs
+     cache    DIR      inspect or clear an orchestrator artifact cache
+
+   pgo and fuzz take -j (domains) and --cache-dir (artifact cache); both
+   route through the Csspgo_orchestrator scheduler + cache. *)
 
 module F = Csspgo_frontend
 module Ir = Csspgo_ir
@@ -16,6 +20,7 @@ module Vm = Csspgo_vm
 module P = Csspgo_profile
 module Core = Csspgo_core
 module D = Core.Driver
+module O = Csspgo_orchestrator
 module W = Csspgo_workloads
 open Cmdliner
 
@@ -96,11 +101,34 @@ let variant_arg =
   Arg.(value & opt (enum variants) D.Csspgo_full & info [ "variant" ] ~docv:"V"
          ~doc:"nopgo | autofdo | probe-only | csspgo | instr")
 
-let pgo_cmd =
-  let run name variant =
-    let w = Option.get (W.Suite.find name) in
-    let o = D.run_variant variant w in
-    Printf.printf "variant            %s\n" (D.variant_name variant);
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Execute over N domains (work-stealing)")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Content-addressed artifact cache directory (created if missing)")
+
+let all_variants_flag =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Run all five variants as one orchestrated matrix (honors -j)")
+
+let cache_of_dir = Option.map (fun dir -> O.Cache.create ~dir ())
+
+let print_cache_stats = function
+  | None -> ()
+  | Some c ->
+      let s = O.Cache.stats c in
+      Printf.printf "cache              %d hits, %d misses, %d stores, %d corrupt\n"
+        s.O.Cache.hits s.O.Cache.misses s.O.Cache.stores s.O.Cache.corrupt
+
+let print_outcome variant (o : D.outcome) =
+  Printf.printf "variant            %s\n" (D.variant_name variant);
     Printf.printf "eval cycles        %Ld\n" o.D.o_eval.D.ev_cycles;
     Printf.printf "eval instructions  %Ld\n" o.D.o_eval.D.ev_instructions;
     Printf.printf "text size          %d bytes\n" o.D.o_text_size;
@@ -122,10 +150,37 @@ let pgo_cmd =
             (List.length d.Core.Preinliner.d_context))
         o.D.o_preinline_decisions
     end
+
+let pgo_cmd =
+  let run name variant all jobs cache_dir =
+    let w = Option.get (W.Suite.find name) in
+    let cache = cache_of_dir cache_dir in
+    if all then begin
+      let rows =
+        O.Orchestrate.run_matrix ?cache ~jobs
+          ~variants:[ D.Nopgo; D.Instr_pgo; D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ]
+          ~workloads:[ w ] ()
+      in
+      Printf.printf "%-18s %12s %12s %10s %10s\n" "variant" "eval-cycles" "prof-cycles"
+        "text-B" "profile-B";
+      List.iter
+        (fun (_, v, (o : D.outcome)) ->
+          Printf.printf "%-18s %12Ld %12Ld %10d %10d\n" (D.variant_name v)
+            o.D.o_eval.D.ev_cycles o.D.o_profiling_cycles o.D.o_text_size
+            o.D.o_profile_size)
+        rows
+    end
+    else begin
+      let hooks = Option.map O.Orchestrate.hooks cache in
+      let o = D.Plan.run ?hooks (D.Plan.make ~variant w) in
+      print_outcome variant o
+    end;
+    print_cache_stats cache
   in
   Cmd.v
-    (Cmd.info "pgo" ~doc:"Run a PGO variant end-to-end on a named workload")
-    Term.(const run $ workload_arg $ variant_arg)
+    (Cmd.info "pgo" ~doc:"Run PGO variant(s) end-to-end on a named workload")
+    Term.(const run $ workload_arg $ variant_arg $ all_variants_flag $ jobs_arg
+          $ cache_dir_arg)
 
 (* --- probes -------------------------------------------------------- *)
 
@@ -254,7 +309,7 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize max_failures
-      inject =
+      inject jobs cache_dir =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -268,7 +323,8 @@ let fuzz_cmd =
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
       }
     in
-    let st = Fuzz.Campaign.run ?out_dir:out cfg ~seeds:(lo, hi) in
+    let cache = cache_of_dir cache_dir in
+    let st = Fuzz.Campaign.run ?out_dir:out ?cache ~jobs cfg ~seeds:(lo, hi) in
     List.iter
       (fun (fl : Fuzz.Campaign.failure) ->
         Printf.printf "FAIL seed %Ld  %s  at %s\n  %s\n" fl.Fuzz.Campaign.fl_seed
@@ -292,7 +348,32 @@ let fuzz_cmd =
           against an -O0 reference, with test-case minimization")
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
-      $ no_variants_arg $ no_minimize_arg $ max_failures_arg $ inject_arg)
+      $ no_variants_arg $ no_minimize_arg $ max_failures_arg $ inject_arg $ jobs_arg
+      $ cache_dir_arg)
+
+(* --- cache ---------------------------------------------------------- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Artifact cache directory")
+  in
+  let clear_arg =
+    Arg.(value & flag & info [ "clear" ] ~doc:"Delete every cache entry in DIR")
+  in
+  let run dir clear =
+    if clear then Printf.printf "removed %d entries from %s\n" (O.Cache.clear_dir dir) dir
+    else begin
+      let s = O.Cache.scan_dir dir in
+      Printf.printf "entries  %d\n" s.O.Cache.d_entries;
+      Printf.printf "bytes    %d\n" s.O.Cache.d_bytes;
+      List.iter (fun (k, n) -> Printf.printf "  %-14s %6d\n" k n) s.O.Cache.d_kinds
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Show statistics for (or clear) an artifact cache directory")
+    Term.(const run $ dir_arg $ clear_arg)
 
 let () =
   let info =
@@ -302,4 +383,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd; fuzz_cmd ]))
+          [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd; fuzz_cmd; cache_cmd ]))

@@ -1,4 +1,5 @@
 module Ir = Csspgo_ir
+module Fnv = Csspgo_support.Fnv
 module Frontend = Csspgo_frontend
 module Opt = Csspgo_opt
 module Cg = Csspgo_codegen
@@ -78,14 +79,6 @@ let reference (w : workload) =
   let p = compile w in
   Pseudo_probe.insert p;
   p
-
-let name_of_fn (refp : Ir.Program.t) guid =
-  Option.map (fun f -> f.Ir.Func.name) (Ir.Program.find_func_by_guid refp guid)
-
-let checksum_of_fn (refp : Ir.Program.t) guid =
-  match Ir.Program.find_func_by_guid refp guid with
-  | Some f -> f.Ir.Func.checksum
-  | None -> 0L
 
 type runs = {
   r_samples : Vm.Machine.sample list;
@@ -167,134 +160,490 @@ let profiling_run ?(options = default_options) ~probes (w : workload) =
   let r = run_specs ~pmu:(Some options.pmu) bin ~entry:w.w_entry w.w_train in
   (bin, r.r_samples, r.r_cycles)
 
-let finalize ~options ~variant ~(prog : Ir.Program.t) ~profiling_cycles ~stales ~recon
-    ~decisions ~profile_size (w : workload) =
-  let annotated = Ir.Program.copy prog in
-  Opt.Pass.optimize ~config:options.opt_final prog;
-  let bin = Cg.Emit.emit ~options:options.emit_opts prog in
-  let eval = evaluate_opts bin w in
-  {
-    o_variant = variant;
-    o_eval = eval;
-    o_text_size = bin.Cg.Mach.text_size;
-    o_debug_size = bin.Cg.Mach.debug_size;
-    o_probe_meta_size = bin.Cg.Mach.probe_meta_size;
-    o_profiling_cycles = profiling_cycles;
-    o_annotated = annotated;
-    o_stales = stales;
-    o_recon_stats = recon;
-    o_preinline_decisions = decisions;
-    o_binary = bin;
-    o_profile_size = profile_size;
+(* ------------------------------------------------------------------ *)
+(* Staged build plans: the supported surface for running variants.     *)
+
+module Plan = struct
+  type compile_spec = { c_source : string; c_probes : bool }
+  type instrument_spec = { i_counters : bool; i_values : bool }
+
+  type profile_run_spec = {
+    p_config : Opt.Config.t;
+    p_emit : Cg.Emit.options;
+    p_pmu : Vm.Machine.pmu option;
+    p_entry : string;
+    p_train : run_spec list;
   }
 
-let run_variant ?(options = default_options) variant (w : workload) =
-  match variant with
-  | Nopgo ->
-      let prog = compile w in
-      Opt.Pass.optimize ~config:options.opt_profiling prog;
-      finalize ~options ~variant ~prog ~profiling_cycles:0L ~stales:[] ~recon:None
-        ~decisions:[] ~profile_size:0 w
-  | Autofdo ->
-      let pbin, samples, pcycles = profiling_run ~options ~probes:false w in
-      let refp = reference w in
-      let profile =
-        Pg.Dwarf_corr.correlate ~name_of:(name_of_fn refp) pbin samples
-      in
-      let profile_size =
-        (* rough text encoding: one row per line entry *)
-        Ir.Guid.Tbl.fold
-          (fun _ fe acc ->
-            acc + 24
-            + (12 * Hashtbl.length fe.P.Line_profile.fe_lines)
-            + (18 * Hashtbl.length fe.P.Line_profile.fe_calls))
-          profile.P.Line_profile.funcs 0
-      in
-      let prog = compile w in
-      Annotate.lines profile prog;
-      finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales:[] ~recon:None
-        ~decisions:[] ~profile_size w
-  | Csspgo_probe_only ->
-      let pbin, samples, pcycles = profiling_run ~options ~probes:true w in
-      let refp = reference w in
-      let profile =
-        Probe_corr.correlate ~name_of:(name_of_fn refp)
-          ~checksum_of:(checksum_of_fn refp) pbin samples
-      in
-      let profile_size =
-        Ir.Guid.Tbl.fold
-          (fun _ fe acc ->
-            acc + 24
-            + (10 * Hashtbl.length fe.P.Probe_profile.fe_probes)
-            + (18 * Hashtbl.length fe.P.Probe_profile.fe_calls))
-          profile.P.Probe_profile.funcs 0
-      in
-      let prog = compile w in
-      Pseudo_probe.insert prog;
-      let stales = Annotate.probes profile prog in
-      finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales ~recon:None
-        ~decisions:[] ~profile_size w
-  | Csspgo_full ->
-      let pbin, samples, pcycles = profiling_run ~options ~probes:true w in
-      let refp = reference w in
-      let missing =
-        if options.use_missing_frame_inference then
-          Some (Missing_frame.build pbin samples)
-        else None
-      in
-      let trie, stats =
-        Ctx_reconstruct.reconstruct ~name_of:(name_of_fn refp)
-          ?missing ~checksum_of:(checksum_of_fn refp) pbin samples
-      in
-      if Int64.compare options.trim_threshold 0L > 0 then
-        ignore (P.Ctx_profile.trim_cold trie ~threshold:options.trim_threshold);
-      let decisions =
-        match options.preinline with
-        | Some cfg ->
-            let sizes = Size_extract.compute pbin in
-            Preinliner.run ~config:cfg trie sizes
-        | None ->
-            (* Without the pre-inliner every context merges into base. *)
-            ignore (P.Ctx_profile.trim_cold trie ~threshold:Int64.max_int);
-            []
-      in
-      let profile_size = P.Ctx_profile.size_bytes trie in
-      let prog = compile w in
-      Pseudo_probe.insert prog;
-      let stales = Annotate.ctx trie prog in
-      let outcome =
-        finalize ~options ~variant ~prog ~profiling_cycles:pcycles ~stales
-          ~recon:(Some stats) ~decisions ~profile_size w
-      in
-      (* The quality program must share the truth CFG, so it cannot be the
-         replayed (inlined) IR: annotate a fresh copy with the flat
-         (context-merged) probe profile from the same samples — the same
-         correlation mechanism Table I's "CSSPGO" row measures. *)
-      let quality_prog = compile w in
-      Pseudo_probe.insert quality_prog;
-      let flat =
-        Probe_corr.correlate ~name_of:(name_of_fn refp)
-          ~checksum_of:(checksum_of_fn refp) pbin samples
-      in
-      ignore (Annotate.probes flat quality_prog);
-      { outcome with o_annotated = quality_prog }
-  | Instr_pgo ->
-      let prog_p = compile w in
-      let im = Instrument.instrument prog_p in
-      let vals = Instrument.instrument_values prog_p in
-      Opt.Pass.optimize ~config:options.opt_profiling prog_p;
-      let pbin = Cg.Emit.emit ~options:options.emit_opts prog_p in
-      let r = run_specs ~pmu:None pbin ~entry:w.w_entry w.w_train in
-      let counts =
-        Instrument.block_counts im
-          (Option.value r.r_counters ~default:(Array.make im.Instrument.n_counters 0L))
-      in
-      let prog = compile w in
-      Annotate.exact counts prog;
-      (* Value-profile-guided divisor specialization: instrumentation-only. *)
-      let dominant =
-        Instrument.dominant_values vals r.r_values ~min_count:5000L ~min_ratio:0.90
-      in
-      ignore (Value_spec.apply prog dominant);
-      finalize ~options ~variant ~prog ~profiling_cycles:r.r_cycles ~stales:[] ~recon:None
-        ~decisions:[] ~profile_size:(8 * im.Instrument.n_counters) w
+  type correlator =
+    | Corr_lines
+    | Corr_probes
+    | Corr_ctx of { cc_missing_frames : bool; cc_trim_threshold : int64 }
+    | Corr_counters of { cn_min_count : int64; cn_min_ratio : float }
+
+  type correlate_spec = { x_correlator : correlator }
+  type preinline_spec = { pi_config : Preinliner.config option }
+
+  type rebuild_spec = {
+    r_probes : bool;
+    r_prepass : Opt.Config.t option;
+    r_config : Opt.Config.t;
+    r_emit : Cg.Emit.options;
+  }
+
+  type evaluate_spec = { e_entry : string; e_eval : run_spec list }
+
+  type stage =
+    | Compile of compile_spec
+    | Instrument of instrument_spec
+    | Profile_run of profile_run_spec
+    | Correlate of correlate_spec
+    | Preinline of preinline_spec
+    | Rebuild of rebuild_spec
+    | Evaluate of evaluate_spec
+
+  type t = {
+    pl_variant : variant;
+    pl_workload : workload;
+    pl_options : options;
+    pl_stages : stage list;
+  }
+
+  let make ?(options = default_options) ~variant (w : workload) =
+    let compile ~probes = Compile { c_source = w.w_source; c_probes = probes } in
+    let profile_run ~pmu =
+      Profile_run
+        {
+          p_config = options.opt_profiling;
+          p_emit = options.emit_opts;
+          p_pmu = pmu;
+          p_entry = w.w_entry;
+          p_train = w.w_train;
+        }
+    in
+    let rebuild ~probes ~prepass =
+      Rebuild
+        {
+          r_probes = probes;
+          r_prepass = prepass;
+          r_config = options.opt_final;
+          r_emit = options.emit_opts;
+        }
+    in
+    let evaluate = Evaluate { e_entry = w.w_entry; e_eval = w.w_eval } in
+    let stages =
+      match variant with
+      | Nopgo ->
+          [ rebuild ~probes:false ~prepass:(Some options.opt_profiling); evaluate ]
+      | Autofdo ->
+          [
+            compile ~probes:false;
+            profile_run ~pmu:(Some options.pmu);
+            Correlate { x_correlator = Corr_lines };
+            rebuild ~probes:false ~prepass:None;
+            evaluate;
+          ]
+      | Csspgo_probe_only ->
+          [
+            compile ~probes:true;
+            profile_run ~pmu:(Some options.pmu);
+            Correlate { x_correlator = Corr_probes };
+            rebuild ~probes:true ~prepass:None;
+            evaluate;
+          ]
+      | Csspgo_full ->
+          [
+            compile ~probes:true;
+            profile_run ~pmu:(Some options.pmu);
+            Correlate
+              {
+                x_correlator =
+                  Corr_ctx
+                    {
+                      cc_missing_frames = options.use_missing_frame_inference;
+                      cc_trim_threshold = options.trim_threshold;
+                    };
+              };
+            Preinline { pi_config = options.preinline };
+            rebuild ~probes:true ~prepass:None;
+            evaluate;
+          ]
+      | Instr_pgo ->
+          [
+            compile ~probes:false;
+            Instrument { i_counters = true; i_values = true };
+            profile_run ~pmu:None;
+            Correlate
+              {
+                x_correlator =
+                  Corr_counters { cn_min_count = 5000L; cn_min_ratio = 0.90 };
+              };
+            rebuild ~probes:false ~prepass:None;
+            evaluate;
+          ]
+    in
+    { pl_variant = variant; pl_workload = w; pl_options = options; pl_stages = stages }
+
+  type hooks = {
+    memo :
+      'a.
+      kind:string ->
+      key:string list ->
+      ser:('a -> string) ->
+      de:(string -> 'a) ->
+      (unit -> 'a) ->
+      'a;
+  }
+
+  let default_hooks = { memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ()) }
+
+  (* Fingerprints for cache keys: FNV-1a over the Marshal image of a spec.
+     Every spec type is a closure-free record, so this is total. *)
+  let fp_string s = Printf.sprintf "%Lx" (Fnv.hash_string s)
+  let fp v = fp_string (Marshal.to_string v [])
+  let mser v = Marshal.to_string v []
+  let mde s = Marshal.from_string s 0
+
+  type instrumentation = { in_map : Instrument.t; in_vals : Instrument.values }
+
+  type profile_run_out = {
+    pr_bin : Cg.Mach.binary;
+    pr_samples : Vm.Machine.sample list;
+    pr_cycles : int64;
+    pr_counters : int64 array option;
+    pr_values : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
+    pr_instr : instrumentation option;
+  }
+
+  type ref_info = {
+    ri_names : string Ir.Guid.Tbl.t;
+    ri_checksums : int64 Ir.Guid.Tbl.t;
+  }
+
+  type profile_data =
+    | Prof_lines of P.Line_profile.t
+    | Prof_probes of P.Probe_profile.t
+    | Prof_ctx of { x_trie : P.Ctx_profile.t; x_flat : P.Probe_profile.t }
+    | Prof_counters of {
+        x_counts : (Ir.Guid.t * Ir.Types.label, int64) Hashtbl.t;
+        x_dominant : (Instrument.vsite_key, int64) Hashtbl.t;
+      }
+
+  let run ?(hooks = default_hooks) (plan : t) =
+    let w = plan.pl_workload in
+    let src_fp = fp_string w.w_source in
+    (* Reference program symbol names and pseudo-probe CFG checksums, shared
+       by every correlator of this workload. Memoized under the source hash:
+       identical sources across variants (and fuzz seeds) hit. *)
+    let ref_info_cell = ref None in
+    let ref_info () =
+      match !ref_info_cell with
+      | Some ri -> ri
+      | None ->
+          let ri =
+            hooks.memo ~kind:"ref-info" ~key:[ src_fp ] ~ser:mser ~de:mde (fun () ->
+                let refp = reference w in
+                let names = Ir.Guid.Tbl.create 64 in
+                let checksums = Ir.Guid.Tbl.create 64 in
+                Ir.Program.iter_funcs
+                  (fun f ->
+                    Ir.Guid.Tbl.replace names f.Ir.Func.guid f.Ir.Func.name;
+                    Ir.Guid.Tbl.replace checksums f.Ir.Func.guid f.Ir.Func.checksum)
+                  refp;
+                { ri_names = names; ri_checksums = checksums })
+          in
+          ref_info_cell := Some ri;
+          ri
+    in
+    let name_of g = Ir.Guid.Tbl.find_opt (ref_info ()).ri_names g in
+    let checksum_of g =
+      Option.value (Ir.Guid.Tbl.find_opt (ref_info ()).ri_checksums g) ~default:0L
+    in
+    (* Probe/function checksums are first-class cache-key material: any CFG
+       drift in the reference invalidates correlated profiles derived from
+       it, so a stale cache degrades to recorrelation, never to wrong data. *)
+    let checksum_digest () =
+      let ri = ref_info () in
+      Ir.Guid.Tbl.fold (fun g c acc -> (g, c) :: acc) ri.ri_checksums []
+      |> List.sort compare
+      |> List.fold_left (fun acc (g, c) -> Fnv.int64 (Fnv.int64 acc g) c) Fnv.init
+      |> Printf.sprintf "%Lx"
+    in
+    let compile_spec = ref None in
+    let instr_spec = ref None in
+    let prof = ref None in
+    let prof_key = ref [] in
+    let profile = ref None in
+    let profile_ser = ref "" in
+    let profile_size = ref 0 in
+    let recon = ref None in
+    let decisions = ref [] in
+    let stales = ref [] in
+    let annotated = ref None in
+    let final = ref None in
+    let final_key = ref [] in
+    let eval_out = ref None in
+    let exec = function
+      | Compile cs -> compile_spec := Some cs
+      | Instrument is -> instr_spec := Some is
+      | Profile_run ps ->
+          let key = [ src_fp; fp !compile_spec; fp !instr_spec; fp ps ] in
+          prof_key := key;
+          let out =
+            hooks.memo ~kind:"profile-run" ~key ~ser:mser ~de:mde (fun () ->
+                let cs =
+                  match !compile_spec with
+                  | Some cs -> cs
+                  | None -> invalid_arg "Plan.run: Profile_run before Compile"
+                in
+                let prog = Frontend.Lower.compile cs.c_source in
+                if cs.c_probes then Pseudo_probe.insert prog;
+                let instr =
+                  match !instr_spec with
+                  | None -> None
+                  | Some is ->
+                      let im =
+                        if is.i_counters then Instrument.instrument prog
+                        else { Instrument.counter_of = Hashtbl.create 1; n_counters = 0 }
+                      in
+                      let vals =
+                        if is.i_values then Instrument.instrument_values prog
+                        else { Instrument.site_of = Hashtbl.create 1; n_sites = 0 }
+                      in
+                      Some { in_map = im; in_vals = vals }
+                in
+                Opt.Pass.optimize ~config:ps.p_config prog;
+                let bin = Cg.Emit.emit ~options:ps.p_emit prog in
+                let r = run_specs ~pmu:ps.p_pmu bin ~entry:ps.p_entry ps.p_train in
+                {
+                  pr_bin = bin;
+                  pr_samples = r.r_samples;
+                  pr_cycles = r.r_cycles;
+                  pr_counters = r.r_counters;
+                  pr_values = r.r_values;
+                  pr_instr = instr;
+                })
+          in
+          prof := Some out
+      | Correlate { x_correlator } -> (
+          let po =
+            match !prof with
+            | Some po -> po
+            | None -> invalid_arg "Plan.run: Correlate before Profile_run"
+          in
+          (* Correlated profiles cache as canonical Text_io dumps; the memo
+             thunk also hands back the freshly built value so the cache-off
+             path never round-trips through text. *)
+          let memo_profile ~tag ~kind_p build =
+            let built = ref None in
+            let text =
+              hooks.memo ~kind:"correlate"
+                ~key:(!prof_key @ [ tag; checksum_digest () ])
+                ~ser:Fun.id ~de:Fun.id
+                (fun () ->
+                  let p = build () in
+                  built := Some p;
+                  P.Text_io.to_string p)
+            in
+            let p = match !built with Some p -> p | None -> P.Text_io.read kind_p text in
+            (p, text)
+          in
+          (* Probe-level (context-merged) correlation, shared between
+             [Corr_probes] and the flat quality baseline of [Corr_ctx]. *)
+          let probe_flat () =
+            match
+              memo_profile ~tag:"probes" ~kind_p:P.Text_io.Probe (fun () ->
+                  P.Text_io.Probe_prof
+                    (Probe_corr.correlate ~name_of ~checksum_of po.pr_bin po.pr_samples))
+            with
+            | P.Text_io.Probe_prof pp, text -> (pp, text)
+            | _ -> assert false
+          in
+          match x_correlator with
+          | Corr_lines ->
+              let lp, text =
+                match
+                  memo_profile ~tag:"lines" ~kind_p:P.Text_io.Line (fun () ->
+                      P.Text_io.Line_prof
+                        (Pg.Dwarf_corr.correlate ~name_of po.pr_bin po.pr_samples))
+                with
+                | P.Text_io.Line_prof lp, text -> (lp, text)
+                | _ -> assert false
+              in
+              profile := Some (Prof_lines lp);
+              profile_ser := text;
+              (* rough text encoding: one row per line entry *)
+              profile_size :=
+                Ir.Guid.Tbl.fold
+                  (fun _ fe acc ->
+                    acc + 24
+                    + (12 * Hashtbl.length fe.P.Line_profile.fe_lines)
+                    + (18 * Hashtbl.length fe.P.Line_profile.fe_calls))
+                  lp.P.Line_profile.funcs 0
+          | Corr_probes ->
+              let pp, text = probe_flat () in
+              profile := Some (Prof_probes pp);
+              profile_ser := text;
+              profile_size :=
+                Ir.Guid.Tbl.fold
+                  (fun _ fe acc ->
+                    acc + 24
+                    + (10 * Hashtbl.length fe.P.Probe_profile.fe_probes)
+                    + (18 * Hashtbl.length fe.P.Probe_profile.fe_calls))
+                  pp.P.Probe_profile.funcs 0
+          | Corr_ctx { cc_missing_frames; cc_trim_threshold } ->
+              let built = ref None in
+              let text, stats =
+                hooks.memo ~kind:"correlate"
+                  ~key:
+                    (!prof_key
+                    @ [ "ctx"; fp (cc_missing_frames, cc_trim_threshold); checksum_digest () ])
+                  ~ser:mser ~de:mde
+                  (fun () ->
+                    let missing =
+                      if cc_missing_frames then Some (Missing_frame.build po.pr_bin po.pr_samples)
+                      else None
+                    in
+                    let trie, stats =
+                      Ctx_reconstruct.reconstruct ~name_of ?missing ~checksum_of po.pr_bin
+                        po.pr_samples
+                    in
+                    if Int64.compare cc_trim_threshold 0L > 0 then
+                      ignore (P.Ctx_profile.trim_cold trie ~threshold:cc_trim_threshold);
+                    built := Some trie;
+                    (P.Text_io.to_string (P.Text_io.Ctx_prof trie), stats))
+              in
+              let trie =
+                match !built with
+                | Some trie -> trie
+                | None -> (
+                    match P.Text_io.read P.Text_io.Ctx text with
+                    | P.Text_io.Ctx_prof trie -> trie
+                    | _ -> assert false)
+              in
+              let flat, _ = probe_flat () in
+              recon := Some stats;
+              profile := Some (Prof_ctx { x_trie = trie; x_flat = flat });
+              profile_ser := text (* refreshed after Preinline *)
+          | Corr_counters { cn_min_count; cn_min_ratio } ->
+              let inst =
+                match po.pr_instr with
+                | Some i -> i
+                | None -> invalid_arg "Plan.run: Corr_counters without Instrument"
+              in
+              let v =
+                hooks.memo ~kind:"correlate"
+                  ~key:(!prof_key @ [ "counters"; fp (cn_min_count, cn_min_ratio) ])
+                  ~ser:mser ~de:mde
+                  (fun () ->
+                    let counts =
+                      Instrument.block_counts inst.in_map
+                        (Option.value po.pr_counters
+                           ~default:(Array.make inst.in_map.Instrument.n_counters 0L))
+                    in
+                    let dominant =
+                      Instrument.dominant_values inst.in_vals po.pr_values
+                        ~min_count:cn_min_count ~min_ratio:cn_min_ratio
+                    in
+                    (counts, dominant))
+              in
+              let counts, dominant = v in
+              profile := Some (Prof_counters { x_counts = counts; x_dominant = dominant });
+              profile_ser := mser v;
+              profile_size := 8 * inst.in_map.Instrument.n_counters)
+      | Preinline { pi_config } -> (
+          match !profile with
+          | Some (Prof_ctx { x_trie; _ }) ->
+              let po =
+                match !prof with
+                | Some po -> po
+                | None -> invalid_arg "Plan.run: Preinline before Profile_run"
+              in
+              (match pi_config with
+              | Some cfg ->
+                  let sizes = Size_extract.compute po.pr_bin in
+                  decisions := Preinliner.run ~config:cfg x_trie sizes
+              | None ->
+                  (* Without the pre-inliner every context merges into base. *)
+                  ignore (P.Ctx_profile.trim_cold x_trie ~threshold:Int64.max_int);
+                  decisions := []);
+              profile_size := P.Ctx_profile.size_bytes x_trie;
+              profile_ser := P.Text_io.to_string (P.Text_io.Ctx_prof x_trie)
+          | _ -> () (* no context trie: nothing to pre-inline *))
+      | Rebuild rs ->
+          let prog = Frontend.Lower.compile w.w_source in
+          if rs.r_probes then Pseudo_probe.insert prog;
+          (match rs.r_prepass with
+          | Some config -> Opt.Pass.optimize ~config prog
+          | None -> ());
+          (match !profile with
+          | None -> ()
+          | Some (Prof_lines lp) -> Annotate.lines lp prog
+          | Some (Prof_probes pp) -> stales := Annotate.probes pp prog
+          | Some (Prof_ctx { x_trie; _ }) -> stales := Annotate.ctx x_trie prog
+          | Some (Prof_counters { x_counts; x_dominant }) ->
+              Annotate.exact x_counts prog;
+              (* Value-profile-guided divisor specialization:
+                 instrumentation-only. *)
+              ignore (Value_spec.apply prog x_dominant));
+          (* The annotated pre-opt IR doubles as the quality oracle. For
+             context profiles it must share the truth CFG, so it cannot be
+             the replayed (inlined) IR: annotate a fresh copy with the flat
+             (context-merged) probe profile from the same samples — the same
+             correlation mechanism Table I's "CSSPGO" row measures. *)
+          (match !profile with
+          | Some (Prof_ctx { x_flat; _ }) ->
+              let qp = Frontend.Lower.compile w.w_source in
+              Pseudo_probe.insert qp;
+              ignore (Annotate.probes x_flat qp);
+              annotated := Some qp
+          | _ -> annotated := Some (Ir.Program.copy prog));
+          let key = [ src_fp; fp rs; fp_string !profile_ser ] in
+          final_key := key;
+          let bin =
+            hooks.memo ~kind:"final-build" ~key ~ser:mser ~de:mde (fun () ->
+                Opt.Pass.optimize ~config:rs.r_config prog;
+                Cg.Emit.emit ~options:rs.r_emit prog)
+          in
+          final := Some bin
+      | Evaluate es ->
+          let bin =
+            match !final with
+            | Some bin -> bin
+            | None -> invalid_arg "Plan.run: Evaluate before Rebuild"
+          in
+          let ev =
+            hooks.memo ~kind:"evaluate" ~key:(!final_key @ [ fp es ]) ~ser:mser ~de:mde
+              (fun () ->
+                let r = run_specs ~pmu:None bin ~entry:es.e_entry es.e_eval in
+                {
+                  ev_cycles = r.r_cycles;
+                  ev_instructions = r.r_instrs;
+                  ev_icache_misses = r.r_imiss;
+                  ev_taken_branches = r.r_branches;
+                })
+          in
+          eval_out := Some ev
+    in
+    List.iter exec plan.pl_stages;
+    match (!final, !eval_out, !annotated) with
+    | Some bin, Some ev, Some ann ->
+        {
+          o_variant = plan.pl_variant;
+          o_eval = ev;
+          o_text_size = bin.Cg.Mach.text_size;
+          o_debug_size = bin.Cg.Mach.debug_size;
+          o_probe_meta_size = bin.Cg.Mach.probe_meta_size;
+          o_profiling_cycles = (match !prof with Some po -> po.pr_cycles | None -> 0L);
+          o_annotated = ann;
+          o_stales = !stales;
+          o_recon_stats = !recon;
+          o_preinline_decisions = !decisions;
+          o_binary = bin;
+          o_profile_size = !profile_size;
+        }
+    | _ -> invalid_arg "Plan.run: plan must end with Rebuild and Evaluate stages"
+end
+
+let run_variant ?options variant (w : workload) =
+  Plan.run (Plan.make ?options ~variant w)

@@ -63,7 +63,108 @@ type outcome = {
   o_profile_size : int;                (** serialized profile estimate, bytes *)
 }
 
+(** {1 Staged build plans}
+
+    The supported public surface for running variants. A plan is an explicit
+    list of pipeline stages — each a record with named fields describing its
+    declared inputs — built by {!Plan.make} and interpreted by {!Plan.run}.
+    The orchestrator ([Csspgo_orchestrator]) schedules independent plans
+    across domains and threads an artifact cache through {!Plan.hooks}. *)
+
+module Plan : sig
+  type compile_spec = {
+    c_source : string;  (** MiniC source to lower *)
+    c_probes : bool;    (** insert pseudo-probes after lowering *)
+  }
+
+  type instrument_spec = {
+    i_counters : bool;  (** per-block counter increments (instr-PGO) *)
+    i_values : bool;    (** divisor value-capture probes *)
+  }
+
+  type profile_run_spec = {
+    p_config : Csspgo_opt.Config.t;       (** pipeline for the profiling build *)
+    p_emit : Csspgo_codegen.Emit.options;
+    p_pmu : Csspgo_vm.Machine.pmu option; (** [None] = no sampling (instr-PGO) *)
+    p_entry : string;
+    p_train : run_spec list;
+  }
+
+  (** How raw profiling output becomes an annotatable profile. *)
+  type correlator =
+    | Corr_lines      (** DWARF line correlation (AutoFDO) *)
+    | Corr_probes     (** pseudo-probe correlation, contexts merged *)
+    | Corr_ctx of { cc_missing_frames : bool; cc_trim_threshold : int64 }
+        (** context-trie reconstruction (full CSSPGO) *)
+    | Corr_counters of { cn_min_count : int64; cn_min_ratio : float }
+        (** exact block counts + dominant divisor values (instr-PGO) *)
+
+  type correlate_spec = { x_correlator : correlator }
+
+  type preinline_spec = { pi_config : Preinliner.config option }
+  (** [None] merges every context into base (pre-inliner disabled). *)
+
+  type rebuild_spec = {
+    r_probes : bool;
+    r_prepass : Csspgo_opt.Config.t option;
+        (** statically optimize before annotation (the no-PGO baseline) *)
+    r_config : Csspgo_opt.Config.t;       (** final optimization pipeline *)
+    r_emit : Csspgo_codegen.Emit.options;
+  }
+
+  type evaluate_spec = { e_entry : string; e_eval : run_spec list }
+
+  type stage =
+    | Compile of compile_spec
+    | Instrument of instrument_spec
+    | Profile_run of profile_run_spec
+    | Correlate of correlate_spec
+    | Preinline of preinline_spec
+    | Rebuild of rebuild_spec
+    | Evaluate of evaluate_spec
+
+  type t = {
+    pl_variant : variant;
+    pl_workload : workload;
+    pl_options : options;
+    pl_stages : stage list;
+  }
+
+  val make : ?options:options -> variant:variant -> workload -> t
+  (** The staged equivalent of the old monolithic [run_variant] recipes:
+      every variant becomes an explicit stage list ending in
+      [Rebuild; Evaluate]. *)
+
+  type hooks = {
+    memo :
+      'a.
+      kind:string ->
+      key:string list ->
+      ser:('a -> string) ->
+      de:(string -> 'a) ->
+      (unit -> 'a) ->
+      'a;
+  }
+  (** Memoization hook threaded through {!run}. [kind] names the stage
+      family (["ref-info"], ["profile-run"], ["correlate"], ["final-build"],
+      ["evaluate"]); [key] is the content-addressed cache key (source hash,
+      spec fingerprints, probe/function checksum digest); [ser]/[de] convert
+      the stage value to/from bytes (profiles serialize as canonical
+      {!Csspgo_profile.Text_io} text). A hook must either return the thunk's
+      result or a deserialized value from a previous identical call. *)
+
+  val default_hooks : hooks
+  (** Runs every thunk directly — no caching. *)
+
+  val run : ?hooks:hooks -> t -> outcome
+  (** Interpret the stages in order. Raises [Invalid_argument] on malformed
+      plans (e.g. [Profile_run] before [Compile], or a missing [Rebuild] /
+      [Evaluate] tail). Deterministic: equal plans produce byte-identical
+      binaries and profiles. *)
+end
+
 val run_variant : ?options:options -> variant -> workload -> outcome
+(** Thin wrapper: [Plan.run (Plan.make ?options ~variant w)]. *)
 
 val profiling_run :
   ?options:options ->
@@ -72,7 +173,11 @@ val profiling_run :
   Csspgo_codegen.Mach.binary * Csspgo_vm.Machine.sample list * int64
 (** Build the profiling binary (optionally pseudo-instrumented), run the
     training inputs under the PMU, and return (binary, samples, cycles).
-    Exposed for the overhead experiments (Fig. 8). *)
+    Exposed for the overhead experiments (Fig. 8).
+    @deprecated Outside [lib/core], build a plan with {!Plan.make} (or a
+    custom stage list ending at [Profile_run]) instead; this entry point
+    bypasses the plan cache and will lose its public status once the bench
+    overhead experiments migrate. *)
 
 val evaluate : Csspgo_codegen.Mach.binary -> workload -> eval
 (** Run the eval inputs (no PMU) and aggregate. *)

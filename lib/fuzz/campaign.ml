@@ -20,6 +20,7 @@ module Cg = Csspgo_codegen
 module Vm = Csspgo_vm
 module W = Csspgo_workloads
 module Core = Csspgo_core
+module O = Csspgo_orchestrator
 module S = Csspgo_support
 module D = Core.Driver
 
@@ -161,11 +162,24 @@ let run_bin ~fuel bin args =
   | r -> r.Vm.Machine.ret_value
   | exception Vm.Machine.Trap "fuel exhausted" -> raise Discarded
 
-let build_reference src =
-  let p = F.Lower.compile src in
-  Opt.Pass.optimize ~config:Opt.Config.o0 p;
-  Ir.Verify.check_exn p;
-  Cg.Emit.emit ~options:Cg.Emit.default_options p
+(* The -O0 reference is pure in the source, so it is hoisted through the
+   artifact cache: one compile per seed, however many plans, variants, and
+   minimizer replays look at it. *)
+let build_reference ?cache src =
+  let build () =
+    let p = F.Lower.compile src in
+    Opt.Pass.optimize ~config:Opt.Config.o0 p;
+    Ir.Verify.check_exn p;
+    Cg.Emit.emit ~options:Cg.Emit.default_options p
+  in
+  match cache with
+  | None -> build ()
+  | Some c ->
+      O.Cache.memo c ~kind:"o0-reference"
+        ~key:[ Printf.sprintf "%Lx" (S.Fnv.hash_string src) ]
+        ~ser:(fun b -> Marshal.to_string b [])
+        ~de:(fun s -> Marshal.from_string s 0)
+        build
 
 let config_of_plan pl =
   {
@@ -236,10 +250,16 @@ let check_plan cfg pl src args ref_result =
            site,
            Printf.sprintf "reference=%Ld plan=%Ld" ref_result r ))
 
-(* Run one Driver PGO variant against the reference result. *)
-let check_variant cfg v w args ref_result =
+(* Run one Driver PGO variant against the reference result. Submitted as a
+   staged plan so the cache hooks share stages across variants of a seed —
+   the reference symbol/checksum info, the probed profiling run (probe-only
+   and full), and the flat probe correlation all compute once. *)
+let check_variant ?hooks cfg v w args ref_result =
   let site = Variant v in
-  let o = guarded_build site (fun () -> D.run_variant ~options:driver_options v w) in
+  let o =
+    guarded_build site (fun () ->
+        D.Plan.run ?hooks (D.Plan.make ~options:driver_options ~variant:v w))
+  in
   let r =
     guarded_run site (fun () -> run_bin ~fuel:(Int64.mul 4L cfg.cf_fuel) o.D.o_binary args)
   in
@@ -282,27 +302,31 @@ let check_quality cfg ?on_overlap ~truth ~cand ~pcycles () =
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
-let classify ?(reducing = false) ?only ?on_overlap (cfg : config) ~seed src =
+let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed src =
   let args = args_of_seed seed in
+  let hooks = Option.map O.Orchestrate.hooks cache in
   try
     let ref_result =
-      let bin = guarded_build Reference (fun () -> build_reference src) in
+      let bin = guarded_build Reference (fun () -> build_reference ?cache src) in
       guarded_run Reference (fun () -> run_bin ~fuel:cfg.cf_fuel bin args)
     in
     (match only with
     | Some Reference -> ()
     | Some (Plan pl) -> check_plan cfg pl src args ref_result
     | Some (Variant v) ->
-        ignore (check_variant cfg v (workload_of ~seed src args) args ref_result)
+        ignore (check_variant ?hooks cfg v (workload_of ~seed src args) args ref_result)
     | Some Quality ->
         let w = workload_of ~seed src args in
         let truth =
-          (guarded_build (Variant D.Instr_pgo) (fun () -> D.run_variant ~options:driver_options D.Instr_pgo w))
+          (guarded_build (Variant D.Instr_pgo) (fun () ->
+               D.Plan.run ?hooks
+                 (D.Plan.make ~options:driver_options ~variant:D.Instr_pgo w)))
             .D.o_annotated
         in
         let cand_o =
           guarded_build (Variant D.Csspgo_probe_only) (fun () ->
-              D.run_variant ~options:driver_options D.Csspgo_probe_only w)
+              D.Plan.run ?hooks
+                (D.Plan.make ~options:driver_options ~variant:D.Csspgo_probe_only w))
         in
         check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
           ~pcycles:cand_o.D.o_profiling_cycles ()
@@ -314,7 +338,9 @@ let classify ?(reducing = false) ?only ?on_overlap (cfg : config) ~seed src =
         if cfg.cf_variants then begin
           let w = workload_of ~seed src args in
           let outcomes =
-            List.map (fun v -> (v, check_variant cfg v w args ref_result)) all_variants
+            List.map
+              (fun v -> (v, check_variant ?hooks cfg v w args ref_result))
+              all_variants
           in
           let truth = (List.assq D.Instr_pgo outcomes).D.o_annotated in
           let cand_o = List.assq D.Csspgo_probe_only outcomes in
@@ -355,8 +381,8 @@ let pp_stats fmt st =
     (n_failures st) st.st_mismatches st.st_verify_errors st.st_quality_lows
     st.st_crashes st.st_min_overlap
 
-let interesting cfg ~seed site kind cand =
-  match classify ~reducing:true ~only:site cfg ~seed cand with
+let interesting ?cache cfg ~seed site kind cand =
+  match classify ~reducing:true ~only:site ?cache cfg ~seed cand with
   | C_fail (k, _, _) -> k = kind
   | C_pass | C_discard -> false
 
@@ -399,14 +425,14 @@ let write_corpus dir cfg fl =
        (Reduce.count_source_lines fl.fl_source)
        (repro_command cfg ~seed:fl.fl_seed))
 
-let run_seed ?(stats : stats option) (cfg : config) seed =
+let run_seed ?(stats : stats option) ?cache (cfg : config) seed =
   let src = W.Gen.random_source ~n_funcs:cfg.cf_n_funcs ~size:cfg.cf_size ~seed () in
   let on_overlap ov =
     match stats with
     | Some st -> if ov < st.st_min_overlap then st.st_min_overlap <- ov
     | None -> ()
   in
-  match classify ~on_overlap cfg ~seed src with
+  match classify ~on_overlap ?cache cfg ~seed src with
   | C_pass -> None
   | C_discard ->
       (match stats with Some st -> st.st_discards <- st.st_discards + 1 | None -> ());
@@ -414,7 +440,7 @@ let run_seed ?(stats : stats option) (cfg : config) seed =
   | C_fail (kind, site, detail) ->
       let minimized =
         if cfg.cf_minimize then
-          Some (Reduce.minimize ~check:(interesting cfg ~seed site kind) src)
+          Some (Reduce.minimize ~check:(interesting ?cache cfg ~seed site kind) src)
         else None
       in
       Some
@@ -427,37 +453,80 @@ let run_seed ?(stats : stats option) (cfg : config) seed =
           fl_minimized = minimized;
         }
 
-let run ?out_dir ?(progress = fun (_ : stats) -> ()) (cfg : config) ~seeds:(lo, hi) =
-  let st =
-    {
-      st_runs = 0;
-      st_discards = 0;
-      st_mismatches = 0;
-      st_verify_errors = 0;
-      st_quality_lows = 0;
-      st_crashes = 0;
-      st_min_overlap = 1.0;
-      st_failures = [];
-    }
-  in
+let fresh_stats () =
+  {
+    st_runs = 0;
+    st_discards = 0;
+    st_mismatches = 0;
+    st_verify_errors = 0;
+    st_quality_lows = 0;
+    st_crashes = 0;
+    st_min_overlap = 1.0;
+    st_failures = [];
+  }
+
+let run ?out_dir ?(progress = fun (_ : stats) -> ()) ?cache ?(jobs = 1) (cfg : config)
+    ~seeds:(lo, hi) =
+  (* Without a caller-provided cache the campaign still wants the per-seed
+     stage sharing (reference, profiling runs, correlations), so it makes a
+     private in-memory one. *)
+  let cache = match cache with Some c -> c | None -> O.Cache.create () in
+  let st = fresh_stats () in
   let stop () =
     match cfg.cf_max_failures with Some n -> n_failures st >= n | None -> false
   in
-  let s = ref lo in
-  while !s <= hi && not (stop ()) do
-    let seed = Int64.of_int !s in
-    st.st_runs <- st.st_runs + 1;
-    (match run_seed ~stats:st cfg seed with
-    | None -> ()
-    | Some fl ->
-        (match fl.fl_kind with
-        | Result_mismatch -> st.st_mismatches <- st.st_mismatches + 1
-        | Verify_error -> st.st_verify_errors <- st.st_verify_errors + 1
-        | Quality_low -> st.st_quality_lows <- st.st_quality_lows + 1
-        | Crash -> st.st_crashes <- st.st_crashes + 1);
-        st.st_failures <- fl :: st.st_failures;
-        (match out_dir with Some dir -> write_corpus dir cfg fl | None -> ()));
-    progress st;
-    incr s
-  done;
-  st
+  let record fl =
+    (match fl.fl_kind with
+    | Result_mismatch -> st.st_mismatches <- st.st_mismatches + 1
+    | Verify_error -> st.st_verify_errors <- st.st_verify_errors + 1
+    | Quality_low -> st.st_quality_lows <- st.st_quality_lows + 1
+    | Crash -> st.st_crashes <- st.st_crashes + 1);
+    st.st_failures <- fl :: st.st_failures;
+    match out_dir with Some dir -> write_corpus dir cfg fl | None -> ()
+  in
+  if jobs <= 1 then begin
+    let s = ref lo in
+    while !s <= hi && not (stop ()) do
+      let seed = Int64.of_int !s in
+      st.st_runs <- st.st_runs + 1;
+      (match run_seed ~stats:st ~cache cfg seed with
+      | None -> ()
+      | Some fl -> record fl);
+      progress st;
+      incr s
+    done;
+    st
+  end
+  else begin
+    (* Seeds are independent, so batches run across domains; each seed
+       accumulates into a private stats record and the batch merges in seed
+       order, reproducing the serial campaign's statistics (and its
+       [cf_max_failures] early stop) exactly — a batch only overshoots in
+       wasted work, never in reported results. *)
+    let s = ref lo in
+    while !s <= hi && not (stop ()) do
+      let n = min (2 * jobs) (hi - !s + 1) in
+      let batch = List.init n (fun i -> Int64.of_int (!s + i)) in
+      let results =
+        O.Scheduler.map ~jobs
+          (fun seed ->
+            let local = fresh_stats () in
+            let fl = run_seed ~stats:local ~cache cfg seed in
+            (local, fl))
+          batch
+      in
+      List.iter
+        (fun (local, fl) ->
+          if not (stop ()) then begin
+            st.st_runs <- st.st_runs + 1;
+            st.st_discards <- st.st_discards + local.st_discards;
+            if local.st_min_overlap < st.st_min_overlap then
+              st.st_min_overlap <- local.st_min_overlap;
+            (match fl with None -> () | Some fl -> record fl);
+            progress st
+          end)
+        results;
+      s := !s + n
+    done;
+    st
+  end

@@ -87,18 +87,34 @@ type stats = {
 val n_failures : stats -> int
 val pp_stats : Format.formatter -> stats -> unit
 
-val run_seed : ?stats:stats -> config -> int64 -> failure option
+val run_seed :
+  ?stats:stats ->
+  ?cache:Csspgo_orchestrator.Cache.t ->
+  config ->
+  int64 ->
+  failure option
 (** Check a single seed; [None] is a pass or a discard (discards are
     counted into [stats] when given). Minimization runs when the config
-    asks for it. *)
+    asks for it. With [cache], the -O0 reference and the shareable plan
+    stages (reference symbol info, probed profiling run, flat correlation)
+    each compute once per seed instead of once per variant. *)
 
 val run :
   ?out_dir:string ->
   ?progress:(stats -> unit) ->
+  ?cache:Csspgo_orchestrator.Cache.t ->
+  ?jobs:int ->
   config ->
   seeds:int * int ->
   stats
 (** Run seeds [lo..hi] inclusive, stopping early at [cf_max_failures].
     When [out_dir] is given, each failure is written there as
     [seed-N.minic] (minimized), [seed-N.orig.minic] and [seed-N.repro].
-    [progress] is called after every seed. *)
+    [progress] is called after every seed (in seed order).
+
+    [jobs > 1] fans independent seeds out over that many domains
+    ({!Csspgo_orchestrator.Scheduler}); batches merge in seed order, so
+    the reported statistics — including the [cf_max_failures] stop point —
+    are identical to the serial campaign's. [cache] defaults to a private
+    in-memory cache; pass a disk-backed one to reuse artifacts across
+    campaign invocations. *)

@@ -1,0 +1,19 @@
+module D = Csspgo_core.Driver
+
+let hooks cache =
+  { D.Plan.memo = (fun ~kind ~key ~ser ~de f -> Cache.memo cache ~kind ~key ~ser ~de f) }
+
+let run_plans ?cache ~jobs plans =
+  let hooks = Option.map hooks cache in
+  Scheduler.map ~jobs (fun plan -> D.Plan.run ?hooks plan) plans
+
+let run_matrix ?cache ?options ~jobs ~variants ~workloads () =
+  let plans =
+    List.concat_map
+      (fun w -> List.map (fun variant -> D.Plan.make ?options ~variant w) variants)
+      workloads
+  in
+  let outcomes = run_plans ?cache ~jobs plans in
+  List.map2
+    (fun (plan : D.Plan.t) o -> (plan.D.Plan.pl_workload, plan.D.Plan.pl_variant, o))
+    plans outcomes

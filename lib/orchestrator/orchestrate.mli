@@ -1,0 +1,32 @@
+(** The build orchestrator: runs staged PGO plans ({!Csspgo_core.Driver.Plan})
+    across OCaml 5 domains, with stage memoization through a shared
+    content-addressed {!Cache}.
+
+    Every plan is independent of every other, and all stage merges inside a
+    plan happen in its fixed stage order, so parallel execution is
+    deterministic: binaries, profiles, and [Text_io] dumps are byte-identical
+    to the serial ([jobs = 1]) schedule. *)
+
+val hooks : Cache.t -> Csspgo_core.Driver.Plan.hooks
+(** Memoization hooks backed by [cache]: stage values round-trip through the
+    cache's byte store, so every hit is a fresh deserialized copy (safe to
+    mutate, safe across domains). *)
+
+val run_plans :
+  ?cache:Cache.t ->
+  jobs:int ->
+  Csspgo_core.Driver.Plan.t list ->
+  Csspgo_core.Driver.outcome list
+(** Execute plans on up to [jobs] domains; results in input order. *)
+
+val run_matrix :
+  ?cache:Cache.t ->
+  ?options:Csspgo_core.Driver.options ->
+  jobs:int ->
+  variants:Csspgo_core.Driver.variant list ->
+  workloads:Csspgo_core.Driver.workload list ->
+  unit ->
+  (Csspgo_core.Driver.workload * Csspgo_core.Driver.variant * Csspgo_core.Driver.outcome)
+  list
+(** The variant×workload product, workload-major, in declaration order —
+    the shape of every experiment table in the paper. *)

@@ -1,0 +1,68 @@
+type 'a deque = { lock : Mutex.t; mutable items : 'a list }
+
+let pop_front d =
+  Mutex.lock d.lock;
+  let r =
+    match d.items with
+    | [] -> None
+    | x :: tl ->
+        d.items <- tl;
+        Some x
+  in
+  Mutex.unlock d.lock;
+  r
+
+(* Steal from the victim's back half — the classic heuristic: leave the
+   owner the work it is about to touch. Deques here are a handful of plan
+   indices long, so the O(n) list surgery is noise. *)
+let steal_back d =
+  Mutex.lock d.lock;
+  let r =
+    match List.rev d.items with
+    | [] -> None
+    | x :: rtl ->
+        d.items <- List.rev rtl;
+        Some x
+  in
+  Mutex.unlock d.lock;
+  r
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let results = Array.make n None in
+    let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
+    Array.iteri (fun i _ -> deques.(i mod jobs).items <- i :: deques.(i mod jobs).items) inputs;
+    Array.iter (fun d -> d.items <- List.rev d.items) deques;
+    let run i =
+      results.(i) <-
+        Some (match f inputs.(i) with v -> Ok v | exception e -> Error e)
+    in
+    let rec worker wid =
+      match pop_front deques.(wid) with
+      | Some i ->
+          run i;
+          worker wid
+      | None ->
+          let rec try_steal k =
+            if k < jobs then
+              match steal_back deques.((wid + k) mod jobs) with
+              | Some i ->
+                  run i;
+                  worker wid
+              | None -> try_steal (k + 1)
+          in
+          try_steal 1
+    in
+    let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    worker 0;
+    Array.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

@@ -1,0 +1,18 @@
+(** A small OCaml 5 [Domain]-based work-stealing scheduler.
+
+    Tasks are distributed round-robin over per-worker deques; a worker pops
+    from the front of its own deque and, when empty, steals from the back of
+    its siblings'. The task set is fixed up front (tasks never spawn tasks),
+    so draining every deque is a complete termination condition.
+
+    Determinism contract: [map] places each result at its input's index, so
+    for *independent* tasks (no shared mutable state beyond thread-safe
+    memoization) the result list is identical whatever [jobs] is — parallel
+    schedules only change completion order, never the merge order. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] on every element of [xs] using up to
+    [jobs] domains (clamped to [1 .. length xs]; [jobs <= 1] runs serially
+    in the calling domain, spawning nothing). If any application raises,
+    the exception of the smallest input index is re-raised after all
+    workers finish. *)

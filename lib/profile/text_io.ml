@@ -103,7 +103,7 @@ let hex_of no s =
 let int_of no s =
   match int_of_string_opt s with Some v -> v | None -> fail no "bad int %S" s
 
-let read_probe s =
+let read_probe_impl s =
   let t = PP.create () in
   let cur = ref None in
   List.iter
@@ -129,7 +129,7 @@ let read_probe s =
     (tokenize_lines s);
   t
 
-let read_ctx s =
+let read_ctx_impl s =
   let t = CP.create () in
   let cur = ref None in
   let pending_frames = ref [] in
@@ -189,7 +189,7 @@ let read_ctx s =
   if !pending_leaf <> None then resolve 0;
   t
 
-let read_line s =
+let read_line_impl s =
   let t = LP.create () in
   let cur = ref None in
   let parse_key no s =
@@ -218,3 +218,59 @@ let read_line s =
       | [] -> ())
     (tokenize_lines s);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Unified interface.                                                  *)
+
+type kind = Line | Probe | Ctx
+
+type profile =
+  | Line_prof of LP.t
+  | Probe_prof of PP.t
+  | Ctx_prof of CP.t
+
+let kind_name = function Line -> "line" | Probe -> "probe" | Ctx -> "ctx"
+let kind_of = function Line_prof _ -> Line | Probe_prof _ -> Probe | Ctx_prof _ -> Ctx
+
+let write fmt = function
+  | Line_prof t -> write_line fmt t
+  | Probe_prof t -> write_probe fmt t
+  | Ctx_prof t -> write_ctx fmt t
+
+let to_string p = Format.asprintf "%a" write p
+
+let read kind s =
+  match kind with
+  | Line -> Line_prof (read_line_impl s)
+  | Probe -> Probe_prof (read_probe_impl s)
+  | Ctx -> Ctx_prof (read_ctx_impl s)
+
+let detect_kind s =
+  match tokenize_lines s with
+  | [] -> None
+  | { words; _ } :: _ -> (
+      match words with
+      | "context" :: _ -> Some Ctx
+      | "function" :: rest ->
+          if List.exists (fun w -> String.length w >= 9 && String.sub w 0 9 = "checksum=") rest
+          then Some Probe
+          else Some Line
+      | _ -> Some Probe (* headerless garbage: let the probe reader report it *))
+
+let of_string ?kind s =
+  match kind with
+  | Some k -> read k s
+  | None -> (
+      match detect_kind s with
+      | Some k -> read k s
+      | None -> raise (Parse_error ("empty profile text: cannot detect kind", 0)))
+
+let total_samples = function
+  | Line_prof t -> LP.total_samples t
+  | Probe_prof t -> PP.total_samples t
+  | Ctx_prof t -> CP.total_samples t
+
+(* Per-kind aliases, kept for one release. *)
+let read_probe = read_probe_impl
+let read_ctx = read_ctx_impl
+let read_line = read_line_impl

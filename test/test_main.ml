@@ -11,6 +11,7 @@ let () =
       Test_inference.suite;
       Test_profgen.suite;
       Test_core.suite;
+      Test_orchestrator.suite;
       Test_differential.suite;
       Test_fuzz.suite;
     ]

@@ -169,6 +169,45 @@ let test_text_io_errors () =
   Alcotest.(check bool) "comments ok" false
     (fails "# header\n\nfunction f guid=ff total=0 head=0 checksum=0\n probe 1 5 # hot")
 
+(* --- the unified reader/writer interface ---------------------------- *)
+
+let test_unified_detect_and_roundtrip () =
+  let probe =
+    let t = PP.create () in
+    let fe = PP.get_or_add t (g "f") ~name:"f" in
+    fe.PP.fe_checksum <- 0xBEEFL;
+    PP.add_probe fe 1 10L;
+    P.Text_io.Probe_prof t
+  in
+  let line =
+    let t = LP.create () in
+    let fe = LP.get_or_add t (g "f") ~name:"f" in
+    LP.set_line_max fe (1, 0) 5L;
+    P.Text_io.Line_prof t
+  in
+  let ctx = P.Text_io.Ctx_prof (mk_trie ()) in
+  List.iter
+    (fun p ->
+      let kn = P.Text_io.kind_name (P.Text_io.kind_of p) in
+      let s = P.Text_io.to_string p in
+      (* sniffing recovers the kind without being told *)
+      Alcotest.(check (option string)) (kn ^ " sniffed") (Some kn)
+        (Option.map P.Text_io.kind_name (P.Text_io.detect_kind s));
+      let p2 = P.Text_io.of_string s in
+      Alcotest.(check string) (kn ^ " kind stable") kn
+        (P.Text_io.kind_name (P.Text_io.kind_of p2));
+      Alcotest.(check string) (kn ^ " canonical") s (P.Text_io.to_string p2);
+      Alcotest.(check int64) (kn ^ " samples") (P.Text_io.total_samples p)
+        (P.Text_io.total_samples p2))
+    [ probe; line; ctx ]
+
+let test_unified_empty_input () =
+  Alcotest.(check (option string)) "no records -> no kind" None
+    (Option.map P.Text_io.kind_name (P.Text_io.detect_kind "# nothing\n"));
+  match P.Text_io.of_string "# nothing\n" with
+  | exception P.Text_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "recordless input must not parse"
+
 let prop_probe_roundtrip =
   QCheck.Test.make ~name:"probe profile text round-trips" ~count:100
     QCheck.(list (pair (int_range 1 40) (int_range 1 100000)))
@@ -313,6 +352,10 @@ let suite =
       Alcotest.test_case "ctx text roundtrip" `Quick test_ctx_roundtrip;
       Alcotest.test_case "line text roundtrip" `Quick test_line_roundtrip;
       Alcotest.test_case "text parse errors" `Quick test_text_io_errors;
+      Alcotest.test_case "unified io detects and round-trips" `Quick
+        test_unified_detect_and_roundtrip;
+      Alcotest.test_case "unified io rejects recordless input" `Quick
+        test_unified_empty_input;
       QCheck_alcotest.to_alcotest prop_probe_roundtrip;
       QCheck_alcotest.to_alcotest prop_probe_profile_roundtrip;
       QCheck_alcotest.to_alcotest prop_line_profile_roundtrip;
