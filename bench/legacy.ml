@@ -1,0 +1,361 @@
+(* The seed's materialize-then-iterate sample pipeline, kept verbatim as
+   the benchmark baseline for `main.exe pipeline`: tuple-keyed Hashtbl
+   bumps, per-LBR-entry [Mach.inst_at] hash lookups, per-instruction
+   [level_path] recomputation, and every consumer re-walking the
+   materialized sample list. The library replaced all of this with the
+   streaming sink + dense-index pipeline; this copy exists only so the
+   speedup is measured against what actually shipped before, and its
+   output is still asserted byte-identical to the streaming path. *)
+
+module Ir = Csspgo_ir
+module Mach = Csspgo_codegen.Mach
+module Vm = Csspgo_vm
+module P = Csspgo_profile
+
+(* --- range aggregation (seed lib/profgen/ranges.ml) ------------------ *)
+
+type agg = {
+  range_counts : (int * int, int64) Hashtbl.t;
+  branch_counts : (int * int, int64) Hashtbl.t;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (Int64.add n (Option.value (Hashtbl.find_opt tbl key) ~default:0L))
+
+let aggregate samples =
+  let agg = { range_counts = Hashtbl.create 1024; branch_counts = Hashtbl.create 1024 } in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      let lbr = s.Vm.Machine.s_lbr in
+      Array.iter (fun (src, tgt) -> bump agg.branch_counts (src, tgt) 1L) lbr;
+      for i = 1 to Array.length lbr - 1 do
+        let _, prev_tgt = lbr.(i - 1) in
+        let cur_src, _ = lbr.(i) in
+        if prev_tgt <> 0 && cur_src >= prev_tgt then
+          bump agg.range_counts (prev_tgt, cur_src) 1L
+      done)
+    samples;
+  agg
+
+let iter_range_insts (b : Mach.binary) (lo, hi) f =
+  let rec go addr steps =
+    if steps > 100_000 then ()
+    else
+      match Mach.inst_at b addr with
+      | None -> ()
+      | Some inst ->
+          if inst.Mach.i_addr <= hi then begin
+            f inst;
+            match Mach.next_addr b addr with
+            | Some next when next > addr -> go next (steps + 1)
+            | _ -> ()
+          end
+  in
+  go lo 0
+
+let addr_totals b agg =
+  let totals = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun range n ->
+      iter_range_insts b range (fun inst -> bump totals inst.Mach.i_addr n))
+    agg.range_counts;
+  totals
+
+(* --- probe correlation (seed lib/core/probe_corr.ml) ------------------ *)
+
+let probes_in_range (b : Mach.binary) (lo, hi) =
+  let probes = b.Mach.probes in
+  let n = Array.length probes in
+  let rec lower l r =
+    if l >= r then l
+    else
+      let m = (l + r) / 2 in
+      if probes.(m).Mach.pr_addr < lo then lower (m + 1) r else lower l m
+  in
+  let start = lower 0 n in
+  let out = ref [] in
+  let i = ref start in
+  while !i < n && probes.(!i).Mach.pr_addr <= hi do
+    out := probes.(!i) :: !out;
+    incr i
+  done;
+  List.rev !out
+
+let default_name guid = Format.asprintf "%a" Ir.Guid.pp guid
+
+let probe_correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples =
+  let agg = aggregate samples in
+  let prof = P.Probe_profile.create () in
+  let name_for guid = Option.value (name_of guid) ~default:(default_name guid) in
+  let fentry guid =
+    let fe = P.Probe_profile.get_or_add prof guid ~name:(name_for guid) in
+    if Int64.equal fe.P.Probe_profile.fe_checksum 0L then
+      fe.P.Probe_profile.fe_checksum <- checksum_of guid;
+    fe
+  in
+  Hashtbl.iter
+    (fun range n ->
+      List.iter
+        (fun (pr : Mach.probe_rec) ->
+          P.Probe_profile.add_probe (fentry pr.Mach.pr_func) pr.Mach.pr_id n)
+        (probes_in_range b range))
+    agg.range_counts;
+  let totals = addr_totals b agg in
+  Array.iter
+    (fun (inst : Mach.inst) ->
+      if inst.Mach.i_cs_probe > 0 then
+        match inst.Mach.i_op with
+        | Mach.MCall c | Mach.MTail_call c -> (
+            match Hashtbl.find_opt totals inst.Mach.i_addr with
+            | Some total when Int64.compare total 0L > 0 ->
+                let owner =
+                  if Ir.Dloc.is_none inst.Mach.i_dloc then
+                    b.Mach.funcs.(inst.Mach.i_func).Mach.bf_guid
+                  else inst.Mach.i_dloc.Ir.Dloc.origin
+                in
+                P.Probe_profile.add_call (fentry owner) inst.Mach.i_cs_probe c.Mach.m_callee
+                  total
+            | _ -> ())
+        | _ -> ())
+    b.Mach.insts;
+  Hashtbl.iter
+    (fun (_, tgt) n ->
+      match Mach.func_index_of_addr b tgt with
+      | Some i when b.Mach.funcs.(i).Mach.bf_start = tgt ->
+          let fe = fentry b.Mach.funcs.(i).Mach.bf_guid in
+          fe.P.Probe_profile.fe_head <- Int64.add fe.P.Probe_profile.fe_head n
+      | _ -> ())
+    agg.branch_counts;
+  prof
+
+(* --- missing-frame inference (seed lib/core/missing_frame.ml) --------- *)
+
+type mf = {
+  edges : (int * Ir.Guid.t) list Ir.Guid.Tbl.t;
+  n_edges : int;
+}
+
+let missing_build (b : Mach.binary) samples =
+  let edges = Ir.Guid.Tbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let n = ref 0 in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      Array.iter
+        (fun (src, tgt) ->
+          if not (Hashtbl.mem seen (src, tgt)) then begin
+            Hashtbl.replace seen (src, tgt) ();
+            match Mach.inst_at b src with
+            | Some { Mach.i_op = Mach.MTail_call _; _ } -> (
+                match (Mach.func_index_of_addr b src, Mach.func_index_of_addr b tgt) with
+                | Some fi, Some ti ->
+                    let from_g = b.Mach.funcs.(fi).Mach.bf_guid in
+                    let to_g = b.Mach.funcs.(ti).Mach.bf_guid in
+                    let cur = Option.value (Ir.Guid.Tbl.find_opt edges from_g) ~default:[] in
+                    if
+                      not (List.exists (fun (a, g) -> a = src && Ir.Guid.equal g to_g) cur)
+                    then begin
+                      Ir.Guid.Tbl.replace edges from_g (cur @ [ (src, to_g) ]);
+                      incr n
+                    end
+                | _ -> ())
+            | _ -> ()
+          end)
+        s.Vm.Machine.s_lbr)
+    samples;
+  { edges; n_edges = !n }
+
+let max_depth = 8
+
+let missing_resolve t ~from_func ~to_func =
+  if Ir.Guid.equal from_func to_func then Some []
+  else begin
+    let paths = ref [] in
+    let rec go cur path visited depth =
+      if depth <= max_depth && List.length !paths < 2 then
+        List.iter
+          (fun (addr, target) ->
+            if Ir.Guid.equal target to_func then paths := List.rev (addr :: path) :: !paths
+            else if not (List.exists (Ir.Guid.equal target) visited) then
+              go target (addr :: path) (target :: visited) (depth + 1))
+          (Option.value (Ir.Guid.Tbl.find_opt t.edges cur) ~default:[])
+    in
+    go from_func [] [ from_func ] 0;
+    match !paths with [ p ] -> Some p | _ -> None
+  end
+
+(* --- Algorithm 1 (seed lib/core/ctx_reconstruct.ml) ------------------- *)
+
+type branch_kind = K_call | K_tail_call | K_ret | K_other
+
+let classify (b : Mach.binary) src =
+  match Mach.inst_at b src with
+  | Some inst -> (
+      match inst.Mach.i_op with
+      | Mach.MCall _ -> K_call
+      | Mach.MTail_call _ -> K_tail_call
+      | Mach.MRet _ -> K_ret
+      | _ -> K_other)
+  | None -> K_other
+
+let func_guid_of_addr (b : Mach.binary) addr =
+  Option.map (fun i -> b.Mach.funcs.(i).Mach.bf_guid) (Mach.func_index_of_addr b addr)
+
+let call_inst_before (b : Mach.binary) ret_addr =
+  match Hashtbl.find_opt b.Mach.addr_index ret_addr with
+  | Some idx when idx > 0 -> (
+      let inst = b.Mach.insts.(idx - 1) in
+      match inst.Mach.i_op with Mach.MCall _ -> Some inst | _ -> None)
+  | _ -> None
+
+let level_path (b : Mach.binary) (call_inst : Mach.inst) : (Ir.Guid.t * int) list =
+  let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
+  match Ir.Dloc.frames ~container call_inst.Mach.i_dloc with
+  | [] -> [ (container, call_inst.Mach.i_cs_probe) ]
+  | (origin, _, _) :: rest ->
+      let outer = List.rev_map (fun (f, _, probe) -> (f, probe)) rest in
+      outer @ [ (origin, call_inst.Mach.i_cs_probe) ]
+
+let static_callee (inst : Mach.inst) =
+  match inst.Mach.i_op with
+  | Mach.MCall c | Mach.MTail_call c -> Some c.Mach.m_callee
+  | _ -> None
+
+let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binary)
+    samples =
+  let trie = P.Ctx_profile.create () in
+  let name_for guid =
+    Option.value (name_of guid) ~default:(Format.asprintf "%a" Ir.Guid.pp guid)
+  in
+  let gaps_resolved = ref 0 in
+  let gaps_failed = ref 0 in
+  let node_for (path : (Ir.Guid.t * int) list) (leaf : Ir.Guid.t) =
+    match path with
+    | [] -> Some (P.Ctx_profile.base trie leaf ~name:(name_for leaf))
+    | _ ->
+        let rec pairs = function
+          | [ (f, s) ] -> [ ((f, s), leaf, name_for leaf) ]
+          | (f, s) :: ((g, _) :: _ as rest) -> ((f, s), g, name_for g) :: pairs rest
+          | [] -> []
+        in
+        P.Ctx_profile.node_at trie ~path:(pairs path)
+  in
+  let ensure_checksum (node : P.Ctx_profile.node) =
+    if Int64.equal node.P.Ctx_profile.n_prof.P.Probe_profile.fe_checksum 0L then
+      node.P.Ctx_profile.n_prof.P.Probe_profile.fe_checksum <-
+        checksum_of node.P.Ctx_profile.n_func
+  in
+  let path_of_callers (callers : int list) (leaf_addr : int) : (Ir.Guid.t * int) list =
+    let path = ref [] in
+    let expected : Ir.Guid.t option ref = ref None in
+    let reset () =
+      path := [];
+      expected := None
+    in
+    let bridge_gap ~to_func =
+      match !expected with
+      | Some exp when not (Ir.Guid.equal exp to_func) -> (
+          match missing with
+          | None ->
+              incr gaps_failed;
+              reset ()
+          | Some mf -> (
+              match missing_resolve mf ~from_func:exp ~to_func with
+              | Some chain ->
+                  incr gaps_resolved;
+                  List.iter
+                    (fun addr ->
+                      match Mach.inst_at b addr with
+                      | Some tc -> path := !path @ level_path b tc
+                      | None -> ())
+                    chain
+              | None ->
+                  incr gaps_failed;
+                  reset ()))
+      | _ -> ()
+    in
+    List.iter
+      (fun ret_addr ->
+        match call_inst_before b ret_addr with
+        | None -> reset ()
+        | Some call_inst ->
+            let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
+            bridge_gap ~to_func:container;
+            path := !path @ level_path b call_inst;
+            expected := static_callee call_inst)
+      (List.rev callers);
+    (match func_guid_of_addr b leaf_addr with
+    | Some leaf_container -> bridge_gap ~to_func:leaf_container
+    | None -> ());
+    !path
+  in
+  let attribute (lo, hi) (callers : int list) =
+    if lo > 0 && hi >= lo then begin
+      let caller_path = path_of_callers callers lo in
+      List.iter
+        (fun (pr : Mach.probe_rec) ->
+          let chain_path =
+            List.rev_map
+              (fun cs -> (cs.Ir.Dloc.cs_func, cs.Ir.Dloc.cs_probe))
+              pr.Mach.pr_chain
+          in
+          match node_for (caller_path @ chain_path) pr.Mach.pr_func with
+          | Some node ->
+              ensure_checksum node;
+              P.Probe_profile.add_probe node.P.Ctx_profile.n_prof pr.Mach.pr_id 1L
+          | None -> ())
+        (probes_in_range b (lo, hi));
+      iter_range_insts b (lo, hi) (fun inst ->
+          if inst.Mach.i_cs_probe > 0 then
+            match inst.Mach.i_op with
+            | Mach.MCall c | Mach.MTail_call c ->
+                let lp = level_path b inst in
+                let rec split_last = function
+                  | [] -> ([], None)
+                  | [ (f, _) ] -> ([], Some f)
+                  | x :: rest ->
+                      let init, last = split_last rest in
+                      (x :: init, last)
+                in
+                let owner_prefix, owner = split_last lp in
+                (match owner with
+                | Some owner_func -> (
+                    match node_for (caller_path @ owner_prefix) owner_func with
+                    | Some node ->
+                        ensure_checksum node;
+                        P.Probe_profile.add_call node.P.Ctx_profile.n_prof
+                          inst.Mach.i_cs_probe c.Mach.m_callee 1L
+                    | None -> ())
+                | None -> ())
+            | _ -> ())
+    end
+  in
+  List.iter
+    (fun (s : Vm.Machine.sample) ->
+      let lbr = s.Vm.Machine.s_lbr in
+      let stack = s.Vm.Machine.s_stack in
+      let n = Array.length lbr in
+      if n > 0 && Array.length stack > 0 then begin
+        let _, last_tgt = lbr.(n - 1) in
+        let aligned =
+          match (func_guid_of_addr b stack.(0), func_guid_of_addr b last_tgt) with
+          | Some a, Some c -> Ir.Guid.equal a c
+          | _ -> false
+        in
+        if aligned then begin
+          let callers = ref (List.tl (Array.to_list stack)) in
+          attribute (last_tgt, stack.(0)) !callers;
+          for i = n - 1 downto 1 do
+            let cur_src, _ = lbr.(i) in
+            let _, older_tgt = lbr.(i - 1) in
+            (match classify b cur_src with
+            | K_call -> ( match !callers with [] -> () | _ :: tl -> callers := tl)
+            | K_tail_call -> ()
+            | K_ret -> callers := (let _, t = lbr.(i) in t) :: !callers
+            | K_other -> ());
+            attribute (older_tgt, cur_src) !callers
+          done
+        end
+      end)
+    samples;
+  trie

@@ -2,7 +2,7 @@
    evaluation (§IV) on the simulated substrate, printing measured numbers
    next to the paper's reference values.
 
-   Usage: main.exe [fig6|fig7|fig8|fig9|table1|client|drift|ablation|orch|micro|all]
+   Usage: main.exe [fig6|fig7|fig8|fig9|table1|client|drift|ablation|orch|micro|pipeline|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -471,6 +471,172 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Streaming pipeline: samples/sec and live-heap vs the materialized    *)
+(* sample-list path, on an hhvm-shaped profiling run.                   *)
+
+(* Words retained by a pipeline state: live heap with the state held,
+   minus live heap after dropping it. The state sits in a module-level
+   ref — a stack slot would already be dead at the first compaction under
+   ocamlopt (its last use precedes the call), making the delta read 0. *)
+let heap_probe : Obj.t option ref = ref None
+
+let live_delta f =
+  heap_probe := Some (Obj.repr (f ()));
+  Gc.compact ();
+  let held = (Gc.stat ()).Gc.live_words in
+  heap_probe := None;
+  Gc.compact ();
+  let dropped = (Gc.stat ()).Gc.live_words in
+  held - dropped
+
+let pipeline () =
+  sep "Pipeline — streaming vs materialized sample processing (hhvm)";
+  let module Pg = Csspgo_profgen in
+  let w = W.Suite.hhvm in
+  let prog = F.Lower.compile w.D.w_source in
+  Core.Pseudo_probe.insert prog;
+  let refp = Ir.Program.copy prog in
+  Opt.Pass.optimize ~config:Opt.Config.o2_nopgo prog;
+  let bin = Cg.Emit.emit ~options:Cg.Emit.default_options prog in
+  let name_of g =
+    Option.map (fun f -> f.Ir.Func.name) (Ir.Program.find_func_by_guid refp g)
+  in
+  let checksum_of g =
+    match Ir.Program.find_func_by_guid refp g with Some f -> f.Ir.Func.checksum | None -> 0L
+  in
+  (* One PMU run, recorded as the compact int log — the stand-in for the
+     raw sample stream both pipelines consume. Dense period so the
+     throughput numbers are sample-bound, not VM-bound. *)
+  let period = 499 in
+  let pmu = Some { Vm.Machine.default_pmu with sample_period = period } in
+  let log = Vm.Sample_log.create () in
+  List.iter
+    (fun (spec : D.run_spec) ->
+      ignore
+        (Vm.Machine.run ~pmu ~sink:(Vm.Sample_log.sink log)
+           ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin ~entry:w.D.w_entry))
+    w.D.w_train;
+  Vm.Sample_log.compact log;
+  let n = Vm.Sample_log.n_samples log in
+  pf "profiling run: %d samples (period %d), log %d words\n" n period
+    (Vm.Sample_log.words log);
+  (* Materialized pipeline, as the seed shipped it (bench/legacy.ml): the
+     sample list is built once, then re-walked by each consumer, with
+     tuple-keyed Hashtbl bumps and inst_at hash lookups per LBR entry. *)
+  let materialized lg =
+    let samples = Vm.Sample_log.to_samples lg in
+    let flat = Legacy.probe_correlate ~name_of ~checksum_of bin samples in
+    let missing = Legacy.missing_build bin samples in
+    let trie =
+      Legacy.reconstruct ~name_of ~missing ~checksum_of bin samples
+    in
+    (samples, flat, trie)
+  in
+  (* Streaming pipeline, as Plan.run now wires it: one dense index, one
+     replay feeding range aggregation + tail-call edges, one replay for
+     context reconstruction. *)
+  let streaming lg =
+    let ix = Pg.Bindex.create bin in
+    let agg = Pg.Ranges.create () in
+    let mb = Core.Missing_frame.start ix in
+    Vm.Sample_log.iter lg (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ ->
+        Pg.Ranges.feed agg ~lbr ~lbr_len;
+        Core.Missing_frame.feed mb ~lbr ~lbr_len);
+    let missing = Core.Missing_frame.finish mb in
+    let flat = Core.Probe_corr.correlate_agg ~name_of ~index:ix ~checksum_of bin agg in
+    let st = Core.Ctx_reconstruct.start ~name_of ~missing ~checksum_of ix in
+    Vm.Sample_log.iter lg (fun ~lbr ~lbr_len ~stack ~stack_len ->
+        Core.Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+    let trie, _ = Core.Ctx_reconstruct.finish st in
+    (agg, flat, trie)
+  in
+  (* Byte-identity sanity before timing anything. *)
+  let texts (flat, trie) =
+    ( P.Text_io.to_string (P.Text_io.Probe_prof flat),
+      P.Text_io.to_string (P.Text_io.Ctx_prof trie) )
+  in
+  let _, mf, mt = materialized log in
+  let _, sf, st = streaming log in
+  if texts (mf, mt) <> texts (sf, st) then
+    failwith "pipeline: streaming diverged from materialized";
+  (* Throughput (bechamel, monotonic clock). *)
+  let open Bechamel in
+  let estimate name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:None () in
+    let results =
+      Benchmark.all cfg [ instance ]
+        (Test.make_grouped ~name:"pipeline" ~fmt:"%s/%s" [ test ])
+    in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ o ->
+        match Analyze.OLS.estimates o with Some [ e ] -> est := e | _ -> ())
+      ols;
+    !est (* ns per run *)
+  in
+  let ns_mat = estimate "materialized" (fun () -> ignore (materialized log)) in
+  let ns_str = estimate "streaming" (fun () -> ignore (streaming log)) in
+  let rate ns = float_of_int n /. (ns /. 1e9) in
+  let speedup = ns_mat /. ns_str in
+  pf "materialized: %10.0f samples/sec  (%.2f ms/pipeline)\n" (rate ns_mat)
+    (ns_mat /. 1e6);
+  pf "streaming:    %10.0f samples/sec  (%.2f ms/pipeline)\n" (rate ns_str)
+    (ns_str /. 1e6);
+  pf "speedup:      %9.2fx  (target: >= 3x)\n" speedup;
+  (* Peak live heap: words retained by each pipeline's state, at full and
+     at half the sample count. The materialized list scales with samples;
+     the streaming state (counters + trie + tail-call edges) tracks the
+     binary, not the run length. *)
+  let half = Vm.Sample_log.create () in
+  let seen = ref 0 in
+  Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack ~stack_len ->
+      if !seen < n / 2 then Vm.Sample_log.add half ~lbr ~lbr_len ~stack ~stack_len;
+      incr seen);
+  Vm.Sample_log.compact half;
+  let mat_half = live_delta (fun () -> Vm.Sample_log.to_samples half) in
+  let mat_full = live_delta (fun () -> Vm.Sample_log.to_samples log) in
+  let str_half = live_delta (fun () -> streaming half) in
+  let str_full = live_delta (fun () -> streaming log) in
+  let ratio a b = float_of_int a /. float_of_int (max b 1) in
+  pf "live heap words (half -> full samples):\n";
+  pf "  materialized list  %9d -> %9d   (x%.2f — proportional)\n" mat_half mat_full
+    (ratio mat_full mat_half);
+  pf "  streaming state    %9d -> %9d   (x%.2f — flat)\n" str_half str_full
+    (ratio str_full str_half);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"hhvm\",\n\
+      \  \"sample_period\": %d,\n\
+      \  \"n_samples\": %d,\n\
+      \  \"log_words\": %d,\n\
+      \  \"materialized_ns_per_pipeline\": %.0f,\n\
+      \  \"streaming_ns_per_pipeline\": %.0f,\n\
+      \  \"materialized_samples_per_sec\": %.0f,\n\
+      \  \"streaming_samples_per_sec\": %.0f,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"live_words_materialized_half\": %d,\n\
+      \  \"live_words_materialized_full\": %d,\n\
+      \  \"live_words_streaming_half\": %d,\n\
+      \  \"live_words_streaming_full\": %d\n\
+       }\n"
+      period n (Vm.Sample_log.words log) ns_mat ns_str (rate ns_mat) (rate ns_str)
+      speedup mat_half mat_full str_half str_full
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  pf "wrote BENCH_pipeline.json\n";
+  if speedup < 3.0 then failwith "pipeline: streaming speedup below 3x target"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -486,6 +652,7 @@ let () =
   | "ablation" -> ablation ()
   | "orch" -> orch ()
   | "micro" -> micro ()
+  | "pipeline" -> pipeline ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -496,7 +663,8 @@ let () =
       drift ();
       ablation ();
       orch ();
-      micro ()
+      micro ();
+      pipeline ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

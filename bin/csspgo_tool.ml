@@ -297,6 +297,12 @@ let fuzz_cmd =
   let no_minimize_arg =
     Arg.(value & flag & info [ "no-minimize" ] ~doc:"Report failures without shrinking")
   in
+  let no_stream_arg =
+    Arg.(
+      value & flag
+      & info [ "no-stream-oracle" ]
+          ~doc:"Skip the streaming-vs-materialized profile byte-identity oracle")
+  in
   let max_failures_arg =
     Arg.(
       value & opt (some int) None
@@ -308,8 +314,8 @@ let fuzz_cmd =
       & info [ "inject-bug" ]
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
-  let run (lo, hi) out plans n_funcs size floor no_variants no_minimize max_failures
-      inject jobs cache_dir =
+  let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
+      max_failures inject jobs cache_dir =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -319,6 +325,7 @@ let fuzz_cmd =
         cf_quality_floor = floor;
         cf_variants = not no_variants;
         cf_minimize = not no_minimize;
+        cf_stream_oracle = not no_stream;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
       }
@@ -348,8 +355,8 @@ let fuzz_cmd =
           against an -O0 reference, with test-case minimization")
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
-      $ no_variants_arg $ no_minimize_arg $ max_failures_arg $ inject_arg $ jobs_arg
-      $ cache_dir_arg)
+      $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ max_failures_arg
+      $ inject_arg $ jobs_arg $ cache_dir_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 

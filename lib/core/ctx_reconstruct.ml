@@ -11,45 +11,20 @@ type stats = {
   st_gaps_failed : int;
 }
 
-type branch_kind = K_call | K_tail_call | K_ret | K_other
+type stream = {
+  sm_feed :
+    lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit;
+  sm_finish : unit -> P.Ctx_profile.t * stats;
+}
 
-let classify (b : Mach.binary) src =
-  match Mach.inst_at b src with
-  | Some inst -> (
-      match inst.Mach.i_op with
-      | Mach.MCall _ -> K_call
-      | Mach.MTail_call _ -> K_tail_call
-      | Mach.MRet _ -> K_ret
-      | _ -> K_other)
-  | None -> K_other
+(* One recorded trie bump from a memoized range attribution: either a probe
+   hit or a callsite-target count on an already-resolved ctx node. *)
+type attr_act =
+  | A_probe of P.Ctx_profile.node * int
+  | A_call of P.Ctx_profile.node * int * Ir.Guid.t
 
-let func_guid_of_addr (b : Mach.binary) addr =
-  Option.map (fun i -> b.Mach.funcs.(i).Mach.bf_guid) (Mach.func_index_of_addr b addr)
-
-(* The call instruction that pushed a given return address. *)
-let call_inst_before (b : Mach.binary) ret_addr =
-  match Hashtbl.find_opt b.Mach.addr_index ret_addr with
-  | Some idx when idx > 0 -> (
-      let inst = b.Mach.insts.(idx - 1) in
-      match inst.Mach.i_op with Mach.MCall _ -> Some inst | _ -> None)
-  | _ -> None
-
-(* Outermost-first (function, site) pairs describing one physical level:
-   the call instruction's inline expansion plus its own callsite probe. *)
-let level_path (b : Mach.binary) (call_inst : Mach.inst) : (Ir.Guid.t * int) list =
-  let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
-  match Ir.Dloc.frames ~container call_inst.Mach.i_dloc with
-  | [] -> [ (container, call_inst.Mach.i_cs_probe) ]
-  | (origin, _, _) :: rest ->
-      let outer = List.rev_map (fun (f, _, probe) -> (f, probe)) rest in
-      outer @ [ (origin, call_inst.Mach.i_cs_probe) ]
-
-let static_callee (inst : Mach.inst) =
-  match inst.Mach.i_op with
-  | Mach.MCall c | Mach.MTail_call c -> Some c.Mach.m_callee
-  | _ -> None
-
-let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binary) samples =
+let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
+  let b = Pg.Bindex.binary ix in
   let trie = P.Ctx_profile.create () in
   let name_for guid =
     Option.value (name_of guid) ~default:(Format.asprintf "%a" Ir.Guid.pp guid)
@@ -77,7 +52,9 @@ let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binar
       node.P.Ctx_profile.n_prof.P.Probe_profile.fe_checksum <- checksum_of node.P.Ctx_profile.n_func
   in
   (* Build the outermost-first caller path from physical return addresses
-     (innermost-first list), repairing tail-call gaps. *)
+     (innermost-first list), repairing tail-call gaps. All per-LBR-entry
+     lookups (branch classification, call-before, inline level paths) hit
+     the dense [Bindex] tables — no hashing on this path. *)
   let path_of_callers (callers : int list) (leaf_addr : int) : (Ir.Guid.t * int) list =
     let path = ref [] in
     (* expected: the function the previous (outer) level statically calls *)
@@ -99,9 +76,8 @@ let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binar
                   incr gaps_resolved;
                   List.iter
                     (fun addr ->
-                      match Mach.inst_at b addr with
-                      | Some tc -> path := !path @ level_path b tc
-                      | None -> ())
+                      let ti = Pg.Bindex.idx_of_addr ix addr in
+                      if ti >= 0 then path := !path @ Pg.Bindex.level_path ix ti)
                     chain
               | None ->
                   incr gaps_failed;
@@ -110,101 +86,162 @@ let reconstruct ?(name_of = fun _ -> None) ?missing ~checksum_of (b : Mach.binar
     in
     List.iter
       (fun ret_addr ->
-        match call_inst_before b ret_addr with
-        | None -> reset ()
-        | Some call_inst ->
-            let container = b.Mach.funcs.(call_inst.Mach.i_func).Mach.bf_guid in
-            bridge_gap ~to_func:container;
-            path := !path @ level_path b call_inst;
-            expected := static_callee call_inst)
+        match Pg.Bindex.call_idx_before ix ret_addr with
+        | -1 -> reset ()
+        | ci ->
+            bridge_gap ~to_func:(Pg.Bindex.container ix ci);
+            path := !path @ Pg.Bindex.level_path ix ci;
+            expected := Pg.Bindex.callee ix ci)
       (List.rev callers);
     (* Leaf-level gap (tail calls between the innermost caller and the leaf). *)
-    (match func_guid_of_addr b leaf_addr with
+    (match Pg.Bindex.func_guid_of_addr ix leaf_addr with
     | Some leaf_container -> bridge_gap ~to_func:leaf_container
     | None -> ());
     !path
   in
+  (* Hot loops replay the same few (range, caller-stack) pairs for
+     thousands of samples. Memoize the attribution of each pair — the ctx
+     nodes it bumps and the gap-counter deltas it causes — so repeats skip
+     path reconstruction, the probe scan and the inline-tree walks
+     entirely. Replaying recorded bumps is bit-identical to recomputing
+     them: every count is additive and nodes are stable once created. The
+     cache is keyed on program structure (distinct ranges x caller
+     stacks), not on sample count, and capped defensively. *)
+  let attr_cache : (int * int * int list, attr_act array * int * int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let attr_cache_cap = 1 lsl 16 in
+  let replay acts =
+    Array.iter
+      (function
+        | A_probe (node, id) ->
+            P.Probe_profile.add_probe node.P.Ctx_profile.n_prof id 1L
+        | A_call (node, cs, callee) ->
+            P.Probe_profile.add_call node.P.Ctx_profile.n_prof cs callee 1L)
+      acts
+  in
   (* Attribute one linear range under the given caller state. *)
   let attribute (lo, hi) (callers : int list) =
     if lo > 0 && hi >= lo then begin
-      let caller_path = path_of_callers callers lo in
-      (* Probe hits, with full inline expansion from the probe chain. *)
-      List.iter
-        (fun (pr : Mach.probe_rec) ->
-          let chain_path =
-            List.rev_map (fun cs -> (cs.Ir.Dloc.cs_func, cs.Ir.Dloc.cs_probe)) pr.Mach.pr_chain
-          in
-          match node_for (caller_path @ chain_path) pr.Mach.pr_func with
-          | Some node ->
-              ensure_checksum node;
-              P.Probe_profile.add_probe node.P.Ctx_profile.n_prof pr.Mach.pr_id 1L
-          | None -> ())
-        (Probe_corr.probes_in_range b (lo, hi));
-      (* Callsite targets. *)
-      Pg.Ranges.iter_range_insts b (lo, hi) (fun inst ->
-          if inst.Mach.i_cs_probe > 0 then
-            match inst.Mach.i_op with
-            | Mach.MCall c | Mach.MTail_call c ->
-                let lp = level_path b inst in
-                (* The call's owner context: everything up to the owner. *)
-                let rec split_last = function
-                  | [] -> ([], None)
-                  | [ (f, _) ] -> ([], Some f)
-                  | x :: rest ->
-                      let init, last = split_last rest in
-                      (x :: init, last)
-                in
-                let owner_prefix, owner = split_last lp in
-                (match owner with
-                | Some owner_func -> (
-                    match node_for (caller_path @ owner_prefix) owner_func with
-                    | Some node ->
-                        ensure_checksum node;
-                        P.Probe_profile.add_call node.P.Ctx_profile.n_prof
-                          inst.Mach.i_cs_probe c.Mach.m_callee 1L
+      let key = (lo, hi, callers) in
+      match Hashtbl.find_opt attr_cache key with
+      | Some (acts, d_resolved, d_failed) ->
+          gaps_resolved := !gaps_resolved + d_resolved;
+          gaps_failed := !gaps_failed + d_failed;
+          replay acts
+      | None ->
+          let resolved0 = !gaps_resolved and failed0 = !gaps_failed in
+          let acts = ref [] in
+          let caller_path = path_of_callers callers lo in
+          (* Probe hits, with full inline expansion from the probe chain. *)
+          List.iter
+            (fun (pr : Mach.probe_rec) ->
+              let chain_path =
+                List.rev_map
+                  (fun cs -> (cs.Ir.Dloc.cs_func, cs.Ir.Dloc.cs_probe))
+                  pr.Mach.pr_chain
+              in
+              match node_for (caller_path @ chain_path) pr.Mach.pr_func with
+              | Some node ->
+                  ensure_checksum node;
+                  acts := A_probe (node, pr.Mach.pr_id) :: !acts
+              | None -> ())
+            (Probe_corr.probes_in_range b (lo, hi));
+          (* Callsite targets. *)
+          Pg.Bindex.iter_range ix (lo, hi) (fun ii ->
+              if Pg.Bindex.cs_probe ix ii > 0 then
+                match Pg.Bindex.callee ix ii with
+                | Some callee ->
+                    let lp = Pg.Bindex.level_path ix ii in
+                    (* The call's owner context: everything up to the owner. *)
+                    let rec split_last = function
+                      | [] -> ([], None)
+                      | [ (f, _) ] -> ([], Some f)
+                      | x :: rest ->
+                          let init, last = split_last rest in
+                          (x :: init, last)
+                    in
+                    let owner_prefix, owner = split_last lp in
+                    (match owner with
+                    | Some owner_func -> (
+                        match node_for (caller_path @ owner_prefix) owner_func with
+                        | Some node ->
+                            ensure_checksum node;
+                            acts :=
+                              A_call (node, Pg.Bindex.cs_probe ix ii, callee)
+                              :: !acts
+                        | None -> ())
                     | None -> ())
-                | None -> ())
-            | _ -> ())
+                | None -> ());
+          let acts = Array.of_list (List.rev !acts) in
+          replay acts;
+          if Hashtbl.length attr_cache < attr_cache_cap then
+            Hashtbl.add attr_cache key
+              (acts, !gaps_resolved - resolved0, !gaps_failed - failed0)
     end
   in
+  let feed ~lbr ~lbr_len ~stack ~stack_len =
+    incr n_samples;
+    if lbr_len > 0 && stack_len > 0 then begin
+      let _, last_tgt = lbr.(lbr_len - 1) in
+      (* Synchronization check: the sampled leaf frame must live in the
+         function the last LBR branch landed in. *)
+      let aligned =
+        match
+          (Pg.Bindex.func_guid_of_addr ix stack.(0), Pg.Bindex.func_guid_of_addr ix last_tgt)
+        with
+        | Some a, Some c -> Ir.Guid.equal a c
+        | _ -> false
+      in
+      if not aligned then incr dropped
+      else begin
+        let callers =
+          ref
+            (let rec go i acc = if i < 1 then acc else go (i - 1) (stack.(i) :: acc) in
+             go (stack_len - 1) [])
+        in
+        (* Newest run: from the last branch target to the sampled ip. *)
+        attribute (last_tgt, stack.(0)) !callers;
+        (* Walk branches newest -> oldest, undoing each one. *)
+        for i = lbr_len - 1 downto 1 do
+          let cur_src, _ = lbr.(i) in
+          let _, older_tgt = lbr.(i - 1) in
+          (match Pg.Bindex.kind_of_addr ix cur_src with
+          | Pg.Bindex.K_call -> ( match !callers with [] -> () | _ :: tl -> callers := tl)
+          | Pg.Bindex.K_tail_call -> ()
+          | Pg.Bindex.K_ret ->
+              callers :=
+                (let _, t = lbr.(i) in
+                 t)
+                :: !callers
+          | Pg.Bindex.K_other -> ());
+          attribute (older_tgt, cur_src) !callers
+        done
+      end
+    end
+  in
+  let finish () =
+    ( trie,
+      {
+        st_samples = !n_samples;
+        st_dropped_misaligned = !dropped;
+        st_gaps_resolved = !gaps_resolved;
+        st_gaps_failed = !gaps_failed;
+      } )
+  in
+  { sm_feed = feed; sm_finish = finish }
+
+let feed s ~lbr ~lbr_len ~stack ~stack_len = s.sm_feed ~lbr ~lbr_len ~stack ~stack_len
+let finish s = s.sm_finish ()
+let sink s = { Vm.Machine.on_sample = s.sm_feed }
+
+let reconstruct ?name_of ?missing ~checksum_of (b : Mach.binary) samples =
+  let st = start ?name_of ?missing ~checksum_of (Pg.Bindex.create b) in
   List.iter
     (fun (s : Vm.Machine.sample) ->
-      incr n_samples;
-      let lbr = s.Vm.Machine.s_lbr in
-      let stack = s.Vm.Machine.s_stack in
-      let n = Array.length lbr in
-      if n > 0 && Array.length stack > 0 then begin
-        let _, last_tgt = lbr.(n - 1) in
-        (* Synchronization check: the sampled leaf frame must live in the
-           function the last LBR branch landed in. *)
-        let aligned =
-          match (func_guid_of_addr b stack.(0), func_guid_of_addr b last_tgt) with
-          | Some a, Some c -> Ir.Guid.equal a c
-          | _ -> false
-        in
-        if not aligned then incr dropped
-        else begin
-          let callers = ref (List.tl (Array.to_list stack)) in
-          (* Newest run: from the last branch target to the sampled ip. *)
-          attribute (last_tgt, stack.(0)) !callers;
-          (* Walk branches newest -> oldest, undoing each one. *)
-          for i = n - 1 downto 1 do
-            let cur_src, _ = lbr.(i) in
-            let _, older_tgt = lbr.(i - 1) in
-            (match classify b cur_src with
-            | K_call -> ( match !callers with [] -> () | _ :: tl -> callers := tl)
-            | K_tail_call -> ()
-            | K_ret -> callers := (let _, t = lbr.(i) in t) :: !callers
-            | K_other -> ());
-            attribute (older_tgt, cur_src) !callers
-          done
-        end
-      end)
+      st.sm_feed ~lbr:s.Vm.Machine.s_lbr
+        ~lbr_len:(Array.length s.Vm.Machine.s_lbr)
+        ~stack:s.Vm.Machine.s_stack
+        ~stack_len:(Array.length s.Vm.Machine.s_stack))
     samples;
-  ( trie,
-    {
-      st_samples = !n_samples;
-      st_dropped_misaligned = !dropped;
-      st_gaps_resolved = !gaps_resolved;
-      st_gaps_failed = !gaps_failed;
-    } )
+  st.sm_finish ()

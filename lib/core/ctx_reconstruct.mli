@@ -23,6 +23,34 @@ type stats = {
   st_gaps_failed : int;     (** gaps that truncated the context *)
 }
 
+type stream
+(** Online reconstruction state. [start] once per profiled binary, [feed]
+    each sample (scratch-safe: only ints are read out of the buffers),
+    [finish] for the trie + stats. All per-LBR-entry work (branch
+    classification, call-before resolution, inline level paths) runs on the
+    dense {!Csspgo_profgen.Bindex} tables — no hash lookups on the sample
+    path. With missing-frame inference the [Missing_frame.t] passed to
+    [start] must already be complete (built online during the profiling run
+    and finished before the first [feed]); path uniqueness depends on the
+    whole edge table. *)
+
+val start :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  ?missing:Missing_frame.t ->
+  checksum_of:(Csspgo_ir.Guid.t -> int64) ->
+  Csspgo_profgen.Bindex.t ->
+  stream
+
+val feed :
+  stream ->
+  lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit
+
+val finish : stream -> Csspgo_profile.Ctx_profile.t * stats
+
+val sink : stream -> Csspgo_vm.Machine.sink
+(** Attach reconstruction directly to a live PMU (only sound when no
+    missing-frame table is in play, or it was built by an earlier run). *)
+
 val reconstruct :
   ?name_of:(Csspgo_ir.Guid.t -> string option) ->
   ?missing:Missing_frame.t ->

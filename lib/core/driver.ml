@@ -82,6 +82,7 @@ let reference (w : workload) =
 
 type runs = {
   r_samples : Vm.Machine.sample list;
+  r_n_samples : int;
   r_cycles : int64;
   r_instrs : int64;
   r_imiss : int64;
@@ -90,56 +91,64 @@ type runs = {
   r_values : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
 }
 
-let run_specs ?(pmu = None) (bin : Cg.Mach.binary) ~entry specs =
-  List.fold_left
-    (fun acc spec ->
-      let r =
-        Vm.Machine.run ~pmu ~globals_init:spec.rs_globals ~args:spec.rs_args bin ~entry
-      in
-      let counters =
-        match acc.r_counters with
-        | None -> Some r.Vm.Machine.counters
-        | Some cs ->
-            Array.iteri
-              (fun i c -> if i < Array.length cs then cs.(i) <- Int64.add cs.(i) c)
-              r.Vm.Machine.counters;
-            Some cs
-      in
-      Hashtbl.iter
-        (fun site hist ->
-          let dst =
-            match Hashtbl.find_opt acc.r_values site with
-            | Some dst -> dst
-            | None ->
-                let dst = Hashtbl.create 8 in
-                Hashtbl.replace acc.r_values site dst;
-                dst
-          in
-          Hashtbl.iter
-            (fun v c ->
-              Hashtbl.replace dst v
-                (Int64.add c (Option.value (Hashtbl.find_opt dst v) ~default:0L)))
-            hist)
-        r.Vm.Machine.value_profiles;
+let run_specs ?(pmu = None) ?sink ?debug_poison (bin : Cg.Mach.binary) ~entry specs =
+  (* Collect mode accumulates newest-first and reverses once at the end;
+     the old [acc @ r.samples] was quadratic in the number of runs. *)
+  let acc =
+    List.fold_left
+      (fun acc spec ->
+        let r =
+          Vm.Machine.run ~pmu ?sink ?debug_poison ~globals_init:spec.rs_globals
+            ~args:spec.rs_args bin ~entry
+        in
+        let counters =
+          match acc.r_counters with
+          | None -> Some r.Vm.Machine.counters
+          | Some cs ->
+              Array.iteri
+                (fun i c -> if i < Array.length cs then cs.(i) <- Int64.add cs.(i) c)
+                r.Vm.Machine.counters;
+              Some cs
+        in
+        Hashtbl.iter
+          (fun site hist ->
+            let dst =
+              match Hashtbl.find_opt acc.r_values site with
+              | Some dst -> dst
+              | None ->
+                  let dst = Hashtbl.create 8 in
+                  Hashtbl.replace acc.r_values site dst;
+                  dst
+            in
+            Hashtbl.iter
+              (fun v c ->
+                Hashtbl.replace dst v
+                  (Int64.add c (Option.value (Hashtbl.find_opt dst v) ~default:0L)))
+              hist)
+          r.Vm.Machine.value_profiles;
+        {
+          acc with
+          r_samples = List.rev_append r.Vm.Machine.samples acc.r_samples;
+          r_n_samples = acc.r_n_samples + r.Vm.Machine.n_samples;
+          r_cycles = Int64.add acc.r_cycles r.Vm.Machine.cycles;
+          r_instrs = Int64.add acc.r_instrs r.Vm.Machine.instructions;
+          r_imiss = Int64.add acc.r_imiss r.Vm.Machine.icache_misses;
+          r_branches = Int64.add acc.r_branches r.Vm.Machine.taken_branches;
+          r_counters = counters;
+        })
       {
-        acc with
-        r_samples = acc.r_samples @ r.Vm.Machine.samples;
-        r_cycles = Int64.add acc.r_cycles r.Vm.Machine.cycles;
-        r_instrs = Int64.add acc.r_instrs r.Vm.Machine.instructions;
-        r_imiss = Int64.add acc.r_imiss r.Vm.Machine.icache_misses;
-        r_branches = Int64.add acc.r_branches r.Vm.Machine.taken_branches;
-        r_counters = counters;
-      })
-    {
-      r_samples = [];
-      r_cycles = 0L;
-      r_instrs = 0L;
-      r_imiss = 0L;
-      r_branches = 0L;
-      r_counters = None;
-      r_values = Hashtbl.create 8;
-    }
-    specs
+        r_samples = [];
+        r_n_samples = 0;
+        r_cycles = 0L;
+        r_instrs = 0L;
+        r_imiss = 0L;
+        r_branches = 0L;
+        r_counters = None;
+        r_values = Hashtbl.create 8;
+      }
+      specs
+  in
+  { acc with r_samples = List.rev acc.r_samples }
 
 let evaluate_opts (bin : Cg.Mach.binary) (w : workload) =
   let r = run_specs ~pmu:None bin ~entry:w.w_entry w.w_eval in
@@ -293,9 +302,11 @@ module Plan = struct
       de:(string -> 'a) ->
       (unit -> 'a) ->
       'a;
+    stat : name:string -> int -> unit;
   }
 
-  let default_hooks = { memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ()) }
+  let default_hooks =
+    { memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ()); stat = (fun ~name:_ _ -> ()) }
 
   (* Fingerprints for cache keys: FNV-1a over the Marshal image of a spec.
      Every spec type is a closure-free record, so this is total. *)
@@ -306,9 +317,17 @@ module Plan = struct
 
   type instrumentation = { in_map : Instrument.t; in_vals : Instrument.values }
 
+  (* The raw sample list is gone: the profiling run streams every sample
+     through a tee sink into (a) the range/branch aggregate, (b) the
+     missing-frame tail-call table, and (c) a compact flat-int log that
+     context reconstruction replays once the missing table is complete.
+     Peak live memory is the aggregate + log words, not boxed samples. *)
   type profile_run_out = {
     pr_bin : Cg.Mach.binary;
-    pr_samples : Vm.Machine.sample list;
+    pr_agg : Pg.Ranges.agg;
+    pr_missing : Missing_frame.t option;  (* present when the PMU sampled *)
+    pr_log : Vm.Sample_log.t;
+    pr_n_samples : int;
     pr_cycles : int64;
     pr_counters : int64 array option;
     pr_values : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
@@ -387,7 +406,10 @@ module Plan = struct
       | Compile cs -> compile_spec := Some cs
       | Instrument is -> instr_spec := Some is
       | Profile_run ps ->
-          let key = [ src_fp; fp !compile_spec; fp !instr_spec; fp ps ] in
+          (* "stream-v2": [profile_run_out] changed shape (aggregates + log
+             instead of a sample list); the version element keeps stale
+             marshaled cache entries from being unsafely decoded. *)
+          let key = [ "stream-v2"; src_fp; fp !compile_spec; fp !instr_spec; fp ps ] in
           prof_key := key;
           let out =
             hooks.memo ~kind:"profile-run" ~key ~ser:mser ~de:mde (fun () ->
@@ -414,23 +436,50 @@ module Plan = struct
                 in
                 Opt.Pass.optimize ~config:ps.p_config prog;
                 let bin = Cg.Emit.emit ~options:ps.p_emit prog in
-                let r = run_specs ~pmu:ps.p_pmu bin ~entry:ps.p_entry ps.p_train in
+                let agg = Pg.Ranges.create () in
+                let log = Vm.Sample_log.create () in
+                let mb =
+                  match ps.p_pmu with
+                  | Some _ -> Some (Missing_frame.start (Pg.Bindex.create bin))
+                  | None -> None
+                in
+                let sink =
+                  {
+                    Vm.Machine.on_sample =
+                      (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                        Pg.Ranges.feed agg ~lbr ~lbr_len;
+                        (match mb with
+                        | Some mb -> Missing_frame.feed mb ~lbr ~lbr_len
+                        | None -> ());
+                        Vm.Sample_log.add log ~lbr ~lbr_len ~stack ~stack_len);
+                  }
+                in
+                let r = run_specs ~pmu:ps.p_pmu ~sink bin ~entry:ps.p_entry ps.p_train in
+                Vm.Sample_log.compact log;
                 {
                   pr_bin = bin;
-                  pr_samples = r.r_samples;
+                  pr_agg = agg;
+                  pr_missing = Option.map Missing_frame.finish mb;
+                  pr_log = log;
+                  pr_n_samples = r.r_n_samples;
                   pr_cycles = r.r_cycles;
                   pr_counters = r.r_counters;
                   pr_values = r.r_values;
                   pr_instr = instr;
                 })
           in
+          hooks.stat ~name:"profile-run.samples" out.pr_n_samples;
+          hooks.stat ~name:"profile-run.log-words" (Vm.Sample_log.words out.pr_log);
           prof := Some out
-      | Correlate { x_correlator } -> (
+      | Correlate { x_correlator } ->
           let po =
             match !prof with
             | Some po -> po
             | None -> invalid_arg "Plan.run: Correlate before Profile_run"
           in
+          (* Dense per-binary index for the streaming correlators; built
+             once per Correlate stage, shared by every consumer below. *)
+          let index = lazy (Pg.Bindex.create po.pr_bin) in
           (* Correlated profiles cache as canonical Text_io dumps; the memo
              thunk also hands back the freshly built value so the cache-off
              path never round-trips through text. *)
@@ -454,18 +503,20 @@ module Plan = struct
             match
               memo_profile ~tag:"probes" ~kind_p:P.Text_io.Probe (fun () ->
                   P.Text_io.Probe_prof
-                    (Probe_corr.correlate ~name_of ~checksum_of po.pr_bin po.pr_samples))
+                    (Probe_corr.correlate_agg ~name_of ~index:(Lazy.force index)
+                       ~checksum_of po.pr_bin po.pr_agg))
             with
             | P.Text_io.Probe_prof pp, text -> (pp, text)
             | _ -> assert false
           in
-          match x_correlator with
+          (match x_correlator with
           | Corr_lines ->
               let lp, text =
                 match
                   memo_profile ~tag:"lines" ~kind_p:P.Text_io.Line (fun () ->
                       P.Text_io.Line_prof
-                        (Pg.Dwarf_corr.correlate ~name_of po.pr_bin po.pr_samples))
+                        (Pg.Dwarf_corr.correlate_agg ~name_of ~index:(Lazy.force index)
+                           po.pr_bin po.pr_agg))
                 with
                 | P.Text_io.Line_prof lp, text -> (lp, text)
                 | _ -> assert false
@@ -500,14 +551,19 @@ module Plan = struct
                     @ [ "ctx"; fp (cc_missing_frames, cc_trim_threshold); checksum_digest () ])
                   ~ser:mser ~de:mde
                   (fun () ->
-                    let missing =
-                      if cc_missing_frames then Some (Missing_frame.build po.pr_bin po.pr_samples)
-                      else None
+                    (* The tail-call table was built online during the
+                       profiling run; reconstruction replays the compact
+                       log against it (Algorithm 1 needs the complete table
+                       before the first sample is attributed). *)
+                    let missing = if cc_missing_frames then po.pr_missing else None in
+                    let st =
+                      Ctx_reconstruct.start ~name_of ?missing ~checksum_of
+                        (Lazy.force index)
                     in
-                    let trie, stats =
-                      Ctx_reconstruct.reconstruct ~name_of ?missing ~checksum_of po.pr_bin
-                        po.pr_samples
-                    in
+                    Vm.Sample_log.iter po.pr_log
+                      (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                        Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+                    let trie, stats = Ctx_reconstruct.finish st in
                     if Int64.compare cc_trim_threshold 0L > 0 then
                       ignore (P.Ctx_profile.trim_cold trie ~threshold:cc_trim_threshold);
                     built := Some trie;
@@ -550,7 +606,8 @@ module Plan = struct
               let counts, dominant = v in
               profile := Some (Prof_counters { x_counts = counts; x_dominant = dominant });
               profile_ser := mser v;
-              profile_size := 8 * inst.in_map.Instrument.n_counters)
+              profile_size := 8 * inst.in_map.Instrument.n_counters);
+          hooks.stat ~name:"correlate.profile-bytes" (String.length !profile_ser)
       | Preinline { pi_config } -> (
           match !profile with
           | Some (Prof_ctx { x_trie; _ }) ->
@@ -647,3 +704,109 @@ end
 
 let run_variant ?options variant (w : workload) =
   Plan.run (Plan.make ?options ~variant w)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity oracle: the same profiling build and training inputs,
+   pushed through either the materialized (sample-list) pipeline or the
+   streaming (sink + aggregate + log-replay) pipeline, must produce equal
+   canonical Text_io dumps. The VM is deterministic, so running it twice
+   with different consumers observes the identical sample stream. *)
+
+let profile_pipeline_texts ?(options = default_options) ~streaming variant (w : workload) =
+  match variant with
+  | Nopgo | Instr_pgo -> []
+  | Autofdo | Csspgo_probe_only | Csspgo_full ->
+      let probes = match variant with Autofdo -> false | _ -> true in
+      let refp = reference w in
+      let names = Ir.Guid.Tbl.create 64 in
+      let checksums = Ir.Guid.Tbl.create 64 in
+      Ir.Program.iter_funcs
+        (fun f ->
+          Ir.Guid.Tbl.replace names f.Ir.Func.guid f.Ir.Func.name;
+          Ir.Guid.Tbl.replace checksums f.Ir.Func.guid f.Ir.Func.checksum)
+        refp;
+      let name_of g = Ir.Guid.Tbl.find_opt names g in
+      let checksum_of g = Option.value (Ir.Guid.Tbl.find_opt checksums g) ~default:0L in
+      let prog = compile w in
+      if probes then Pseudo_probe.insert prog;
+      Opt.Pass.optimize ~config:options.opt_profiling prog;
+      let bin = Cg.Emit.emit ~options:options.emit_opts prog in
+      let trim trie =
+        if Int64.compare options.trim_threshold 0L > 0 then
+          ignore (P.Ctx_profile.trim_cold trie ~threshold:options.trim_threshold)
+      in
+      if streaming then begin
+        let ix = Pg.Bindex.create bin in
+        let agg = Pg.Ranges.create () in
+        let log = Vm.Sample_log.create () in
+        let mb = Missing_frame.start ix in
+        let sink =
+          {
+            Vm.Machine.on_sample =
+              (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                Pg.Ranges.feed agg ~lbr ~lbr_len;
+                Missing_frame.feed mb ~lbr ~lbr_len;
+                Vm.Sample_log.add log ~lbr ~lbr_len ~stack ~stack_len);
+          }
+        in
+        (* debug_poison: the oracle also proves our own sinks never alias
+           the scratch buffers. *)
+        ignore
+          (run_specs ~pmu:(Some options.pmu) ~sink ~debug_poison:true bin
+             ~entry:w.w_entry w.w_train);
+        let flat_probes () =
+          P.Text_io.to_string
+            (P.Text_io.Probe_prof
+               (Probe_corr.correlate_agg ~name_of ~index:ix ~checksum_of bin agg))
+        in
+        match variant with
+        | Autofdo ->
+            [
+              ( "lines",
+                P.Text_io.to_string
+                  (P.Text_io.Line_prof (Pg.Dwarf_corr.correlate_agg ~name_of ~index:ix bin agg))
+              );
+            ]
+        | Csspgo_probe_only -> [ ("probes", flat_probes ()) ]
+        | _ ->
+            let missing =
+              if options.use_missing_frame_inference then Some (Missing_frame.finish mb)
+              else None
+            in
+            let st = Ctx_reconstruct.start ~name_of ?missing ~checksum_of ix in
+            Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+            let trie, _ = Ctx_reconstruct.finish st in
+            trim trie;
+            [
+              ("ctx", P.Text_io.to_string (P.Text_io.Ctx_prof trie));
+              ("probes", flat_probes ());
+            ]
+      end
+      else begin
+        let r = run_specs ~pmu:(Some options.pmu) bin ~entry:w.w_entry w.w_train in
+        let samples = r.r_samples in
+        let flat_probes () =
+          P.Text_io.to_string
+            (P.Text_io.Probe_prof (Probe_corr.correlate ~name_of ~checksum_of bin samples))
+        in
+        match variant with
+        | Autofdo ->
+            [
+              ( "lines",
+                P.Text_io.to_string
+                  (P.Text_io.Line_prof (Pg.Dwarf_corr.correlate ~name_of bin samples)) );
+            ]
+        | Csspgo_probe_only -> [ ("probes", flat_probes ()) ]
+        | _ ->
+            let missing =
+              if options.use_missing_frame_inference then Some (Missing_frame.build bin samples)
+              else None
+            in
+            let trie, _ = Ctx_reconstruct.reconstruct ~name_of ?missing ~checksum_of bin samples in
+            trim trie;
+            [
+              ("ctx", P.Text_io.to_string (P.Text_io.Ctx_prof trie));
+              ("probes", flat_probes ());
+            ]
+      end

@@ -144,17 +144,23 @@ module Plan : sig
       de:(string -> 'a) ->
       (unit -> 'a) ->
       'a;
+    stat : name:string -> int -> unit;
   }
-  (** Memoization hook threaded through {!run}. [kind] names the stage
-      family (["ref-info"], ["profile-run"], ["correlate"], ["final-build"],
-      ["evaluate"]); [key] is the content-addressed cache key (source hash,
-      spec fingerprints, probe/function checksum digest); [ser]/[de] convert
-      the stage value to/from bytes (profiles serialize as canonical
-      {!Csspgo_profile.Text_io} text). A hook must either return the thunk's
-      result or a deserialized value from a previous identical call. *)
+  (** [memo] is the memoization hook threaded through {!run}. [kind] names
+      the stage family (["ref-info"], ["profile-run"], ["correlate"],
+      ["final-build"], ["evaluate"]); [key] is the content-addressed cache
+      key (source hash, spec fingerprints, probe/function checksum digest);
+      [ser]/[de] convert the stage value to/from bytes (profiles serialize
+      as canonical {!Csspgo_profile.Text_io} text). A hook must either
+      return the thunk's result or a deserialized value from a previous
+      identical call.
+
+      [stat] receives per-stage counters (fired on cache hits too):
+      ["profile-run.samples"], ["profile-run.log-words"],
+      ["correlate.profile-bytes"]. *)
 
   val default_hooks : hooks
-  (** Runs every thunk directly — no caching. *)
+  (** Runs every thunk directly — no caching; drops stats. *)
 
   val run : ?hooks:hooks -> t -> outcome
   (** Interpret the stages in order. Raises [Invalid_argument] on malformed
@@ -181,3 +187,15 @@ val profiling_run :
 
 val evaluate : Csspgo_codegen.Mach.binary -> workload -> eval
 (** Run the eval inputs (no PMU) and aggregate. *)
+
+val profile_pipeline_texts :
+  ?options:options -> streaming:bool -> variant -> workload -> (string * string) list
+(** The byte-identity oracle behind the streaming refactor: build the
+    variant's profiling binary, run the training inputs, correlate, and
+    return the resulting canonical {!Csspgo_profile.Text_io} dumps as
+    [(tag, text)] pairs — via the materialized sample-list pipeline
+    ([streaming:false]) or the zero-materialization sink pipeline
+    ([streaming:true], which also runs the VM with scratch poisoning on).
+    The two must be byte-equal for every variant; [Nopgo]/[Instr_pgo] have
+    no sampled profile and return []. [Csspgo_full] yields both the context
+    trie (trimmed as the plan would) and the flat probe profile. *)

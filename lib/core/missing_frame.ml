@@ -1,6 +1,7 @@
 module Ir = Csspgo_ir
 module Mach = Csspgo_codegen.Mach
 module Vm = Csspgo_vm
+module Pg = Csspgo_profgen
 
 type t = {
   (* function guid -> outgoing tail-call edges (call addr, target function) *)
@@ -8,35 +9,51 @@ type t = {
   n_edges : int;
 }
 
+type builder = {
+  mb_index : Pg.Bindex.t;
+  mb_edges : (int * Ir.Guid.t) list Ir.Guid.Tbl.t;
+  mb_seen : (int * int, unit) Hashtbl.t;
+  mutable mb_n : int;
+}
+
+let start index =
+  {
+    mb_index = index;
+    mb_edges = Ir.Guid.Tbl.create 16;
+    mb_seen = Hashtbl.create 64;
+    mb_n = 0;
+  }
+
+let feed mb ~lbr ~lbr_len =
+  for i = 0 to lbr_len - 1 do
+    let ((src, tgt) as pair) = lbr.(i) in
+    if not (Hashtbl.mem mb.mb_seen pair) then begin
+      Hashtbl.replace mb.mb_seen pair ();
+      if Pg.Bindex.kind_of_addr mb.mb_index src = Pg.Bindex.K_tail_call then
+        match
+          ( Pg.Bindex.func_guid_of_addr mb.mb_index src,
+            Pg.Bindex.func_guid_of_addr mb.mb_index tgt )
+        with
+        | Some from_g, Some to_g ->
+            let cur = Option.value (Ir.Guid.Tbl.find_opt mb.mb_edges from_g) ~default:[] in
+            if not (List.exists (fun (a, g) -> a = src && Ir.Guid.equal g to_g) cur)
+            then begin
+              Ir.Guid.Tbl.replace mb.mb_edges from_g (cur @ [ (src, to_g) ]);
+              mb.mb_n <- mb.mb_n + 1
+            end
+        | _ -> ()
+    end
+  done
+
+let finish mb = { edges = mb.mb_edges; n_edges = mb.mb_n }
+
 let build (b : Mach.binary) samples =
-  let edges = Ir.Guid.Tbl.create 16 in
-  let seen = Hashtbl.create 64 in
-  let n = ref 0 in
+  let mb = start (Pg.Bindex.create b) in
   List.iter
     (fun (s : Vm.Machine.sample) ->
-      Array.iter
-        (fun (src, tgt) ->
-          if not (Hashtbl.mem seen (src, tgt)) then begin
-            Hashtbl.replace seen (src, tgt) ();
-            match Mach.inst_at b src with
-            | Some { Mach.i_op = Mach.MTail_call _; _ } -> (
-                match (Mach.func_index_of_addr b src, Mach.func_index_of_addr b tgt) with
-                | Some fi, Some ti ->
-                    let from_g = b.Mach.funcs.(fi).Mach.bf_guid in
-                    let to_g = b.Mach.funcs.(ti).Mach.bf_guid in
-                    let cur = Option.value (Ir.Guid.Tbl.find_opt edges from_g) ~default:[] in
-                    if
-                      not (List.exists (fun (a, g) -> a = src && Ir.Guid.equal g to_g) cur)
-                    then begin
-                      Ir.Guid.Tbl.replace edges from_g (cur @ [ (src, to_g) ]);
-                      incr n
-                    end
-                | _ -> ())
-            | _ -> ()
-          end)
-        s.Vm.Machine.s_lbr)
+      feed mb ~lbr:s.Vm.Machine.s_lbr ~lbr_len:(Array.length s.Vm.Machine.s_lbr))
     samples;
-  { edges; n_edges = !n }
+  finish mb
 
 let n_edges t = t.n_edges
 

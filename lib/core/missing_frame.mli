@@ -12,7 +12,23 @@
 
 type t
 
+type builder
+(** Online edge-table construction: the tail-call graph is built from the
+    LBR stream *while profiling runs*, so no sample needs to be kept for a
+    second pass. The table must be complete before [resolve] is first
+    called — path uniqueness is sensitive to every edge — which is why
+    context reconstruction replays a compact sample log only after the
+    builder has seen the whole stream. *)
+
+val start : Csspgo_profgen.Bindex.t -> builder
+
+val feed : builder -> lbr:(int * int) array -> lbr_len:int -> unit
+(** Consume one sample's LBR entries (copies nothing; scratch-safe). *)
+
+val finish : builder -> t
+
 val build : Csspgo_codegen.Mach.binary -> Csspgo_vm.Machine.sample list -> t
+(** Batch wrapper: [start] + [feed] per sample + [finish]. *)
 
 val n_edges : t -> int
 

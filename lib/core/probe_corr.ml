@@ -2,6 +2,7 @@ module Ir = Csspgo_ir
 module Mach = Csspgo_codegen.Mach
 module P = Csspgo_profile
 module Pg = Csspgo_profgen
+module Counter = Csspgo_support.Counter
 
 let probes_in_range (b : Mach.binary) (lo, hi) =
   let probes = b.Mach.probes in
@@ -22,8 +23,8 @@ let probes_in_range (b : Mach.binary) (lo, hi) =
 
 let default_name guid = Format.asprintf "%a" Ir.Guid.pp guid
 
-let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples =
-  let agg = Pg.Ranges.aggregate samples in
+let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of (b : Mach.binary)
+    (agg : Pg.Ranges.agg) =
   let prof = P.Probe_profile.create () in
   let name_for guid = Option.value (name_of guid) ~default:(default_name guid) in
   let fentry guid =
@@ -33,7 +34,7 @@ let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples 
     fe
   in
   (* Probe counts: sum over all physical copies covered by ranges. *)
-  Hashtbl.iter
+  Counter.iter
     (fun range n ->
       List.iter
         (fun (pr : Mach.probe_rec) ->
@@ -42,13 +43,13 @@ let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples 
     agg.Pg.Ranges.range_counts;
   (* Callsite targets: executed calls attributed to their callsite probe in
      the probe's owner function (the innermost inline frame's origin). *)
-  let totals = Pg.Ranges.addr_totals b agg in
+  let totals = Pg.Ranges.addr_totals ?index b agg in
   Array.iter
     (fun (inst : Mach.inst) ->
       if inst.Mach.i_cs_probe > 0 then
         match inst.Mach.i_op with
         | Mach.MCall c | Mach.MTail_call c -> (
-            match Hashtbl.find_opt totals inst.Mach.i_addr with
+            match Counter.find_opt totals inst.Mach.i_addr with
             | Some total when Int64.compare total 0L > 0 ->
                 let owner =
                   if Ir.Dloc.is_none inst.Mach.i_dloc then
@@ -62,7 +63,7 @@ let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples 
         | _ -> ())
     b.Mach.insts;
   (* Head counts. *)
-  Hashtbl.iter
+  Counter.iter
     (fun (_, tgt) n ->
       match Mach.func_index_of_addr b tgt with
       | Some i when b.Mach.funcs.(i).Mach.bf_start = tgt ->
@@ -71,3 +72,6 @@ let correlate ?(name_of = fun _ -> None) ~checksum_of (b : Mach.binary) samples 
       | _ -> ())
     agg.Pg.Ranges.branch_counts;
   prof
+
+let correlate ?name_of ~checksum_of (b : Mach.binary) samples =
+  correlate_agg ?name_of ~checksum_of b (Pg.Ranges.aggregate samples)

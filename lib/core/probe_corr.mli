@@ -9,12 +9,23 @@
     (read from the pseudo-probe descriptors); it is stored in the profile
     for drift detection at annotation time. *)
 
+val correlate_agg :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  ?index:Csspgo_profgen.Bindex.t ->
+  checksum_of:(Csspgo_ir.Guid.t -> int64) ->
+  Csspgo_codegen.Mach.binary ->
+  Csspgo_profgen.Ranges.agg ->
+  Csspgo_profile.Probe_profile.t
+(** Correlate an online-built aggregate (the streaming entry point). With
+    [?index], range expansion walks the dense instruction index. *)
+
 val correlate :
   ?name_of:(Csspgo_ir.Guid.t -> string option) ->
   checksum_of:(Csspgo_ir.Guid.t -> int64) ->
   Csspgo_codegen.Mach.binary ->
   Csspgo_vm.Machine.sample list ->
   Csspgo_profile.Probe_profile.t
+(** Batch wrapper: [correlate_agg] over [Ranges.aggregate]. *)
 
 val probes_in_range :
   Csspgo_codegen.Mach.binary -> int * int -> Csspgo_codegen.Mach.probe_rec list

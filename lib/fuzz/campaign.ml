@@ -82,12 +82,14 @@ type site =
   | Plan of plan
   | Variant of D.variant
   | Quality
+  | Stream of D.variant
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
   | Plan pl -> "plan " ^ plan_to_string pl
   | Variant v -> "pgo variant " ^ D.variant_name v
   | Quality -> "probe-vs-instrumentation profile quality"
+  | Stream v -> "streaming-vs-materialized profile (" ^ D.variant_name v ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -110,6 +112,8 @@ type config = {
           overlap on nearly-unexecuted programs is all noise *)
   cf_minimize : bool;
   cf_max_failures : int option;  (** stop the campaign after this many *)
+  cf_stream_oracle : bool;
+      (** streaming-vs-materialized profile byte-identity differential *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -126,6 +130,7 @@ let default_config =
     cf_quality_min_total = 300L;
     cf_minimize = true;
     cf_max_failures = None;
+    cf_stream_oracle = true;
     cf_inject = None;
   }
 
@@ -271,6 +276,39 @@ let check_variant ?hooks cfg v w args ref_result =
            Printf.sprintf "reference=%Ld %s=%Ld" ref_result (D.variant_name v) r ));
   o
 
+(* Streaming-vs-materialized differential: the zero-materialization sink
+   pipeline must reproduce the materialized sample-list pipeline's canonical
+   Text_io dumps byte for byte. Bounded to AutoFDO + full CSSPGO — between
+   them these exercise every streaming consumer (range aggregation, probe
+   correlation, missing-frame inference, context reconstruction). *)
+let stream_variants = [ D.Autofdo; D.Csspgo_full ]
+
+let check_stream v ~seed src =
+  let site = Stream v in
+  let w = workload_of ~seed src (args_of_seed seed) in
+  let mat =
+    guarded_build site (fun () ->
+        D.profile_pipeline_texts ~options:driver_options ~streaming:false v w)
+  in
+  let str =
+    guarded_build site (fun () ->
+        D.profile_pipeline_texts ~options:driver_options ~streaming:true v w)
+  in
+  if mat <> str then begin
+    let tag =
+      match
+        List.find_opt (fun (t, x) -> List.assoc_opt t str <> Some x) mat
+      with
+      | Some (t, _) -> t
+      | None -> "shape"
+    in
+    raise
+      (Fail
+         ( Result_mismatch,
+           site,
+           Printf.sprintf "streaming %s profile differs from materialized" tag ))
+  end
+
 (* The overlap oracle is only meaningful when the profiling run was long
    enough for the PMU to fire a useful number of times.  A program can
    execute hundreds of blocks and still finish in fewer cycles than one
@@ -330,6 +368,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         in
         check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
           ~pcycles:cand_o.D.o_profiling_cycles ()
+    | Some (Stream v) -> check_stream v ~seed src
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -346,7 +385,9 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
           let cand_o = List.assq D.Csspgo_probe_only outcomes in
           check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
             ~pcycles:cand_o.D.o_profiling_cycles ()
-        end);
+        end;
+        if cfg.cf_stream_oracle then
+          List.iter (fun v -> check_stream v ~seed src) stream_variants);
     C_pass
   with
   | Discarded -> C_discard
@@ -388,9 +429,10 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
+    (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""
      else Printf.sprintf " --quality-floor %g" cfg.cf_quality_floor)
     (* a custom cf_inject is not expressible on the CLI; --inject-bug is

@@ -3,7 +3,7 @@
     Each seed deterministically yields one random MiniC program
     ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
     randomly permuted pass pipelines, and (optionally) all five
-    [Core.Driver] PGO variants. Three oracle families guard the paper's
+    [Core.Driver] PGO variants. Four oracle families guard the paper's
     central claim — that probes, context-sensitive profiles and aggressive
     optimization never perturb semantics or profile quality:
 
@@ -12,7 +12,11 @@
       every permuted pipeline;
     - {b profile quality}: [Core.Quality.block_overlap] of the probe
       profile against the instrumentation ground truth stays above
-      [cf_quality_floor] (skipped for nearly-unexecuted programs).
+      [cf_quality_floor] (skipped for nearly-unexecuted programs);
+    - {b streaming identity}: the zero-materialization sink pipeline
+      produces byte-identical canonical profile dumps to the materialized
+      sample-list pipeline ([Core.Driver.profile_pipeline_texts], AutoFDO
+      and full CSSPGO).
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -41,6 +45,9 @@ type site =
   | Plan of plan
   | Variant of Csspgo_core.Driver.variant
   | Quality
+  | Stream of Csspgo_core.Driver.variant
+      (** streaming-vs-materialized profile byte-identity
+          ({!Csspgo_core.Driver.profile_pipeline_texts}) *)
 
 val site_to_string : site -> string
 
@@ -63,6 +70,7 @@ type config = {
   cf_quality_min_total : int64;
   cf_minimize : bool;
   cf_max_failures : int option;
+  cf_stream_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

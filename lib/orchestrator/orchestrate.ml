@@ -1,19 +1,55 @@
 module D = Csspgo_core.Driver
 
-let hooks cache =
-  { D.Plan.memo = (fun ~kind ~key ~ser ~de f -> Cache.memo cache ~kind ~key ~ser ~de f) }
+type stats = {
+  st_mutex : Mutex.t;
+  st_counts : (string, int ref) Hashtbl.t;
+}
 
-let run_plans ?cache ~jobs plans =
-  let hooks = Option.map hooks cache in
+let create_stats () = { st_mutex = Mutex.create (); st_counts = Hashtbl.create 16 }
+
+let stats_list s =
+  Mutex.lock s.st_mutex;
+  let l = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.st_counts [] in
+  Mutex.unlock s.st_mutex;
+  List.sort compare l
+
+let stat_hook = function
+  | None -> fun ~name:_ _ -> ()
+  | Some s ->
+      fun ~name n ->
+        Mutex.lock s.st_mutex;
+        (match Hashtbl.find_opt s.st_counts name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add s.st_counts name (ref n));
+        Mutex.unlock s.st_mutex
+
+let hooks ?stats cache =
+  {
+    D.Plan.memo = (fun ~kind ~key ~ser ~de f -> Cache.memo cache ~kind ~key ~ser ~de f);
+    stat = stat_hook stats;
+  }
+
+let run_plans ?cache ?stats ~jobs plans =
+  let hooks =
+    match (cache, stats) with
+    | None, None -> None
+    | Some c, _ -> Some (hooks ?stats c)
+    | None, Some _ ->
+        Some
+          {
+            D.Plan.memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ());
+            stat = stat_hook stats;
+          }
+  in
   Scheduler.map ~jobs (fun plan -> D.Plan.run ?hooks plan) plans
 
-let run_matrix ?cache ?options ~jobs ~variants ~workloads () =
+let run_matrix ?cache ?stats ?options ~jobs ~variants ~workloads () =
   let plans =
     List.concat_map
       (fun w -> List.map (fun variant -> D.Plan.make ?options ~variant w) variants)
       workloads
   in
-  let outcomes = run_plans ?cache ~jobs plans in
+  let outcomes = run_plans ?cache ?stats ~jobs plans in
   List.map2
     (fun (plan : D.Plan.t) o -> (plan.D.Plan.pl_workload, plan.D.Plan.pl_variant, o))
     plans outcomes

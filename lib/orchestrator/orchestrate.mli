@@ -7,13 +7,25 @@
     deterministic: binaries, profiles, and [Text_io] dumps are byte-identical
     to the serial ([jobs = 1]) schedule. *)
 
-val hooks : Cache.t -> Csspgo_core.Driver.Plan.hooks
+type stats
+(** Mutex-protected cross-domain accumulator for the per-stage counters the
+    plans emit through [Plan.hooks.stat] (samples streamed, sample-log
+    words, serialized profile bytes). *)
+
+val create_stats : unit -> stats
+
+val stats_list : stats -> (string * int) list
+(** Accumulated (counter name, total) pairs, sorted by name. *)
+
+val hooks : ?stats:stats -> Cache.t -> Csspgo_core.Driver.Plan.hooks
 (** Memoization hooks backed by [cache]: stage values round-trip through the
     cache's byte store, so every hit is a fresh deserialized copy (safe to
-    mutate, safe across domains). *)
+    mutate, safe across domains). With [?stats], stage counters accumulate
+    there (cache hits included). *)
 
 val run_plans :
   ?cache:Cache.t ->
+  ?stats:stats ->
   jobs:int ->
   Csspgo_core.Driver.Plan.t list ->
   Csspgo_core.Driver.outcome list
@@ -21,6 +33,7 @@ val run_plans :
 
 val run_matrix :
   ?cache:Cache.t ->
+  ?stats:stats ->
   ?options:Csspgo_core.Driver.options ->
   jobs:int ->
   variants:Csspgo_core.Driver.variant list ->

@@ -1,10 +1,10 @@
 module Ir = Csspgo_ir
 module Mach = Csspgo_codegen.Mach
 module P = Csspgo_profile
+module Counter = Csspgo_support.Counter
 
-let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
-  let agg = Ranges.aggregate samples in
-  let totals = Ranges.addr_totals b agg in
+let correlate_agg ?(name_of = fun _ -> None) ?index (b : Mach.binary) (agg : Ranges.agg) =
+  let totals = Ranges.addr_totals ?index b agg in
   let prof = P.Line_profile.create () in
   let name_for guid =
     match name_of guid with
@@ -18,7 +18,7 @@ let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
         | None -> Format.asprintf "%a" Ir.Guid.pp guid)
   in
   (* Line counts: max across instructions sharing a location. *)
-  Hashtbl.iter
+  Counter.iter
     (fun addr total ->
       match Mach.inst_at b addr with
       | None -> ()
@@ -34,7 +34,7 @@ let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
     (fun (inst : Mach.inst) ->
       match inst.Mach.i_op with
       | Mach.MCall c | Mach.MTail_call c -> (
-          match Hashtbl.find_opt totals inst.Mach.i_addr with
+          match Counter.find_opt totals inst.Mach.i_addr with
           | Some total when Int64.compare total 0L > 0 ->
               let d = inst.Mach.i_dloc in
               if not (Ir.Dloc.is_none d) then begin
@@ -48,7 +48,7 @@ let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
       | _ -> ())
     b.Mach.insts;
   (* Head counts: LBR branches landing on a function entry. *)
-  Hashtbl.iter
+  Counter.iter
     (fun (_, tgt) n ->
       match Mach.func_index_of_addr b tgt with
       | Some i when b.Mach.funcs.(i).Mach.bf_start = tgt ->
@@ -58,3 +58,6 @@ let correlate ?(name_of = fun _ -> None) (b : Mach.binary) samples =
       | _ -> ())
     agg.Ranges.branch_counts;
   prof
+
+let correlate ?name_of (b : Mach.binary) samples =
+  correlate_agg ?name_of b (Ranges.aggregate samples)

@@ -12,8 +12,17 @@
     records. Inline instances are merged into their origin function's flat
     profile (AutoFDO without inline replay; see DESIGN.md). *)
 
+val correlate_agg :
+  ?name_of:(Csspgo_ir.Guid.t -> string option) ->
+  ?index:Bindex.t ->
+  Csspgo_codegen.Mach.binary ->
+  Ranges.agg ->
+  Csspgo_profile.Line_profile.t
+(** Correlate an online-built aggregate (the streaming entry point). *)
+
 val correlate :
   ?name_of:(Csspgo_ir.Guid.t -> string option) ->
   Csspgo_codegen.Mach.binary ->
   Csspgo_vm.Machine.sample list ->
   Csspgo_profile.Line_profile.t
+(** Batch wrapper: [correlate_agg] over [Ranges.aggregate]. *)

@@ -1,28 +1,39 @@
 module Mach = Csspgo_codegen.Mach
 module Vm = Csspgo_vm
+module Counter = Csspgo_support.Counter
 
 type agg = {
-  range_counts : (int * int, int64) Hashtbl.t;
-  branch_counts : (int * int, int64) Hashtbl.t;
+  range_counts : (int * int) Counter.t;
+  branch_counts : (int * int) Counter.t;
 }
 
-let bump tbl key n =
-  Hashtbl.replace tbl key (Int64.add n (Option.value (Hashtbl.find_opt tbl key) ~default:0L))
+let create () =
+  { range_counts = Counter.create 1024; branch_counts = Counter.create 1024 }
+
+let feed agg ~lbr ~lbr_len =
+  for i = 0 to lbr_len - 1 do
+    Counter.bump agg.branch_counts lbr.(i) 1L
+  done;
+  for i = 1 to lbr_len - 1 do
+    let _, prev_tgt = lbr.(i - 1) in
+    let cur_src, _ = lbr.(i) in
+    (* A sane range stays within one linear run; discard wrap-arounds
+       caused by LBR entries recorded around program shutdown. *)
+    if prev_tgt <> 0 && cur_src >= prev_tgt then
+      Counter.bump agg.range_counts (prev_tgt, cur_src) 1L
+  done
+
+let sink agg =
+  {
+    Vm.Machine.on_sample =
+      (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ -> feed agg ~lbr ~lbr_len);
+  }
 
 let aggregate samples =
-  let agg = { range_counts = Hashtbl.create 1024; branch_counts = Hashtbl.create 1024 } in
+  let agg = create () in
   List.iter
     (fun (s : Vm.Machine.sample) ->
-      let lbr = s.Vm.Machine.s_lbr in
-      Array.iter (fun (src, tgt) -> bump agg.branch_counts (src, tgt) 1L) lbr;
-      for i = 1 to Array.length lbr - 1 do
-        let _, prev_tgt = lbr.(i - 1) in
-        let cur_src, _ = lbr.(i) in
-        (* A sane range stays within one linear run; discard wrap-arounds
-           caused by LBR entries recorded around program shutdown. *)
-        if prev_tgt <> 0 && cur_src >= prev_tgt then
-          bump agg.range_counts (prev_tgt, cur_src) 1L
-      done)
+      feed agg ~lbr:s.Vm.Machine.s_lbr ~lbr_len:(Array.length s.Vm.Machine.s_lbr))
     samples;
   agg
 
@@ -42,10 +53,18 @@ let iter_range_insts (b : Mach.binary) (lo, hi) f =
   in
   go lo 0
 
-let addr_totals b agg =
-  let totals = Hashtbl.create 4096 in
-  Hashtbl.iter
-    (fun range n ->
-      iter_range_insts b range (fun inst -> bump totals inst.Mach.i_addr n))
-    agg.range_counts;
+let addr_totals ?index (b : Mach.binary) agg =
+  let totals = Counter.create 4096 in
+  (match index with
+  | Some ix ->
+      Counter.iter
+        (fun range n ->
+          Bindex.iter_range ix range (fun i ->
+              Counter.bump totals (Bindex.inst ix i).Mach.i_addr n))
+        agg.range_counts
+  | None ->
+      Counter.iter
+        (fun range n ->
+          iter_range_insts b range (fun inst -> Counter.bump totals inst.Mach.i_addr n))
+        agg.range_counts);
   totals

@@ -1,19 +1,37 @@
 (** LBR sample aggregation: consecutive LBR entries bound linear execution
     ranges ([prev.target, cur.source]), which give basic-block-level counts;
     the entries themselves give edge (branch) counts. This is the common
-    front half of both AutoFDO and CSSPGO profile generation. *)
+    front half of both AutoFDO and CSSPGO profile generation.
+
+    Aggregation is online: [create] an empty aggregate, [feed] it each
+    sample's LBR as it streams out of the PMU (or attach [sink] to
+    [Vm.Machine.run]); [aggregate] is the batch wrapper over a materialized
+    sample list. Counters are single-lookup [Counter] tables. *)
 
 module Mach = Csspgo_codegen.Mach
+module Counter = Csspgo_support.Counter
 
 type agg = {
-  range_counts : (int * int, int64) Hashtbl.t;  (** [begin, end] inclusive *)
-  branch_counts : (int * int, int64) Hashtbl.t; (** (source, target) *)
+  range_counts : (int * int) Counter.t;  (** [begin, end] inclusive *)
+  branch_counts : (int * int) Counter.t; (** (source, target) *)
 }
 
-val aggregate : Csspgo_vm.Machine.sample list -> agg
+val create : unit -> agg
 
-val addr_totals : Mach.binary -> agg -> (int, int64) Hashtbl.t
-(** Expand ranges to per-instruction-address execution totals. *)
+val feed : agg -> lbr:(int * int) array -> lbr_len:int -> unit
+(** Consume one sample's LBR (the first [lbr_len] entries, oldest first).
+    Reads only ints out of the scratch — safe against buffer reuse. *)
+
+val sink : agg -> Csspgo_vm.Machine.sink
+(** A sink that [feed]s every sample into [agg] (stack ignored). *)
+
+val aggregate : Csspgo_vm.Machine.sample list -> agg
+(** Batch wrapper: [create] + [feed] per sample. *)
+
+val addr_totals : ?index:Bindex.t -> Mach.binary -> agg -> int Counter.t
+(** Expand ranges to per-instruction-address execution totals. With
+    [?index], range walks use the dense instruction index instead of
+    per-step hash lookups (same results). *)
 
 val iter_range_insts : Mach.binary -> int * int -> (Mach.inst -> unit) -> unit
 (** Walk the instructions covered by one range; tolerates ranges whose

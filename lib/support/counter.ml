@@ -1,0 +1,25 @@
+type 'k t = ('k, int64 ref) Hashtbl.t
+
+let create n = Hashtbl.create n
+
+let bump t k n =
+  match Hashtbl.find_opt t k with
+  | Some r -> r := Int64.add !r n
+  | None -> Hashtbl.add t k (ref n)
+
+let get t k = match Hashtbl.find_opt t k with Some r -> !r | None -> 0L
+let find_opt t k = Option.map ( ! ) (Hashtbl.find_opt t k)
+let mem = Hashtbl.mem
+let length = Hashtbl.length
+let iter f t = Hashtbl.iter (fun k r -> f k !r) t
+let fold f t acc = Hashtbl.fold (fun k r acc -> f k !r acc) t acc
+
+let to_hashtbl t =
+  let out = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter (fun k r -> Hashtbl.replace out k !r) t;
+  out
+
+let of_hashtbl h =
+  let out = Hashtbl.create (Hashtbl.length h) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out k (ref v)) h;
+  out

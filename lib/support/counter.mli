@@ -1,0 +1,30 @@
+(** Hashed [int64] counter tables with single-lookup bumps.
+
+    The naive [find_opt] + [replace] update pattern hashes the key twice and
+    boxes a fresh [Int64] per increment; storing a mutable ref makes the hot
+    path one lookup plus an in-place add. This is the shared counter
+    substrate for sample aggregation ([Profgen.Ranges]) and per-address
+    execution totals. *)
+
+type 'k t
+
+val create : int -> 'k t
+(** [create n] is an empty table sized for about [n] distinct keys. *)
+
+val bump : 'k t -> 'k -> int64 -> unit
+(** [bump t k n] adds [n] to the count for [k] (starting from 0). One hash
+    lookup on the hit path; insertion allocates the ref once per key. *)
+
+val get : 'k t -> 'k -> int64
+(** Current count for [k]; 0 if absent. *)
+
+val find_opt : 'k t -> 'k -> int64 option
+val mem : 'k t -> 'k -> bool
+val length : 'k t -> int
+val iter : ('k -> int64 -> unit) -> 'k t -> unit
+val fold : ('k -> int64 -> 'acc -> 'acc) -> 'k t -> 'acc -> 'acc
+
+val to_hashtbl : 'k t -> ('k, int64) Hashtbl.t
+(** Snapshot as a plain hashtable (for consumers that want one). *)
+
+val of_hashtbl : ('k, int64) Hashtbl.t -> 'k t

@@ -19,11 +19,17 @@ type sample = {
   s_stack : int array;
 }
 
+type sink = {
+  on_sample :
+    lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit;
+}
+
 type result = {
   cycles : int64;
   instructions : int64;
   ret_value : int64;
   samples : sample list;
+  n_samples : int;
   counters : int64 array;
   icache_misses : int64;
   taken_branches : int64;
@@ -151,7 +157,7 @@ let decode (b : Mach.binary) =
 let icache_lines = 512 (* 512 * 64B = 32 KiB, direct-mapped *)
 
 let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addrs = false)
-    ?(fuel = 2_000_000_000L) (b : Mach.binary) ~entry =
+    ?(fuel = 2_000_000_000L) ?sink ?(debug_poison = false) (b : Mach.binary) ~entry =
   let dops, entry_idx = decode b in
   let insts = b.Mach.insts in
   let n_inst = Array.length insts in
@@ -221,7 +227,27 @@ let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addr
   let lbr = Array.make (max lbr_depth 1) (0, 0) in
   let lbr_len = ref 0 in
   let lbr_pos = ref 0 in
-  let samples = ref [] in
+  (* Streaming sample delivery: the ring and frame chain are flushed into
+     reusable scratch buffers and handed to the sink. Nothing per-sample
+     survives the callback unless the sink copies it. *)
+  let lbr_scratch = Array.make (max lbr_depth 1) (0, 0) in
+  let stack_scratch = ref (Array.make 64 0) in
+  let n_samples = ref 0 in
+  let collected = ref [] in
+  let the_sink =
+    match sink with
+    | Some s -> s
+    | None ->
+        (* Collect sink: reproduces the historical [sample list]. *)
+        {
+          on_sample =
+            (fun ~lbr ~lbr_len ~stack ~stack_len ->
+              collected :=
+                { s_lbr = Array.sub lbr 0 lbr_len; s_stack = Array.sub stack 0 stack_len }
+                :: !collected);
+        }
+  in
+  let poison_pair = (min_int, min_int) in
   let next_sample =
     ref (match pmu with Some p when p.sample_period > 0 -> Int64.of_int p.sample_period | _ -> Int64.max_int)
   in
@@ -252,43 +278,71 @@ let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addr
       end
     done
   in
-  let snapshot_lbr () =
-    let n = !lbr_len in
-    Array.init n (fun i ->
-        (* oldest first *)
-        let pos = (!lbr_pos - n + i + Array.length lbr) mod Array.length lbr in
-        lbr.(pos))
+  let ensure_stack_scratch cap =
+    if cap > Array.length !stack_scratch then begin
+      let a = Array.make (max cap (2 * Array.length !stack_scratch)) 0 in
+      Array.blit !stack_scratch 0 a 0 (Array.length !stack_scratch);
+      stack_scratch := a
+    end
   in
+  (* Write the frame walk (leaf first) into the scratch; returns its length. *)
   let walk_stack cur_addr =
-    let rec go acc = function
-      | [] -> List.rev acc
-      | (fr : frame) :: rest ->
-          if fr.fr_ret_pc < 0 then List.rev acc
-          else
-            let ret_addr =
-              if fr.fr_ret_pc < n_inst then insts.(fr.fr_ret_pc).Mach.i_addr else 0
-            in
-            go (ret_addr :: acc) rest
-    in
-    Array.of_list (cur_addr :: go [] !stack)
+    ensure_stack_scratch (1 + List.length !stack);
+    let sbuf = !stack_scratch in
+    sbuf.(0) <- cur_addr;
+    let n = ref 1 in
+    (try
+       List.iter
+         (fun (fr : frame) ->
+           if fr.fr_ret_pc < 0 then raise Exit;
+           sbuf.(!n) <-
+             (if fr.fr_ret_pc < n_inst then insts.(fr.fr_ret_pc).Mach.i_addr else 0);
+           incr n)
+         !stack
+     with Exit -> ());
+    !n
   in
   let take_sample () =
+    incr n_samples;
     let cur_addr = if !ip < n_inst then insts.(!ip).Mach.i_addr else 0 in
-    let stack_arr = walk_stack cur_addr in
-    let stack_arr =
+    let stack_len = walk_stack cur_addr in
+    let stack_len =
       match pmu with
       | Some p when (not p.pebs) && !lbr_len > 0 && Rng.chance rng p.skid_prob ->
-          (* Stack lags the LBR by one control transfer. *)
+          (* Stack lags the LBR by one control transfer: the skidded walk is
+             [src] prepended to the walk with the newest k frames dropped
+             (k = 2 after a call, 0 after a return, 1 otherwise), computed
+             in place on the scratch. *)
           let src, _ = lbr.((!lbr_pos - 1 + Array.length lbr) mod Array.length lbr) in
-          let drop k a = Array.sub a k (max 0 (Array.length a - k)) in
-          let prepend x a = Array.append [| x |] a in
-          (match !last_kind with
-          | `Call -> prepend src (drop 2 stack_arr)
-          | `Ret -> prepend src stack_arr
-          | `Other -> prepend src (drop 1 stack_arr))
-      | _ -> stack_arr
+          ensure_stack_scratch (stack_len + 1);
+          let sbuf = !stack_scratch in
+          let k = match !last_kind with `Call -> 2 | `Ret -> 0 | `Other -> 1 in
+          let kept = max 0 (stack_len - k) in
+          if k = 0 then
+            for i = stack_len - 1 downto 0 do
+              sbuf.(i + 1) <- sbuf.(i)
+            done
+          else if k >= 2 then
+            for i = 0 to kept - 1 do
+              sbuf.(i + 1) <- sbuf.(k + i)
+            done;
+          (* k = 1: [src] replaces the leaf in place. *)
+          sbuf.(0) <- src;
+          kept + 1
+      | _ -> stack_len
     in
-    samples := { s_lbr = snapshot_lbr (); s_stack = stack_arr } :: !samples
+    (* Flush the LBR ring oldest-first into the scratch. *)
+    let n = !lbr_len in
+    for i = 0 to n - 1 do
+      let pos = (!lbr_pos - n + i + Array.length lbr) mod Array.length lbr in
+      lbr_scratch.(i) <- lbr.(pos)
+    done;
+    the_sink.on_sample ~lbr:lbr_scratch ~lbr_len:n ~stack:!stack_scratch ~stack_len;
+    if debug_poison then begin
+      (* Catch sinks that alias the scratch instead of copying. *)
+      Array.fill lbr_scratch 0 (Array.length lbr_scratch) poison_pair;
+      Array.fill !stack_scratch 0 (Array.length !stack_scratch) min_int
+    end
   in
   let eval (fr : frame) = function
     | DReg r -> fr.fr_regs.(r)
@@ -447,7 +501,8 @@ let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addr
     cycles = !cycles;
     instructions = !instructions;
     ret_value = !ret_value;
-    samples = List.rev !samples;
+    samples = List.rev !collected;
+    n_samples = !n_samples;
     counters;
     icache_misses = !icache_misses;
     taken_branches = !taken_branches;

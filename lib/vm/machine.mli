@@ -32,11 +32,24 @@ type sample = {
   s_stack : int array;        (** leaf first: ip, then return addresses *)
 }
 
+type sink = {
+  on_sample :
+    lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit;
+}
+(** Streaming sample consumer. The PMU flushes each sample into reusable
+    scratch buffers and invokes [on_sample] with the valid prefix lengths:
+    [lbr.(0 .. lbr_len-1)] is the ring oldest-first, [stack.(0 ..
+    stack_len-1)] is the frame walk leaf-first. The arrays are scratch —
+    they are overwritten by the next sample — so a sink must copy anything
+    it keeps. With [debug_poison], the scratches are clobbered after every
+    flush so aliasing sinks fail loudly. *)
+
 type result = {
   cycles : int64;
   instructions : int64;
   ret_value : int64;
-  samples : sample list;       (** in collection order *)
+  samples : sample list;       (** in collection order; [] when a sink is given *)
+  n_samples : int;             (** samples taken (counted in sink mode too) *)
   counters : int64 array;      (** instrumentation counters *)
   icache_misses : int64;
   taken_branches : int64;
@@ -55,9 +68,17 @@ val run :
   ?args:int64 list ->
   ?count_addrs:bool ->
   ?fuel:int64 ->
+  ?sink:sink ->
+  ?debug_poison:bool ->
   Csspgo_codegen.Mach.binary ->
   entry:string ->
   result
 (** Execute [entry] with [args]. Globals not listed in [globals_init] are
     zero-initialized at their declared sizes; listed arrays override
-    contents (truncated/padded to the declared size). *)
+    contents (truncated/padded to the declared size).
+
+    Without [sink], samples are collected into [result.samples] exactly as
+    before (an internal collect sink copies the scratches). With [sink],
+    every sample is streamed through it, [result.samples] is [[]] and no
+    per-sample allocation happens inside the VM. [debug_poison] (default
+    off) poisons the scratch buffers after each flush. *)

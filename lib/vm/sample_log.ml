@@ -1,0 +1,82 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  mutable n : int;
+}
+
+let create () = { data = [||]; len = 0; n = 0 }
+
+let ensure t extra =
+  let need = t.len + extra in
+  if need > Array.length t.data then begin
+    let a = Array.make (max need (max 256 (2 * Array.length t.data))) 0 in
+    Array.blit t.data 0 a 0 t.len;
+    t.data <- a
+  end
+
+let add t ~lbr ~lbr_len ~stack ~stack_len =
+  ensure t (2 + (2 * lbr_len) + stack_len);
+  let d = t.data in
+  let p = ref t.len in
+  d.(!p) <- lbr_len;
+  incr p;
+  for i = 0 to lbr_len - 1 do
+    let src, tgt = lbr.(i) in
+    d.(!p) <- src;
+    d.(!p + 1) <- tgt;
+    p := !p + 2
+  done;
+  d.(!p) <- stack_len;
+  incr p;
+  for i = 0 to stack_len - 1 do
+    d.(!p) <- stack.(i);
+    incr p
+  done;
+  t.len <- !p;
+  t.n <- t.n + 1
+
+let sink t =
+  {
+    Machine.on_sample =
+      (fun ~lbr ~lbr_len ~stack ~stack_len -> add t ~lbr ~lbr_len ~stack ~stack_len);
+  }
+
+let iter t f =
+  let lbr = ref (Array.make 16 (0, 0)) in
+  let stack = ref (Array.make 64 0) in
+  let d = t.data in
+  let p = ref 0 in
+  for _ = 1 to t.n do
+    let ln = d.(!p) in
+    incr p;
+    if ln > Array.length !lbr then lbr := Array.make (max ln (2 * Array.length !lbr)) (0, 0);
+    let lb = !lbr in
+    for i = 0 to ln - 1 do
+      lb.(i) <- (d.(!p), d.(!p + 1));
+      p := !p + 2
+    done;
+    let sn = d.(!p) in
+    incr p;
+    if sn > Array.length !stack then
+      stack := Array.make (max sn (2 * Array.length !stack)) 0;
+    let sb = !stack in
+    for i = 0 to sn - 1 do
+      sb.(i) <- d.(!p);
+      incr p
+    done;
+    f ~lbr:lb ~lbr_len:ln ~stack:sb ~stack_len:sn
+  done
+
+let to_samples t =
+  let out = ref [] in
+  iter t (fun ~lbr ~lbr_len ~stack ~stack_len ->
+      out :=
+        { Machine.s_lbr = Array.sub lbr 0 lbr_len; s_stack = Array.sub stack 0 stack_len }
+        :: !out);
+  List.rev !out
+
+let n_samples t = t.n
+let words t = Array.length t.data + 4
+
+let compact t =
+  if Array.length t.data > t.len then t.data <- Array.sub t.data 0 t.len

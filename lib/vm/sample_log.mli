@@ -1,0 +1,38 @@
+(** Compact, replayable PMU sample log: a flat unboxed [int array] arena
+    (one record per sample: LBR length, src/tgt pairs, stack length, frame
+    addresses). This is the bridge between single-pass sample streaming and
+    consumers that need a second look at the stream — notably context
+    reconstruction, whose missing-frame table must be complete before the
+    first sample is attributed. Two orders of magnitude denser than a
+    [Machine.sample list] (no per-sample arrays, no tuple boxing), and
+    [Marshal]-safe for the plan cache. *)
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit
+(** Append one sample (copies the scratch contents; sink-safe). *)
+
+val sink : t -> Machine.sink
+(** A recording sink: [Machine.run ~sink:(sink log)] fills [log]. *)
+
+val iter :
+  t ->
+  (lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit) ->
+  unit
+(** Replay the log in collection order through a sink-shaped callback. The
+    callback receives reusable scratch buffers, exactly like a live
+    [Machine.sink] — same copy discipline applies. *)
+
+val to_samples : t -> Machine.sample list
+(** Materialize as the historical boxed sample list (compat / bench). *)
+
+val n_samples : t -> int
+
+val words : t -> int
+(** Heap words used by the arena (capacity, not just length). *)
+
+val compact : t -> unit
+(** Trim spare arena capacity (call before marshaling). *)

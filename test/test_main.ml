@@ -12,6 +12,7 @@ let () =
       Test_profgen.suite;
       Test_core.suite;
       Test_orchestrator.suite;
+      Test_pipeline.suite;
       Test_differential.suite;
       Test_fuzz.suite;
     ]

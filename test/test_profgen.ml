@@ -24,10 +24,11 @@ let profile_run src args =
 let test_aggregate_shapes () =
   let bin, samples = profile_run loop_src [ 4000L ] in
   let agg = Pg.Ranges.aggregate samples in
-  Alcotest.(check bool) "ranges found" true (Hashtbl.length agg.Pg.Ranges.range_counts > 0);
-  Alcotest.(check bool) "branches found" true (Hashtbl.length agg.Pg.Ranges.branch_counts > 0);
+  let module C = Csspgo_support.Counter in
+  Alcotest.(check bool) "ranges found" true (C.length agg.Pg.Ranges.range_counts > 0);
+  Alcotest.(check bool) "branches found" true (C.length agg.Pg.Ranges.branch_counts > 0);
   (* All range endpoints map into the text section. *)
-  Hashtbl.iter
+  C.iter
     (fun (lo, hi) _ ->
       if hi < lo then Alcotest.fail "inverted range";
       if Cg.Mach.inst_at bin lo = None then Alcotest.fail "range start unmapped")
@@ -37,7 +38,9 @@ let test_addr_totals_cover_hot_loop () =
   let bin, samples = profile_run loop_src [ 4000L ] in
   let agg = Pg.Ranges.aggregate samples in
   let totals = Pg.Ranges.addr_totals bin agg in
-  let hottest = Hashtbl.fold (fun _ c acc -> Int64.max c acc) totals 0L in
+  let hottest =
+    Csspgo_support.Counter.fold (fun _ c acc -> Int64.max c acc) totals 0L
+  in
   Alcotest.(check bool) "hot addresses found" true (Int64.compare hottest 100L > 0)
 
 let test_dwarf_correlation_produces_lines () =
