@@ -637,6 +637,89 @@ let pipeline () =
   if speedup < 3.0 then failwith "pipeline: streaming speedup below 3x target"
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the streaming correlate pipeline with a live  *)
+(* metrics registry vs the null one. The design target is "free when      *)
+(* off, cheap when on": instruments bump local state on the hot path and *)
+(* flush to the registry at stage finish.                                *)
+
+let obs_overhead () =
+  sep "Obs — telemetry overhead on the streaming correlate pipeline (adretriever)";
+  let module Pg = Csspgo_profgen in
+  let module M = Csspgo_obs.Metrics in
+  let w = W.Suite.adretriever in
+  let prog = F.Lower.compile w.D.w_source in
+  Core.Pseudo_probe.insert prog;
+  let refp = Ir.Program.copy prog in
+  Opt.Pass.optimize ~config:Opt.Config.o2_nopgo prog;
+  let bin = Cg.Emit.emit ~options:Cg.Emit.default_options prog in
+  let name_of g =
+    Option.map (fun f -> f.Ir.Func.name) (Ir.Program.find_func_by_guid refp g)
+  in
+  let checksum_of g =
+    match Ir.Program.find_func_by_guid refp g with Some f -> f.Ir.Func.checksum | None -> 0L
+  in
+  let period = 499 in
+  let pmu = Some { Vm.Machine.default_pmu with sample_period = period } in
+  let log = Vm.Sample_log.create () in
+  List.iter
+    (fun (spec : D.run_spec) ->
+      ignore
+        (Vm.Machine.run ~pmu ~sink:(Vm.Sample_log.sink log)
+           ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin ~entry:w.D.w_entry))
+    w.D.w_train;
+  Vm.Sample_log.compact log;
+  let n = Vm.Sample_log.n_samples log in
+  pf "profiling run: %d samples (period %d)\n" n period;
+  let streaming ?obs () =
+    let ix = Pg.Bindex.create bin in
+    let agg = Pg.Ranges.create () in
+    let mb = Core.Missing_frame.start ?obs ix in
+    Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ ->
+        Pg.Ranges.feed agg ~lbr ~lbr_len;
+        Core.Missing_frame.feed mb ~lbr ~lbr_len);
+    let missing = Core.Missing_frame.finish mb in
+    let flat = Core.Probe_corr.correlate_agg ~name_of ~index:ix ~checksum_of ?obs bin agg in
+    let st = Core.Ctx_reconstruct.start ~name_of ~missing ~checksum_of ?obs ix in
+    Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack ~stack_len ->
+        Core.Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+    let trie, _ = Core.Ctx_reconstruct.finish st in
+    (flat, trie)
+  in
+  let open Bechamel in
+  let estimate name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:None () in
+    let results =
+      Benchmark.all cfg [ instance ]
+        (Test.make_grouped ~name:"obs" ~fmt:"%s/%s" [ test ])
+    in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ o ->
+        match Analyze.OLS.estimates o with Some [ e ] -> est := e | _ -> ())
+      ols;
+    !est
+  in
+  let live = M.create () in
+  let ns_off = estimate "telemetry-off" (fun () -> ignore (streaming ())) in
+  let ns_null = estimate "telemetry-null" (fun () -> ignore (streaming ~obs:M.null ())) in
+  let ns_on = estimate "telemetry-on" (fun () -> ignore (streaming ~obs:live ())) in
+  let pct a = (a /. ns_off -. 1.) *. 100. in
+  pf "no obs argument:     %10.2f ms/pipeline\n" (ns_off /. 1e6);
+  pf "null registry:       %10.2f ms/pipeline  (%+.1f%%)\n" (ns_null /. 1e6) (pct ns_null);
+  pf "live registry:       %10.2f ms/pipeline  (%+.1f%%)\n" (ns_on /. 1e6) (pct ns_on);
+  let snap = M.snapshot live in
+  (match M.find_counter snap "ctx.samples" with
+  | Some c -> pf "live registry saw %d ctx samples across timed runs\n" c
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -653,6 +736,7 @@ let () =
   | "orch" -> orch ()
   | "micro" -> micro ()
   | "pipeline" -> pipeline ()
+  | "obs" -> obs_overhead ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -664,7 +748,8 @@ let () =
       ablation ();
       orch ();
       micro ();
-      pipeline ()
+      pipeline ();
+      obs_overhead ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

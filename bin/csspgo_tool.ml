@@ -4,13 +4,17 @@
      compile  FILE     parse, optimize, emit; print binary statistics
      run      FILE     compile and execute main with integer arguments
      pgo      NAME     run PGO variant(s) end-to-end on a named workload
+     report   NAME     all-variant quality report (text or JSON)
      probes   FILE     show the pseudo-probe metadata of a probed build
      contexts NAME     print the reconstructed context trie for a workload
      fuzz              differential fuzzing campaign over random programs
      cache    DIR      inspect or clear an orchestrator artifact cache
 
    pgo and fuzz take -j (domains) and --cache-dir (artifact cache); both
-   route through the Csspgo_orchestrator scheduler + cache. *)
+   route through the Csspgo_orchestrator scheduler + cache. pgo and report
+   also take --trace FILE (Chrome trace-event JSON; --fixed-clock makes it
+   byte-reproducible across -j) and --metrics FILE (registry snapshot as
+   JSON); fuzz takes --metrics FILE and reports progress on stderr. *)
 
 module F = Csspgo_frontend
 module Ir = Csspgo_ir
@@ -22,6 +26,7 @@ module Core = Csspgo_core
 module D = Core.Driver
 module O = Csspgo_orchestrator
 module W = Csspgo_workloads
+module Obs = Csspgo_obs
 open Cmdliner
 
 let read_file path =
@@ -118,7 +123,60 @@ let all_variants_flag =
     & info [ "all" ]
         ~doc:"Run all five variants as one orchestrated matrix (honors -j)")
 
-let cache_of_dir = Option.map (fun dir -> O.Cache.create ~dir ())
+let cache_of_dir ?metrics dirs = Option.map (fun dir -> O.Cache.create ?metrics ~dir ()) dirs
+
+(* --- observability plumbing ----------------------------------------- *)
+
+let write_out path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the run to $(docv) (Perfetto-loadable)")
+
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics-registry snapshot as JSON to $(docv)")
+
+let fixed_clock_arg =
+  Arg.(
+    value & flag
+    & info [ "fixed-clock" ]
+        ~doc:
+          "Run the trace on the deterministic virtual clock: exported bytes are \
+           identical for every -j level")
+
+let mk_trace ~fixed = function
+  | None -> None
+  | Some _ ->
+      let clock = if fixed then Obs.Clock.fixed () else Obs.Clock.wall () in
+      Some (Obs.Trace.create ~clock ())
+
+(* Both exporters self-check: the emitted JSON must parse back before it is
+   written, so a malformed export fails loudly instead of landing on disk. *)
+let export_trace trace path =
+  match (trace, path) with
+  | Some tr, Some path ->
+      let s = Obs.Trace.to_chrome_json tr in
+      ignore (Obs.Json.parse_exn s);
+      write_out path s;
+      Printf.eprintf "[obs] trace: %d events -> %s\n%!" (Obs.Trace.n_events tr) path
+  | _ -> ()
+
+let export_metrics metrics path =
+  match (metrics, path) with
+  | Some m, Some path ->
+      let s = Obs.Json.to_string (Obs.Report.metrics_to_json (Obs.Metrics.snapshot m)) in
+      ignore (Obs.Json.parse_exn s);
+      write_out path s;
+      Printf.eprintf "[obs] metrics -> %s\n%!" path
+  | _ -> ()
 
 let print_cache_stats = function
   | None -> ()
@@ -151,14 +209,18 @@ let print_outcome variant (o : D.outcome) =
         o.D.o_preinline_decisions
     end
 
+let all_variants =
+  [ D.Nopgo; D.Instr_pgo; D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ]
+
 let pgo_cmd =
-  let run name variant all jobs cache_dir =
+  let run name variant all jobs cache_dir trace_file metrics_file fixed_clock =
     let w = Option.get (W.Suite.find name) in
-    let cache = cache_of_dir cache_dir in
+    let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_file in
+    let cache = cache_of_dir ?metrics cache_dir in
+    let trace = mk_trace ~fixed:fixed_clock trace_file in
     if all then begin
       let rows =
-        O.Orchestrate.run_matrix ?cache ~jobs
-          ~variants:[ D.Nopgo; D.Instr_pgo; D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ]
+        O.Orchestrate.run_matrix ?cache ?metrics ?trace ~jobs ~variants:all_variants
           ~workloads:[ w ] ()
       in
       Printf.printf "%-18s %12s %12s %10s %10s\n" "variant" "eval-cycles" "prof-cycles"
@@ -171,16 +233,92 @@ let pgo_cmd =
         rows
     end
     else begin
-      let hooks = Option.map O.Orchestrate.hooks cache in
-      let o = D.Plan.run ?hooks (D.Plan.make ~variant w) in
+      (* The single-variant path rides the same run_plans wiring so --trace
+         and --metrics observe it identically to --all. *)
+      let o =
+        match
+          O.Orchestrate.run_plans ?cache ?metrics ?trace ~jobs:1
+            [ D.Plan.make ~variant w ]
+        with
+        | [ o ] -> o
+        | _ -> assert false
+      in
       print_outcome variant o
     end;
-    print_cache_stats cache
+    print_cache_stats cache;
+    export_trace trace trace_file;
+    export_metrics metrics metrics_file
   in
   Cmd.v
     (Cmd.info "pgo" ~doc:"Run PGO variant(s) end-to-end on a named workload")
     Term.(const run $ workload_arg $ variant_arg $ all_variants_flag $ jobs_arg
-          $ cache_dir_arg)
+          $ cache_dir_arg $ trace_arg $ metrics_arg $ fixed_clock_arg)
+
+(* --- report --------------------------------------------------------- *)
+
+let report_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout")
+  in
+  let run name json jobs cache_dir trace_file metrics_file fixed_clock =
+    let w = Option.get (W.Suite.find name) in
+    (* The report always runs with a live registry: its metrics section is
+       the point. --metrics additionally dumps the same snapshot to a file. *)
+    let metrics = Obs.Metrics.create () in
+    let cache = cache_of_dir ~metrics cache_dir in
+    let trace = mk_trace ~fixed:fixed_clock trace_file in
+    let rows =
+      O.Orchestrate.run_matrix ?cache ~metrics ?trace ~jobs ~variants:all_variants
+        ~workloads:[ w ] ()
+    in
+    let truth =
+      List.find_map
+        (fun (_, v, (o : D.outcome)) ->
+          if v = D.Instr_pgo then Some o.D.o_annotated else None)
+        rows
+    in
+    let row (_, v, (o : D.outcome)) =
+      let overlap =
+        (* No-PGO never annotates, so overlap is not applicable there. *)
+        match (v, truth) with
+        | D.Nopgo, _ | _, None -> None
+        | _, Some truth -> Some (Core.Quality.block_overlap ~truth o.D.o_annotated)
+      in
+      {
+        Obs.Report.vr_variant = D.variant_name v;
+        vr_eval_cycles = o.D.o_eval.D.ev_cycles;
+        vr_eval_instructions = o.D.o_eval.D.ev_instructions;
+        vr_profiling_cycles = o.D.o_profiling_cycles;
+        vr_text_size = o.D.o_text_size;
+        vr_profile_size = o.D.o_profile_size;
+        vr_overlap = overlap;
+        vr_stale_funcs = List.length o.D.o_stales;
+      }
+    in
+    let report =
+      {
+        Obs.Report.rp_workload = w.D.w_name;
+        rp_rows = List.map row rows;
+        rp_metrics = Obs.Metrics.snapshot metrics;
+      }
+    in
+    if json then begin
+      let s = Obs.Json.to_string (Obs.Report.to_json report) in
+      ignore (Obs.Json.parse_exn s);
+      print_string s;
+      print_newline ()
+    end
+    else print_string (Obs.Report.to_text report);
+    export_trace trace trace_file;
+    export_metrics (Some metrics) metrics_file
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run every PGO variant on a workload and render the profile-quality report \
+          (block overlap vs instrumentation truth, costs, pipeline telemetry)")
+    Term.(const run $ workload_arg $ json_flag $ jobs_arg $ cache_dir_arg $ trace_arg
+          $ metrics_arg $ fixed_clock_arg)
 
 (* --- probes -------------------------------------------------------- *)
 
@@ -315,7 +453,7 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      max_failures inject jobs cache_dir =
+      max_failures inject jobs cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -331,7 +469,19 @@ let fuzz_cmd =
       }
     in
     let cache = cache_of_dir cache_dir in
-    let st = Fuzz.Campaign.run ?out_dir:out ?cache ~jobs cfg ~seeds:(lo, hi) in
+    let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_file in
+    (* Progress and summary stats go to stderr; stdout carries only the
+       machine-parseable FAIL records. *)
+    let total = hi - lo + 1 in
+    let progress (st : Fuzz.Campaign.stats) =
+      Printf.eprintf "\r[fuzz] %d/%d seeds  discards %d  failures %d%!"
+        st.Fuzz.Campaign.st_runs total st.Fuzz.Campaign.st_discards
+        (Fuzz.Campaign.n_failures st)
+    in
+    let st =
+      Fuzz.Campaign.run ?out_dir:out ~progress ?cache ?metrics ~jobs cfg ~seeds:(lo, hi)
+    in
+    Printf.eprintf "\n%!";
     List.iter
       (fun (fl : Fuzz.Campaign.failure) ->
         Printf.printf "FAIL seed %Ld  %s  at %s\n  %s\n" fl.Fuzz.Campaign.fl_seed
@@ -345,7 +495,8 @@ let fuzz_cmd =
               (match out with Some d -> Printf.sprintf " (see %s/)" d | None -> "")
         | None -> ())
       (List.rev st.Fuzz.Campaign.st_failures);
-    Format.printf "%a@." Fuzz.Campaign.pp_stats st;
+    Format.eprintf "%a@." Fuzz.Campaign.pp_stats st;
+    export_metrics metrics metrics_file;
     if Fuzz.Campaign.n_failures st > 0 then exit 1
   in
   Cmd.v
@@ -356,7 +507,7 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ max_failures_arg
-      $ inject_arg $ jobs_arg $ cache_dir_arg)
+      $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 
@@ -390,4 +541,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; pgo_cmd; probes_cmd; contexts_cmd; fuzz_cmd; cache_cmd ]))
+          [
+            compile_cmd; run_cmd; pgo_cmd; report_cmd; probes_cmd; contexts_cmd;
+            fuzz_cmd; cache_cmd;
+          ]))

@@ -23,7 +23,8 @@ type attr_act =
   | A_probe of P.Ctx_profile.node * int
   | A_call of P.Ctx_profile.node * int * Ir.Guid.t
 
-let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
+let start ?(name_of = fun _ -> None) ?missing ~checksum_of
+    ?(obs = Csspgo_obs.Metrics.null) (ix : Pg.Bindex.t) =
   let b = Pg.Bindex.binary ix in
   let trie = P.Ctx_profile.create () in
   let name_for guid =
@@ -33,6 +34,11 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
   let gaps_resolved = ref 0 in
   let gaps_failed = ref 0 in
   let n_samples = ref 0 in
+  (* Telemetry accumulated locally and flushed once in [finish]; the
+     feed path never touches the registry, so attribution (and the
+     byte-identity oracle it feeds) is unchanged by observation. *)
+  let inferred = ref 0 in
+  let depth_hist = Array.make 64 0 in
   (* Resolve the ctx node for a flat outermost-first path + leaf. *)
   let node_for (path : (Ir.Guid.t * int) list) (leaf : Ir.Guid.t) =
     match path with
@@ -74,6 +80,7 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
               match Missing_frame.resolve mf ~from_func:exp ~to_func with
               | Some chain ->
                   incr gaps_resolved;
+                  inferred := !inferred + List.length chain;
                   List.iter
                     (fun addr ->
                       let ti = Pg.Bindex.idx_of_addr ix addr in
@@ -107,7 +114,7 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
      them: every count is additive and nodes are stable once created. The
      cache is keyed on program structure (distinct ranges x caller
      stacks), not on sample count, and capped defensively. *)
-  let attr_cache : (int * int * int list, attr_act array * int * int) Hashtbl.t =
+  let attr_cache : (int * int * int list, attr_act array * int * int * int) Hashtbl.t =
     Hashtbl.create 1024
   in
   let attr_cache_cap = 1 lsl 16 in
@@ -125,12 +132,15 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
     if lo > 0 && hi >= lo then begin
       let key = (lo, hi, callers) in
       match Hashtbl.find_opt attr_cache key with
-      | Some (acts, d_resolved, d_failed) ->
+      | Some (acts, d_resolved, d_failed, d_inferred) ->
           gaps_resolved := !gaps_resolved + d_resolved;
           gaps_failed := !gaps_failed + d_failed;
+          inferred := !inferred + d_inferred;
           replay acts
       | None ->
-          let resolved0 = !gaps_resolved and failed0 = !gaps_failed in
+          let resolved0 = !gaps_resolved
+          and failed0 = !gaps_failed
+          and inferred0 = !inferred in
           let acts = ref [] in
           let caller_path = path_of_callers callers lo in
           (* Probe hits, with full inline expansion from the probe chain. *)
@@ -177,7 +187,10 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
           replay acts;
           if Hashtbl.length attr_cache < attr_cache_cap then
             Hashtbl.add attr_cache key
-              (acts, !gaps_resolved - resolved0, !gaps_failed - failed0)
+              ( acts,
+                !gaps_resolved - resolved0,
+                !gaps_failed - failed0,
+                !inferred - inferred0 )
     end
   in
   let feed ~lbr ~lbr_len ~stack ~stack_len =
@@ -195,6 +208,8 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
       in
       if not aligned then incr dropped
       else begin
+        let d = min (stack_len - 1) 63 in
+        depth_hist.(d) <- depth_hist.(d) + 1;
         let callers =
           ref
             (let rec go i acc = if i < 1 then acc else go (i - 1) (stack.(i) :: acc) in
@@ -221,6 +236,14 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of (ix : Pg.Bindex.t) =
     end
   in
   let finish () =
+    (let module M = Csspgo_obs.Metrics in
+     M.bump (M.counter obs "ctx.samples") !n_samples;
+     M.bump (M.counter obs "ctx.dropped-misaligned") !dropped;
+     M.bump (M.counter obs "ctx.gaps-resolved") !gaps_resolved;
+     M.bump (M.counter obs "ctx.gaps-failed") !gaps_failed;
+     M.bump (M.counter obs "ctx.inferred-frames") !inferred;
+     let h = M.histogram obs "ctx.context-depth" in
+     Array.iteri (fun d count -> if count > 0 then M.observe_n h d count) depth_hist);
     ( trie,
       {
         st_samples = !n_samples;

@@ -38,6 +38,7 @@ val start :
   ?name_of:(Csspgo_ir.Guid.t -> string option) ->
   ?missing:Missing_frame.t ->
   checksum_of:(Csspgo_ir.Guid.t -> int64) ->
+  ?obs:Csspgo_obs.Metrics.t ->
   Csspgo_profgen.Bindex.t ->
   stream
 
@@ -46,6 +47,11 @@ val feed :
   lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit
 
 val finish : stream -> Csspgo_profile.Ctx_profile.t * stats
+(** Also flushes telemetry to [obs], accumulated locally during the run:
+    [ctx.samples], [ctx.dropped-misaligned], [ctx.gaps-resolved],
+    [ctx.gaps-failed], [ctx.inferred-frames] counters and the
+    [ctx.context-depth] histogram (stack depth per aligned sample).
+    Observation never changes attribution. *)
 
 val sink : stream -> Csspgo_vm.Machine.sink
 (** Attach reconstruction directly to a live PMU (only sound when no

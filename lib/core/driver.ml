@@ -6,6 +6,7 @@ module Cg = Csspgo_codegen
 module Vm = Csspgo_vm
 module P = Csspgo_profile
 module Pg = Csspgo_profgen
+module Obs = Csspgo_obs
 
 type run_spec = {
   rs_args : int64 list;
@@ -91,14 +92,14 @@ type runs = {
   r_values : (int, (int64, int64) Hashtbl.t) Hashtbl.t;
 }
 
-let run_specs ?(pmu = None) ?sink ?debug_poison (bin : Cg.Mach.binary) ~entry specs =
+let run_specs ?(pmu = None) ?sink ?debug_poison ?obs (bin : Cg.Mach.binary) ~entry specs =
   (* Collect mode accumulates newest-first and reverses once at the end;
      the old [acc @ r.samples] was quadratic in the number of runs. *)
   let acc =
     List.fold_left
       (fun acc spec ->
         let r =
-          Vm.Machine.run ~pmu ?sink ?debug_poison ~globals_init:spec.rs_globals
+          Vm.Machine.run ~pmu ?sink ?debug_poison ?obs ~globals_init:spec.rs_globals
             ~args:spec.rs_args bin ~entry
         in
         let counters =
@@ -303,10 +304,26 @@ module Plan = struct
       (unit -> 'a) ->
       'a;
     stat : name:string -> int -> unit;
+    span : 'a. name:string -> (unit -> 'a) -> 'a;
+    metrics : Obs.Metrics.t;
   }
 
   let default_hooks =
-    { memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ()); stat = (fun ~name:_ _ -> ()) }
+    {
+      memo = (fun ~kind:_ ~key:_ ~ser:_ ~de:_ f -> f ());
+      stat = (fun ~name:_ _ -> ());
+      span = (fun ~name:_ f -> f ());
+      metrics = Obs.Metrics.null;
+    }
+
+  let stage_name = function
+    | Compile _ -> "compile"
+    | Instrument _ -> "instrument"
+    | Profile_run _ -> "profile-run"
+    | Correlate _ -> "correlate"
+    | Preinline _ -> "preinline"
+    | Rebuild _ -> "rebuild"
+    | Evaluate _ -> "evaluate"
 
   (* Fingerprints for cache keys: FNV-1a over the Marshal image of a spec.
      Every spec type is a closure-free record, so this is total. *)
@@ -440,7 +457,9 @@ module Plan = struct
                 let log = Vm.Sample_log.create () in
                 let mb =
                   match ps.p_pmu with
-                  | Some _ -> Some (Missing_frame.start (Pg.Bindex.create bin))
+                  | Some _ ->
+                      Some
+                        (Missing_frame.start ~obs:hooks.metrics (Pg.Bindex.create bin))
                   | None -> None
                 in
                 let sink =
@@ -454,7 +473,10 @@ module Plan = struct
                         Vm.Sample_log.add log ~lbr ~lbr_len ~stack ~stack_len);
                   }
                 in
-                let r = run_specs ~pmu:ps.p_pmu ~sink bin ~entry:ps.p_entry ps.p_train in
+                let r =
+                  run_specs ~pmu:ps.p_pmu ~sink ~obs:hooks.metrics bin ~entry:ps.p_entry
+                    ps.p_train
+                in
                 Vm.Sample_log.compact log;
                 {
                   pr_bin = bin;
@@ -504,7 +526,7 @@ module Plan = struct
               memo_profile ~tag:"probes" ~kind_p:P.Text_io.Probe (fun () ->
                   P.Text_io.Probe_prof
                     (Probe_corr.correlate_agg ~name_of ~index:(Lazy.force index)
-                       ~checksum_of po.pr_bin po.pr_agg))
+                       ~checksum_of ~obs:hooks.metrics po.pr_bin po.pr_agg))
             with
             | P.Text_io.Probe_prof pp, text -> (pp, text)
             | _ -> assert false
@@ -516,7 +538,7 @@ module Plan = struct
                   memo_profile ~tag:"lines" ~kind_p:P.Text_io.Line (fun () ->
                       P.Text_io.Line_prof
                         (Pg.Dwarf_corr.correlate_agg ~name_of ~index:(Lazy.force index)
-                           po.pr_bin po.pr_agg))
+                           ~obs:hooks.metrics po.pr_bin po.pr_agg))
                 with
                 | P.Text_io.Line_prof lp, text -> (lp, text)
                 | _ -> assert false
@@ -558,7 +580,7 @@ module Plan = struct
                     let missing = if cc_missing_frames then po.pr_missing else None in
                     let st =
                       Ctx_reconstruct.start ~name_of ?missing ~checksum_of
-                        (Lazy.force index)
+                        ~obs:hooks.metrics (Lazy.force index)
                     in
                     Vm.Sample_log.iter po.pr_log
                       (fun ~lbr ~lbr_len ~stack ~stack_len ->
@@ -578,6 +600,16 @@ module Plan = struct
                     | _ -> assert false)
               in
               let flat, _ = probe_flat () in
+              (* Reconstruction stats fire through the hook even on cache
+                 hits — they are part of the memoized value, so the numbers
+                 a warm run reports match the cold run that built it. *)
+              hooks.stat ~name:"correlate.recon-samples" stats.Ctx_reconstruct.st_samples;
+              hooks.stat ~name:"correlate.recon-dropped"
+                stats.Ctx_reconstruct.st_dropped_misaligned;
+              hooks.stat ~name:"correlate.gaps-resolved"
+                stats.Ctx_reconstruct.st_gaps_resolved;
+              hooks.stat ~name:"correlate.gaps-failed"
+                stats.Ctx_reconstruct.st_gaps_failed;
               recon := Some stats;
               profile := Some (Prof_ctx { x_trie = trie; x_flat = flat });
               profile_ser := text (* refreshed after Preinline *)
@@ -672,7 +704,9 @@ module Plan = struct
           let ev =
             hooks.memo ~kind:"evaluate" ~key:(!final_key @ [ fp es ]) ~ser:mser ~de:mde
               (fun () ->
-                let r = run_specs ~pmu:None bin ~entry:es.e_entry es.e_eval in
+                let r =
+                  run_specs ~pmu:None ~obs:hooks.metrics bin ~entry:es.e_entry es.e_eval
+                in
                 {
                   ev_cycles = r.r_cycles;
                   ev_instructions = r.r_instrs;
@@ -682,7 +716,9 @@ module Plan = struct
           in
           eval_out := Some ev
     in
-    List.iter exec plan.pl_stages;
+    List.iter
+      (fun st -> hooks.span ~name:(stage_name st) (fun () -> exec st))
+      plan.pl_stages;
     match (!final, !eval_out, !annotated) with
     | Some bin, Some ev, Some ann ->
         {

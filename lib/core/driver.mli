@@ -145,6 +145,8 @@ module Plan : sig
       (unit -> 'a) ->
       'a;
     stat : name:string -> int -> unit;
+    span : 'a. name:string -> (unit -> 'a) -> 'a;
+    metrics : Csspgo_obs.Metrics.t;
   }
   (** [memo] is the memoization hook threaded through {!run}. [kind] names
       the stage family (["ref-info"], ["profile-run"], ["correlate"],
@@ -157,10 +159,28 @@ module Plan : sig
 
       [stat] receives per-stage counters (fired on cache hits too):
       ["profile-run.samples"], ["profile-run.log-words"],
-      ["correlate.profile-bytes"]. *)
+      ["correlate.profile-bytes"], ["correlate.recon-samples"],
+      ["correlate.recon-dropped"], ["correlate.gaps-resolved"],
+      ["correlate.gaps-failed"].
+
+      [span] wraps the execution of each stage; [name] is {!stage_name} of
+      the stage. Hooks may open a trace span there — the default runs the
+      thunk untouched.
+
+      [metrics] is handed to the VM, the correlators, and context
+      reconstruction for their hot-path instruments ([vm.*], [probe-corr.*],
+      [dwarf-corr.*], [ctx.*], [missing-frame.*]). {!Csspgo_obs.Metrics.null}
+      disables them. Note that memoized stages skip their thunk on a cache
+      hit, so registry counts depend on cache warmth; only the [stat]
+      counters above are warmth-independent. *)
 
   val default_hooks : hooks
-  (** Runs every thunk directly — no caching; drops stats. *)
+  (** Runs every thunk directly — no caching; drops stats; null metrics. *)
+
+  val stage_name : stage -> string
+  (** Stable lower-case stage label: ["compile"], ["instrument"],
+      ["profile-run"], ["correlate"], ["preinline"], ["rebuild"],
+      ["evaluate"]. Used as span names and in reports. *)
 
   val run : ?hooks:hooks -> t -> outcome
   (** Interpret the stages in order. Raises [Invalid_argument] on malformed

@@ -14,14 +14,16 @@ type builder = {
   mb_edges : (int * Ir.Guid.t) list Ir.Guid.Tbl.t;
   mb_seen : (int * int, unit) Hashtbl.t;
   mutable mb_n : int;
+  mb_obs : Csspgo_obs.Metrics.t;
 }
 
-let start index =
+let start ?(obs = Csspgo_obs.Metrics.null) index =
   {
     mb_index = index;
     mb_edges = Ir.Guid.Tbl.create 16;
     mb_seen = Hashtbl.create 64;
     mb_n = 0;
+    mb_obs = obs;
   }
 
 let feed mb ~lbr ~lbr_len =
@@ -45,7 +47,10 @@ let feed mb ~lbr ~lbr_len =
     end
   done
 
-let finish mb = { edges = mb.mb_edges; n_edges = mb.mb_n }
+let finish mb =
+  let module M = Csspgo_obs.Metrics in
+  M.bump (M.counter mb.mb_obs "missing-frame.edges") mb.mb_n;
+  { edges = mb.mb_edges; n_edges = mb.mb_n }
 
 let build (b : Mach.binary) samples =
   let mb = start (Pg.Bindex.create b) in

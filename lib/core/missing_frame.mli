@@ -20,12 +20,14 @@ type builder
     context reconstruction replays a compact sample log only after the
     builder has seen the whole stream. *)
 
-val start : Csspgo_profgen.Bindex.t -> builder
+val start : ?obs:Csspgo_obs.Metrics.t -> Csspgo_profgen.Bindex.t -> builder
 
 val feed : builder -> lbr:(int * int) array -> lbr_len:int -> unit
 (** Consume one sample's LBR entries (copies nothing; scratch-safe). *)
 
 val finish : builder -> t
+(** Also bumps the [missing-frame.edges] counter on [obs] (once, with the
+    final edge count). *)
 
 val build : Csspgo_codegen.Mach.binary -> Csspgo_vm.Machine.sample list -> t
 (** Batch wrapper: [start] + [feed] per sample + [finish]. *)

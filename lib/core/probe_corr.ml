@@ -23,10 +23,11 @@ let probes_in_range (b : Mach.binary) (lo, hi) =
 
 let default_name guid = Format.asprintf "%a" Ir.Guid.pp guid
 
-let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of (b : Mach.binary)
-    (agg : Pg.Ranges.agg) =
+let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of
+    ?(obs = Csspgo_obs.Metrics.null) (b : Mach.binary) (agg : Pg.Ranges.agg) =
   let prof = P.Probe_profile.create () in
   let name_for guid = Option.value (name_of guid) ~default:(default_name guid) in
+  let n_ranges = ref 0 and n_unmatched = ref 0 and n_hits = ref 0 and n_calls = ref 0 in
   let fentry guid =
     let fe = P.Probe_profile.get_or_add prof guid ~name:(name_for guid) in
     if Int64.equal fe.P.Probe_profile.fe_checksum 0L then
@@ -36,10 +37,15 @@ let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of (b : Mach.binar
   (* Probe counts: sum over all physical copies covered by ranges. *)
   Counter.iter
     (fun range n ->
-      List.iter
-        (fun (pr : Mach.probe_rec) ->
-          P.Probe_profile.add_probe (fentry pr.Mach.pr_func) pr.Mach.pr_id n)
-        (probes_in_range b range))
+      incr n_ranges;
+      match probes_in_range b range with
+      | [] -> incr n_unmatched
+      | prs ->
+          List.iter
+            (fun (pr : Mach.probe_rec) ->
+              incr n_hits;
+              P.Probe_profile.add_probe (fentry pr.Mach.pr_func) pr.Mach.pr_id n)
+            prs)
     agg.Pg.Ranges.range_counts;
   (* Callsite targets: executed calls attributed to their callsite probe in
      the probe's owner function (the innermost inline frame's origin). *)
@@ -57,6 +63,7 @@ let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of (b : Mach.binar
                     b.Mach.funcs.(inst.Mach.i_func).Mach.bf_guid
                   else inst.Mach.i_dloc.Ir.Dloc.origin
                 in
+                incr n_calls;
                 P.Probe_profile.add_call (fentry owner) inst.Mach.i_cs_probe c.Mach.m_callee
                   total
             | _ -> ())
@@ -71,7 +78,12 @@ let correlate_agg ?(name_of = fun _ -> None) ?index ~checksum_of (b : Mach.binar
           fe.P.Probe_profile.fe_head <- Int64.add fe.P.Probe_profile.fe_head n
       | _ -> ())
     agg.Pg.Ranges.branch_counts;
+  let module M = Csspgo_obs.Metrics in
+  M.bump (M.counter obs "probe-corr.ranges") !n_ranges;
+  M.bump (M.counter obs "probe-corr.ranges-unmatched") !n_unmatched;
+  M.bump (M.counter obs "probe-corr.probe-hits") !n_hits;
+  M.bump (M.counter obs "probe-corr.callsites") !n_calls;
   prof
 
-let correlate ?name_of ~checksum_of (b : Mach.binary) samples =
-  correlate_agg ?name_of ~checksum_of b (Pg.Ranges.aggregate samples)
+let correlate ?name_of ~checksum_of ?obs (b : Mach.binary) samples =
+  correlate_agg ?name_of ~checksum_of ?obs b (Pg.Ranges.aggregate samples)

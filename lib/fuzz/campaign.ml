@@ -507,12 +507,18 @@ let fresh_stats () =
     st_failures = [];
   }
 
-let run ?out_dir ?(progress = fun (_ : stats) -> ()) ?cache ?(jobs = 1) (cfg : config)
-    ~seeds:(lo, hi) =
+let run ?out_dir ?(progress = fun (_ : stats) -> ()) ?cache ?metrics ?(jobs = 1)
+    (cfg : config) ~seeds:(lo, hi) =
   (* Without a caller-provided cache the campaign still wants the per-seed
      stage sharing (reference, profiling runs, correlations), so it makes a
      private in-memory one. *)
   let cache = match cache with Some c -> c | None -> O.Cache.create () in
+  (* Registry bumps happen only at the (seed-ordered) merge points below,
+     so the counts are identical whatever [jobs] is. *)
+  let m = match metrics with Some m -> m | None -> Csspgo_obs.Metrics.null in
+  let mbump name n =
+    if n > 0 then Csspgo_obs.Metrics.bump (Csspgo_obs.Metrics.counter m name) n
+  in
   let st = fresh_stats () in
   let stop () =
     match cfg.cf_max_failures with Some n -> n_failures st >= n | None -> false
@@ -531,9 +537,14 @@ let run ?out_dir ?(progress = fun (_ : stats) -> ()) ?cache ?(jobs = 1) (cfg : c
     while !s <= hi && not (stop ()) do
       let seed = Int64.of_int !s in
       st.st_runs <- st.st_runs + 1;
+      mbump "fuzz.seeds" 1;
+      let d0 = st.st_discards in
       (match run_seed ~stats:st ~cache cfg seed with
       | None -> ()
-      | Some fl -> record fl);
+      | Some fl ->
+          record fl;
+          mbump "fuzz.failures" 1);
+      mbump "fuzz.discards" (st.st_discards - d0);
       progress st;
       incr s
     done;
@@ -561,10 +572,16 @@ let run ?out_dir ?(progress = fun (_ : stats) -> ()) ?cache ?(jobs = 1) (cfg : c
         (fun (local, fl) ->
           if not (stop ()) then begin
             st.st_runs <- st.st_runs + 1;
+            mbump "fuzz.seeds" 1;
             st.st_discards <- st.st_discards + local.st_discards;
+            mbump "fuzz.discards" local.st_discards;
             if local.st_min_overlap < st.st_min_overlap then
               st.st_min_overlap <- local.st_min_overlap;
-            (match fl with None -> () | Some fl -> record fl);
+            (match fl with
+            | None -> ()
+            | Some fl ->
+                record fl;
+                mbump "fuzz.failures" 1);
             progress st
           end)
         results;

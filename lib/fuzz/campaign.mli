@@ -111,6 +111,7 @@ val run :
   ?out_dir:string ->
   ?progress:(stats -> unit) ->
   ?cache:Csspgo_orchestrator.Cache.t ->
+  ?metrics:Csspgo_obs.Metrics.t ->
   ?jobs:int ->
   config ->
   seeds:int * int ->
@@ -125,4 +126,8 @@ val run :
     the reported statistics — including the [cf_max_failures] stop point —
     are identical to the serial campaign's. [cache] defaults to a private
     in-memory cache; pass a disk-backed one to reuse artifacts across
-    campaign invocations. *)
+    campaign invocations.
+
+    [metrics] receives [fuzz.seeds], [fuzz.discards] and [fuzz.failures];
+    bumps fire at the seed-ordered merge points, so the totals match the
+    serial campaign for any [jobs]. *)

@@ -1,0 +1,22 @@
+type t =
+  | Wall of { epoch : float }
+  | Fixed of { step : int64 }
+
+let wall () = Wall { epoch = Unix.gettimeofday () }
+let fixed ?(step = 1L) () = Fixed { step }
+let is_fixed = function Fixed _ -> true | Wall _ -> false
+
+type cursor =
+  | C_wall of { c_epoch : float }
+  | C_fixed of { c_step : int64; mutable c_ticks : int64 }
+
+let cursor = function
+  | Wall { epoch } -> C_wall { c_epoch = epoch }
+  | Fixed { step } -> C_fixed { c_step = step; c_ticks = 0L }
+
+let now_us = function
+  | C_wall { c_epoch } -> Int64.of_float ((Unix.gettimeofday () -. c_epoch) *. 1e6)
+  | C_fixed c ->
+      let t = c.c_ticks in
+      c.c_ticks <- Int64.add t 1L;
+      Int64.mul t c.c_step

@@ -1,0 +1,30 @@
+(** The telemetry time source: wall-clock for real profiling sessions,
+    a deterministic virtual clock for tests and byte-reproducible traces.
+
+    A {!t} is a timebase shared by a whole trace; each trace track derives
+    its own {!cursor} from it. Wall cursors read [Unix.gettimeofday]
+    relative to the timebase epoch. Fixed cursors are pure tick counters:
+    the k-th read returns [k * step] microseconds, independently of real
+    time, scheduling, or machine — two runs that issue the same reads per
+    cursor observe identical timestamps. Cursors are single-owner (one
+    track, one domain) and need no synchronization. *)
+
+type t
+
+val wall : unit -> t
+(** Wall-clock timebase; the epoch is captured at creation so all cursors
+    share one origin. *)
+
+val fixed : ?step:int64 -> unit -> t
+(** Deterministic timebase: every cursor ticks [0, step, 2*step, ...]
+    microseconds (default [step = 1L]). *)
+
+val is_fixed : t -> bool
+
+type cursor
+
+val cursor : t -> cursor
+(** A fresh tick source on this timebase (fixed cursors start at 0). *)
+
+val now_us : cursor -> int64
+(** Next timestamp in microseconds. Advances fixed cursors by one tick. *)

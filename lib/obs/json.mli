@@ -1,0 +1,38 @@
+(** A minimal JSON value type with a printer and a strict parser.
+
+    The toolchain has no JSON dependency, yet the telemetry layer promises
+    that everything it emits — Chrome traces, metrics dumps, the [report]
+    subcommand — is machine-parseable. This module is both sides of that
+    promise: the emitters build {!t} values and the tests (and the [report]
+    self-check) parse the emitted text back.
+
+    Printing is canonical: object fields keep construction order, floats
+    always carry a decimal point or exponent (so they parse back as
+    [Float]), and non-finite floats become [null]. Equal values print to
+    equal strings, which is what the fixed-clock trace byte-identity check
+    relies on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** Strict parse of a complete JSON document (rejects trailing bytes).
+    Numbers without [.]/[e] parse as [Int], others as [Float]; [\uXXXX]
+    escapes decode to UTF-8. @raise Parse_error on malformed input. *)
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list option

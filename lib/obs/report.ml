@@ -1,0 +1,109 @@
+type variant_row = {
+  vr_variant : string;
+  vr_eval_cycles : int64;
+  vr_eval_instructions : int64;
+  vr_profiling_cycles : int64;
+  vr_text_size : int;
+  vr_profile_size : int;
+  vr_overlap : float option;
+  vr_stale_funcs : int;
+}
+
+type t = {
+  rp_workload : string;
+  rp_rows : variant_row list;
+  rp_metrics : Metrics.snapshot;
+}
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let hist_json (h : Metrics.hist_summary) =
+  Json.Obj
+    [
+      ("count", Json.Int h.Metrics.h_count);
+      ("sum", Json.Int h.Metrics.h_sum);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (b, n) ->
+               Json.Obj [ ("ge", Json.Int (Metrics.bucket_lo b)); ("count", Json.Int n) ])
+             h.Metrics.h_nonzero) );
+    ]
+
+let metrics_to_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.s_counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.s_gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.Metrics.s_histograms) );
+    ]
+
+let row_json r =
+  Json.Obj
+    [
+      ("variant", Json.String r.vr_variant);
+      ("eval_cycles", Json.Int (Int64.to_int r.vr_eval_cycles));
+      ("eval_instructions", Json.Int (Int64.to_int r.vr_eval_instructions));
+      ("profiling_cycles", Json.Int (Int64.to_int r.vr_profiling_cycles));
+      ("text_size", Json.Int r.vr_text_size);
+      ("profile_size", Json.Int r.vr_profile_size);
+      ( "block_overlap",
+        match r.vr_overlap with Some f -> Json.Float f | None -> Json.Null );
+      ("stale_funcs", Json.Int r.vr_stale_funcs);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("workload", Json.String r.rp_workload);
+      ("variants", Json.List (List.map row_json r.rp_rows));
+      ("metrics", metrics_to_json r.rp_metrics);
+    ]
+
+(* --- text ----------------------------------------------------------- *)
+
+let metrics_to_text (s : Metrics.snapshot) =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if s.Metrics.s_counters <> [] then begin
+    pf "counters:\n";
+    List.iter (fun (k, v) -> pf "  %-34s %12d\n" k v) s.Metrics.s_counters
+  end;
+  if s.Metrics.s_gauges <> [] then begin
+    pf "gauges (max):\n";
+    List.iter (fun (k, v) -> pf "  %-34s %12d\n" k v) s.Metrics.s_gauges
+  end;
+  if s.Metrics.s_histograms <> [] then begin
+    pf "histograms:\n";
+    List.iter
+      (fun (k, h) ->
+        pf "  %-34s count=%d sum=%d\n" k h.Metrics.h_count h.Metrics.h_sum;
+        List.iter
+          (fun (b, n) -> pf "    >= %-10d %12d\n" (Metrics.bucket_lo b) n)
+          h.Metrics.h_nonzero)
+      s.Metrics.s_histograms
+  end;
+  Buffer.contents buf
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "workload: %s\n\n" r.rp_workload;
+  pf "%-18s %12s %12s %10s %10s %9s %6s\n" "variant" "eval-cycles" "prof-cycles"
+    "text-B" "profile-B" "overlap" "stale";
+  List.iter
+    (fun row ->
+      pf "%-18s %12Ld %12Ld %10d %10d %9s %6d\n" row.vr_variant row.vr_eval_cycles
+        row.vr_profiling_cycles row.vr_text_size row.vr_profile_size
+        (match row.vr_overlap with
+        | Some f -> Printf.sprintf "%6.1f%%" (f *. 100.0)
+        | None -> "n/a")
+        row.vr_stale_funcs)
+    r.rp_rows;
+  let m = metrics_to_text r.rp_metrics in
+  if m <> "" then begin
+    pf "\n";
+    Buffer.add_string buf m
+  end;
+  Buffer.contents buf

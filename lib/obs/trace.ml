@@ -1,0 +1,89 @@
+type event = { ev_ph : char; ev_name : string; ev_ts : int64 }
+
+type track = {
+  tk_tid : int;
+  tk_name : string;
+  tk_cursor : Clock.cursor;
+  mutable tk_events : event list;  (* newest first; reversed at export *)
+}
+
+type t = {
+  tr_clock : Clock.t;
+  tr_lock : Mutex.t;
+  mutable tr_tracks : track list;
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.wall () in
+  { tr_clock = clock; tr_lock = Mutex.create (); tr_tracks = [] }
+
+let deterministic t = Clock.is_fixed t.tr_clock
+
+let track t ~tid ~name =
+  let tk =
+    { tk_tid = tid; tk_name = name; tk_cursor = Clock.cursor t.tr_clock; tk_events = [] }
+  in
+  Mutex.lock t.tr_lock;
+  t.tr_tracks <- tk :: t.tr_tracks;
+  Mutex.unlock t.tr_lock;
+  tk
+
+let emit tk ph name =
+  tk.tk_events <-
+    { ev_ph = ph; ev_name = name; ev_ts = Clock.now_us tk.tk_cursor } :: tk.tk_events
+
+let begin_span tk name = emit tk 'B' name
+let end_span tk name = emit tk 'E' name
+let instant tk name = emit tk 'i' name
+
+let with_span tk name f =
+  begin_span tk name;
+  Fun.protect ~finally:(fun () -> end_span tk name) f
+
+let n_events t =
+  Mutex.lock t.tr_lock;
+  let n = List.fold_left (fun acc tk -> acc + List.length tk.tk_events) 0 t.tr_tracks in
+  Mutex.unlock t.tr_lock;
+  n
+
+let to_json t =
+  Mutex.lock t.tr_lock;
+  let tracks = t.tr_tracks in
+  Mutex.unlock t.tr_lock;
+  (* Export order is (tid, name), independent of registration order — the
+     byte-identity contract for fixed-clock traces across -j levels. *)
+  let tracks =
+    List.sort (fun a b -> compare (a.tk_tid, a.tk_name) (b.tk_tid, b.tk_name)) tracks
+  in
+  let events =
+    List.concat_map
+      (fun tk ->
+        let meta =
+          Json.Obj
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int 1);
+              ("tid", Json.Int tk.tk_tid);
+              ("args", Json.Obj [ ("name", Json.String tk.tk_name) ]);
+            ]
+        in
+        meta
+        :: List.rev_map
+             (fun ev ->
+               let base =
+                 [
+                   ("name", Json.String ev.ev_name);
+                   ("ph", Json.String (String.make 1 ev.ev_ph));
+                   ("ts", Json.Int (Int64.to_int ev.ev_ts));
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int tk.tk_tid);
+                 ]
+               in
+               Json.Obj (if ev.ev_ph = 'i' then base @ [ ("s", Json.String "t") ] else base))
+             tk.tk_events)
+      tracks
+  in
+  Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+
+let to_chrome_json t = Json.to_string (to_json t)

@@ -1,4 +1,5 @@
 module Fnv = Csspgo_support.Fnv
+module M = Csspgo_obs.Metrics
 
 type stats = {
   hits : int;
@@ -15,6 +16,11 @@ type t = {
   mutable c_misses : int;
   mutable c_stores : int;
   mutable c_corrupt : int;
+  (* registry handles, resolved once at creation *)
+  m_hit : M.counter;
+  m_miss : M.counter;
+  m_store : M.counter;
+  m_poisoned : M.counter;
 }
 
 let magic = "csspgo-cache 1"
@@ -26,7 +32,7 @@ let rec mkdir_p d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
-let create ?dir () =
+let create ?(metrics = M.null) ?dir () =
   Option.iter mkdir_p dir;
   {
     cdir = dir;
@@ -36,6 +42,10 @@ let create ?dir () =
     c_misses = 0;
     c_stores = 0;
     c_corrupt = 0;
+    m_hit = M.counter metrics "cache.hit";
+    m_miss = M.counter metrics "cache.miss";
+    m_store = M.counter metrics "cache.store";
+    m_poisoned = M.counter metrics "cache.poisoned";
   }
 
 let dir t = t.cdir
@@ -100,6 +110,7 @@ let find t ~kind ~key =
       match Hashtbl.find_opt t.mem (kind, join_key key) with
       | Some payload ->
           t.c_hits <- t.c_hits + 1;
+          M.incr t.m_hit;
           Some payload
       | None -> (
           let disk =
@@ -116,17 +127,23 @@ let find t ~kind ~key =
                     | Mismatch -> None
                     | Corrupt ->
                         t.c_corrupt <- t.c_corrupt + 1;
+                        M.incr t.m_poisoned;
                         (try Sys.remove path with Sys_error _ -> ());
                         None))
           in
           (match disk with
-          | Some _ -> t.c_hits <- t.c_hits + 1
-          | None -> t.c_misses <- t.c_misses + 1);
+          | Some _ ->
+              t.c_hits <- t.c_hits + 1;
+              M.incr t.m_hit
+          | None ->
+              t.c_misses <- t.c_misses + 1;
+              M.incr t.m_miss);
           disk))
 
 let store t ~kind ~key payload =
   locked t (fun () ->
       t.c_stores <- t.c_stores + 1;
+      M.incr t.m_store;
       Hashtbl.replace t.mem (kind, join_key key) payload;
       match entry_path t ~kind ~key with
       | None -> ()
@@ -152,7 +169,9 @@ let memo t ~kind ~key ~ser ~de f =
       match de payload with
       | v -> v
       | exception _ ->
-          locked t (fun () -> t.c_corrupt <- t.c_corrupt + 1);
+          locked t (fun () ->
+              t.c_corrupt <- t.c_corrupt + 1;
+              M.incr t.m_poisoned);
           recompute ())
 
 let stats t =

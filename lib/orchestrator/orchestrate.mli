@@ -1,6 +1,7 @@
 (** The build orchestrator: runs staged PGO plans ({!Csspgo_core.Driver.Plan})
     across OCaml 5 domains, with stage memoization through a shared
-    content-addressed {!Cache}.
+    content-addressed {!Cache} and optional telemetry through
+    {!Csspgo_obs}.
 
     Every plan is independent of every other, and all stage merges inside a
     plan happen in its fixed stage order, so parallel execution is
@@ -10,30 +11,53 @@
 type stats
 (** Mutex-protected cross-domain accumulator for the per-stage counters the
     plans emit through [Plan.hooks.stat] (samples streamed, sample-log
-    words, serialized profile bytes). *)
+    words, serialized profile bytes, reconstruction stats). *)
 
 val create_stats : unit -> stats
 
 val stats_list : stats -> (string * int) list
-(** Accumulated (counter name, total) pairs, sorted by name. *)
+(** Accumulated (counter name, total) pairs, {e sorted by counter name}.
+    The ordering is part of the contract: the underlying accumulator is an
+    unordered hash table whose iteration order depends on the parallel
+    schedule, so callers (and tests) rely on this list being identical for
+    identical counter multisets whatever [jobs] was. *)
 
-val hooks : ?stats:stats -> Cache.t -> Csspgo_core.Driver.Plan.hooks
+val plan_label : Csspgo_core.Driver.Plan.t -> string
+(** ["<workload>/<variant>"] — span and track naming for a plan. *)
+
+val hooks :
+  ?stats:stats ->
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?track:Csspgo_obs.Trace.track ->
+  Cache.t ->
+  Csspgo_core.Driver.Plan.hooks
 (** Memoization hooks backed by [cache]: stage values round-trip through the
     cache's byte store, so every hit is a fresh deserialized copy (safe to
     mutate, safe across domains). With [?stats], stage counters accumulate
-    there (cache hits included). *)
+    there (cache hits included); with [?metrics], the same counters also
+    land in the registry under a [plan.] prefix and the registry is handed
+    to the VM/correlator instruments; with [?track], every stage runs under
+    a span on that track. *)
 
 val run_plans :
   ?cache:Cache.t ->
   ?stats:stats ->
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
   jobs:int ->
   Csspgo_core.Driver.Plan.t list ->
   Csspgo_core.Driver.outcome list
-(** Execute plans on up to [jobs] domains; results in input order. *)
+(** Execute plans on up to [jobs] domains; results in input order. With
+    [?trace], each plan gets its own track (tid = plan index, name =
+    {!plan_label}), registered serially before scheduling, carrying one
+    whole-plan span plus one span per stage; on a fixed-clock trace the
+    exported bytes are identical for every [jobs] level. *)
 
 val run_matrix :
   ?cache:Cache.t ->
   ?stats:stats ->
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
   ?options:Csspgo_core.Driver.options ->
   jobs:int ->
   variants:Csspgo_core.Driver.variant list ->

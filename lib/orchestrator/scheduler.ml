@@ -1,3 +1,5 @@
+module Obs = Csspgo_obs
+
 type 'a deque = { lock : Mutex.t; mutable items : 'a list }
 
 let pop_front d =
@@ -27,38 +29,75 @@ let steal_back d =
   Mutex.unlock d.lock;
   r
 
-let map ~jobs f xs =
+let map ?metrics ?trace ~jobs f xs =
+  let m = Option.value metrics ~default:Obs.Metrics.null in
+  let c_tasks = Obs.Metrics.counter m "sched.tasks" in
+  let c_steals = Obs.Metrics.counter m "sched.steals" in
+  let g_depth = Obs.Metrics.gauge m "sched.queue-depth" in
   let n = List.length xs in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.map f xs
+  if jobs <= 1 then begin
+    Obs.Metrics.observe_gauge g_depth n;
+    List.map
+      (fun x ->
+        Obs.Metrics.incr c_tasks;
+        f x)
+      xs
+  end
   else begin
     let inputs = Array.of_list xs in
     let results = Array.make n None in
     let deques = Array.init jobs (fun _ -> { lock = Mutex.create (); items = [] }) in
     Array.iteri (fun i _ -> deques.(i mod jobs).items <- i :: deques.(i mod jobs).items) inputs;
-    Array.iter (fun d -> d.items <- List.rev d.items) deques;
-    let run i =
+    Array.iter
+      (fun d ->
+        d.items <- List.rev d.items;
+        Obs.Metrics.observe_gauge g_depth (List.length d.items))
+      deques;
+    let run_raw i =
+      Obs.Metrics.incr c_tasks;
       results.(i) <-
         Some (match f inputs.(i) with v -> Ok v | exception e -> Error e)
     in
-    let rec worker wid =
+    let run tk i =
+      match tk with
+      | Some tk ->
+          Obs.Trace.with_span tk (Printf.sprintf "task-%d" i) (fun () -> run_raw i)
+      | None -> run_raw i
+    in
+    (* Per-domain scheduler tracks are inherently schedule-dependent, so
+       they exist only on wall-clock traces; a deterministic (fixed-clock)
+       trace carries per-plan tracks only. *)
+    let domain_track wid =
+      match trace with
+      | Some tr when not (Obs.Trace.deterministic tr) ->
+          Some (Obs.Trace.track tr ~tid:(1000 + wid) ~name:(Printf.sprintf "domain-%d" wid))
+      | _ -> None
+    in
+    let rec worker wid tk =
       match pop_front deques.(wid) with
       | Some i ->
-          run i;
-          worker wid
+          run tk i;
+          worker wid tk
       | None ->
           let rec try_steal k =
             if k < jobs then
               match steal_back deques.((wid + k) mod jobs) with
               | Some i ->
-                  run i;
-                  worker wid
+                  Obs.Metrics.incr c_steals;
+                  run tk i;
+                  worker wid tk
               | None -> try_steal (k + 1)
           in
           try_steal 1
     in
-    let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
-    worker 0;
+    let domains =
+      Array.init (jobs - 1) (fun k ->
+          Domain.spawn (fun () ->
+              let wid = k + 1 in
+              worker wid (domain_track wid)))
+    in
+    worker 0 (domain_track 0);
     Array.iter Domain.join domains;
     Array.to_list results
     |> List.map (function

@@ -10,9 +10,22 @@
     memoization) the result list is identical whatever [jobs] is — parallel
     schedules only change completion order, never the merge order. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ~jobs f xs] evaluates [f] on every element of [xs] using up to
     [jobs] domains (clamped to [1 .. length xs]; [jobs <= 1] runs serially
     in the calling domain, spawning nothing). If any application raises,
     the exception of the smallest input index is re-raised after all
-    workers finish. *)
+    workers finish.
+
+    [metrics] receives [sched.tasks] (one per task run), [sched.steals]
+    (successful steals — schedule-dependent, always 0 serially) and the
+    [sched.queue-depth] gauge (max initial deque fill). [trace] adds one
+    [domain-N] track per worker with a [task-i] span per task — but only on
+    wall-clock traces: worker assignment is schedule-dependent, so
+    deterministic (fixed-clock) traces omit scheduler tracks entirely. *)

@@ -3,9 +3,11 @@ module Mach = Csspgo_codegen.Mach
 module P = Csspgo_profile
 module Counter = Csspgo_support.Counter
 
-let correlate_agg ?(name_of = fun _ -> None) ?index (b : Mach.binary) (agg : Ranges.agg) =
+let correlate_agg ?(name_of = fun _ -> None) ?index ?(obs = Csspgo_obs.Metrics.null)
+    (b : Mach.binary) (agg : Ranges.agg) =
   let totals = Ranges.addr_totals ?index b agg in
   let prof = P.Line_profile.create () in
+  let n_addrs = ref 0 and n_unmapped = ref 0 and n_calls = ref 0 in
   let name_for guid =
     match name_of guid with
     | Some n -> n
@@ -20,11 +22,13 @@ let correlate_agg ?(name_of = fun _ -> None) ?index (b : Mach.binary) (agg : Ran
   (* Line counts: max across instructions sharing a location. *)
   Counter.iter
     (fun addr total ->
+      incr n_addrs;
       match Mach.inst_at b addr with
-      | None -> ()
+      | None -> incr n_unmapped
       | Some inst ->
           let d = inst.Mach.i_dloc in
-          if not (Ir.Dloc.is_none d) then begin
+          if Ir.Dloc.is_none d then incr n_unmapped
+          else begin
             let fe = P.Line_profile.get_or_add prof d.Ir.Dloc.origin ~name:(name_for d.Ir.Dloc.origin) in
             P.Line_profile.set_line_max fe (d.Ir.Dloc.line, d.Ir.Dloc.disc) total
           end)
@@ -38,6 +42,7 @@ let correlate_agg ?(name_of = fun _ -> None) ?index (b : Mach.binary) (agg : Ran
           | Some total when Int64.compare total 0L > 0 ->
               let d = inst.Mach.i_dloc in
               if not (Ir.Dloc.is_none d) then begin
+                incr n_calls;
                 let fe =
                   P.Line_profile.get_or_add prof d.Ir.Dloc.origin
                     ~name:(name_for d.Ir.Dloc.origin)
@@ -57,7 +62,11 @@ let correlate_agg ?(name_of = fun _ -> None) ?index (b : Mach.binary) (agg : Ran
           fe.P.Line_profile.fe_head <- Int64.add fe.P.Line_profile.fe_head n
       | _ -> ())
     agg.Ranges.branch_counts;
+  let module M = Csspgo_obs.Metrics in
+  M.bump (M.counter obs "dwarf-corr.addrs") !n_addrs;
+  M.bump (M.counter obs "dwarf-corr.addrs-unmapped") !n_unmapped;
+  M.bump (M.counter obs "dwarf-corr.callsites") !n_calls;
   prof
 
-let correlate ?name_of (b : Mach.binary) samples =
-  correlate_agg ?name_of b (Ranges.aggregate samples)
+let correlate ?name_of ?obs (b : Mach.binary) samples =
+  correlate_agg ?name_of ?obs b (Ranges.aggregate samples)

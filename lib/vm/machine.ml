@@ -157,7 +157,7 @@ let decode (b : Mach.binary) =
 let icache_lines = 512 (* 512 * 64B = 32 KiB, direct-mapped *)
 
 let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addrs = false)
-    ?(fuel = 2_000_000_000L) ?sink ?(debug_poison = false) (b : Mach.binary) ~entry =
+    ?(fuel = 2_000_000_000L) ?sink ?(debug_poison = false) ?obs (b : Mach.binary) ~entry =
   let dops, entry_idx = decode b in
   let insts = b.Mach.insts in
   let n_inst = Array.length insts in
@@ -497,6 +497,21 @@ let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addr
       | _ -> next_sample := Int64.max_int)
     end
   done;
+  (* Telemetry fires once per run, off the interpreter loop. The rate
+     histogram uses virtual cycles (samples per Mcycle), so it is as
+     deterministic as the run itself. *)
+  (match obs with
+  | Some m when Csspgo_obs.Metrics.enabled m ->
+      let module M = Csspgo_obs.Metrics in
+      M.incr (M.counter m "vm.runs");
+      M.bump (M.counter m "vm.samples-flushed") !n_samples;
+      M.bump (M.counter m "vm.instructions") (Int64.to_int !instructions);
+      M.bump (M.counter m "vm.cycles") (Int64.to_int !cycles);
+      if !n_samples > 0 && Int64.compare !cycles 0L > 0 then
+        M.observe
+          (M.histogram m "vm.samples-per-mcycle")
+          (Int64.to_int (Int64.div (Int64.mul (Int64.of_int !n_samples) 1_000_000L) !cycles))
+  | _ -> ());
   {
     cycles = !cycles;
     instructions = !instructions;

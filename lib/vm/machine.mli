@@ -70,6 +70,7 @@ val run :
   ?fuel:int64 ->
   ?sink:sink ->
   ?debug_poison:bool ->
+  ?obs:Csspgo_obs.Metrics.t ->
   Csspgo_codegen.Mach.binary ->
   entry:string ->
   result
@@ -81,4 +82,9 @@ val run :
     before (an internal collect sink copies the scratches). With [sink],
     every sample is streamed through it, [result.samples] is [[]] and no
     per-sample allocation happens inside the VM. [debug_poison] (default
-    off) poisons the scratch buffers after each flush. *)
+    off) poisons the scratch buffers after each flush.
+
+    [obs] records per-run telemetry ([vm.runs], [vm.samples-flushed],
+    [vm.instructions], [vm.cycles], and a [vm.samples-per-mcycle]
+    histogram) once at the end of the run — the interpreter loop itself is
+    never instrumented. *)

@@ -363,6 +363,75 @@ let test_quality_metric () =
   let skewed = Core.Quality.block_overlap ~truth (mk [ 100L; 10L; 90L ]) in
   Alcotest.(check bool) "skewed < 1" true (skewed < 0.7)
 
+(* Degenerate inputs the report surface feeds the metric: unexecuted
+   programs, single-block functions, and profiles at very different sample
+   rates must not divide by zero or reward count magnitude. *)
+let test_quality_edge_cases () =
+  let mk counts =
+    let p = F.Lower.compile "fn main(a) { if (a > 0) { return 1; } return 2; }" in
+    Ir.Program.iter_funcs
+      (fun f -> ignore (Opt.Simplify.run ~config:Opt.Config.o2_nopgo f))
+      p;
+    let f = Ir.Program.func p "main" in
+    List.iteri
+      (fun i c ->
+        match Ir.Func.find_block f i with
+        | Some b -> b.Ir.Block.count <- c
+        | None -> ())
+      counts;
+    f.Ir.Func.annotated <- true;
+    p
+  in
+  let main p = Ir.Program.func p "main" in
+  (* zero total count on either side is "no data", not overlap 0 *)
+  Alcotest.(check bool) "zero-count truth -> None" true
+    (Core.Quality.func_overlap ~truth:(main (mk [ 0L; 0L; 0L ]))
+       (main (mk [ 1L; 1L; 1L ]))
+    = None);
+  Alcotest.(check bool) "zero-count candidate -> None" true
+    (Core.Quality.func_overlap ~truth:(main (mk [ 1L; 1L; 1L ]))
+       (main (mk [ 0L; 0L; 0L ]))
+    = None);
+  Alcotest.(check (float 0.0001)) "both sides unexecuted -> 0.0" 0.0
+    (Core.Quality.block_overlap ~truth:(mk [ 0L; 0L; 0L ]) (mk [ 0L; 0L; 0L ]));
+  (* a single executed block always overlaps itself fully *)
+  let single counts =
+    let p = F.Lower.compile "fn main(a) { return a; }" in
+    let f = Ir.Program.func p "main" in
+    List.iteri
+      (fun i c ->
+        match Ir.Func.find_block f i with
+        | Some b -> b.Ir.Block.count <- c
+        | None -> ())
+      counts;
+    f.Ir.Func.annotated <- true;
+    p
+  in
+  (match
+     Core.Quality.func_overlap
+       ~truth:(main (single [ 7L ]))
+       (main (single [ 1_000_000L ]))
+   with
+  | Some d -> Alcotest.(check (float 0.0001)) "single block = 1" 1.0 d
+  | None -> Alcotest.fail "single-block overlap missing");
+  (* the metric compares shapes, not magnitudes: a 100x-cheaper sampling
+     run with the same distribution scores 1.0 ... *)
+  (match
+     Core.Quality.func_overlap
+       ~truth:(main (mk [ 100L; 100L; 0L ]))
+       (main (mk [ 1L; 1L; 0L ]))
+   with
+  | Some d -> Alcotest.(check (float 0.0001)) "scaled asymmetry = 1" 1.0 d
+  | None -> Alcotest.fail "scaled overlap missing");
+  (* ... while misplaced mass costs exactly the misplaced fraction *)
+  match
+    Core.Quality.func_overlap
+      ~truth:(main (mk [ 100L; 0L; 0L ]))
+      (main (mk [ 50L; 50L; 0L ]))
+  with
+  | Some d -> Alcotest.(check (float 0.0001)) "half misplaced = 0.5" 0.5 d
+  | None -> Alcotest.fail "asymmetric overlap missing"
+
 let test_value_spec () =
   let src = "global d[4];\nfn main(n) { let s = 0; let i = 0; while (i < n) { s = s + (i + 100) / d[0]; i = i + 1; } return s; }" in
   let p = F.Lower.compile src in
@@ -461,6 +530,7 @@ let suite =
       Alcotest.test_case "algorithm 3 sizes" `Quick test_size_extract;
       Alcotest.test_case "algorithm 2 pre-inliner" `Slow test_preinliner_marks_hot_chain;
       Alcotest.test_case "block overlap metric" `Quick test_quality_metric;
+      Alcotest.test_case "overlap edge cases" `Quick test_quality_edge_cases;
       Alcotest.test_case "value specialization" `Quick test_value_spec;
       Alcotest.test_case "driver all variants" `Slow test_driver_all_variants_smoke;
       Alcotest.test_case "skid detection" `Quick test_skid_drops_samples;

@@ -15,4 +15,5 @@ let () =
       Test_pipeline.suite;
       Test_differential.suite;
       Test_fuzz.suite;
+      Test_obs.suite;
     ]

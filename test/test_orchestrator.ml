@@ -107,6 +107,38 @@ let test_malformed_plans () =
           (function D.Plan.Compile _ -> false | _ -> true)
           p.D.Plan.pl_stages))
 
+(* --- stats accumulator ordering -------------------------------------- *)
+
+let test_stats_list_ordering () =
+  (* stats_list promises name-sorted output whatever order (and from
+     whatever domains) the counters arrived in — the hash table underneath
+     has no usable iteration order. *)
+  let stats = O.Orchestrate.create_stats () in
+  let hooks = O.Orchestrate.hooks ~stats (O.Cache.create ()) in
+  let stat name n = hooks.D.Plan.stat ~name n in
+  List.iter
+    (fun (name, n) -> stat name n)
+    [ ("zeta", 1); ("alpha", 2); ("mid", 3); ("zeta", 10); ("alpha", 20) ];
+  Alcotest.(check (list (pair string int)))
+    "sorted by name, totals summed"
+    [ ("alpha", 22); ("mid", 3); ("zeta", 11) ]
+    (O.Orchestrate.stats_list stats);
+  (* concurrent bumps from several domains land in the same sorted shape *)
+  let stats2 = O.Orchestrate.create_stats () in
+  let hooks2 = O.Orchestrate.hooks ~stats:stats2 (O.Cache.create ()) in
+  let names = [ "w"; "q"; "a"; "m" ] in
+  let ds =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            List.iteri
+              (fun j name -> hooks2.D.Plan.stat ~name ((i * 10) + j))
+              names))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check (list string))
+    "names sorted after parallel feed" [ "a"; "m"; "q"; "w" ]
+    (List.map fst (O.Orchestrate.stats_list stats2))
+
 (* --- determinism: 1 / 2 / 4 domains --------------------------------- *)
 
 let test_determinism_across_jobs () =
@@ -181,6 +213,8 @@ let suite =
         test_scheduler_map;
       Alcotest.test_case "plan stage lists per variant" `Quick test_plan_shapes;
       Alcotest.test_case "malformed plans rejected" `Quick test_malformed_plans;
+      Alcotest.test_case "stats_list is name-sorted" `Quick
+        test_stats_list_ordering;
       Alcotest.test_case "1/2/4 domains byte-identical" `Slow
         test_determinism_across_jobs;
       Alcotest.test_case "cache poisoning degrades to rebuild" `Quick

@@ -83,6 +83,8 @@ let recording_hooks tbl mutex =
         end;
         v);
     stat = (fun ~name:_ _ -> ());
+    span = (fun ~name:_ f -> f ());
+    metrics = Csspgo_obs.Metrics.null;
   }
 
 let test_plan_identity_across_jobs () =
