@@ -2,7 +2,8 @@
    evaluation (§IV) on the simulated substrate, printing measured numbers
    next to the paper's reference values.
 
-   Usage: main.exe [fig6|fig7|fig8|fig9|table1|client|drift|ablation|orch|micro|pipeline|all]
+   Usage: main.exe
+     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -172,6 +173,171 @@ let drift () =
   pf "  checksum(comment edit)  = %Lx  -> profile still valid\n" (checksum commented);
   pf "  checksum(CFG change)    = %Lx  -> profile rejected for 'hot'\n"
     (checksum cfg_changed)
+
+(* ------------------------------------------------------------------ *)
+(* Stale-profile matching: recovery vs edit distance, per variant.      *)
+
+let stale () =
+  sep "Stale matching — recovery vs edit distance (Drift + Stale_match)";
+  pf "paper (§III.A): probe IDs keep correlating after the source drifts\n";
+  pf "underneath the profile, where line-based correlation silently decays.\n";
+  pf "Recovery = block overlap of the stale-matched build-N profile against\n";
+  pf "instrumentation ground truth on version N+1.\n\n";
+  let module O = Csspgo_orchestrator in
+  let workloads = [ W.Suite.adretriever; W.Suite.adfinder; W.Suite.haas ] in
+  let variants = [ D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ] in
+  let nv = List.length variants in
+  let distances = W.Drift.distances in
+  let seed_of wi = Int64.of_int ((7 * wi) + 11) in
+  let per_wl =
+    List.mapi
+      (fun wi (w : D.workload) ->
+        let seed = seed_of wi in
+        let drifts =
+          List.map (fun d -> (d, W.Drift.apply ~seed ~edits:d w.D.w_source)) distances
+        in
+        (w, seed, drifts))
+      workloads
+  in
+  (* One orchestrated batch with a shared in-memory cache: the build-N
+     profiling run of a (workload, variant) computes once, however many
+     drift distances consume it. *)
+  let plans =
+    List.concat_map
+      (fun ((w : D.workload), _, drifts) ->
+        List.concat_map
+          (fun (_, (dr : W.Drift.result)) ->
+            let w_new = { w with D.w_source = dr.W.Drift.dr_source } in
+            D.Plan.make ~variant:D.Instr_pgo w_new
+            :: List.map
+                 (fun v ->
+                   D.Plan.make_stale ~variant:v ~stale_source:dr.W.Drift.dr_source w)
+                 variants)
+          drifts)
+      per_wl
+  in
+  let outs =
+    Array.of_list
+      (O.Orchestrate.run_plans ~cache:(O.Cache.create ()) ~jobs:1 plans)
+  in
+  (* rows.(wi).(di).(vi) = (block overlap vs N+1 truth, count recovery) *)
+  let rows =
+    List.mapi
+      (fun wi ((w : D.workload), seed, drifts) ->
+        ( w,
+          seed,
+          List.mapi
+            (fun di (d, _) ->
+              let base = ((wi * List.length distances) + di) * (1 + nv) in
+              let truth = outs.(base).D.o_annotated in
+              ( d,
+                List.mapi
+                  (fun vi _ ->
+                    let o = outs.(base + 1 + vi) in
+                    let rr =
+                      match o.D.o_stale_report with
+                      | Some r -> Core.Stale_match.recovery_rate r
+                      | None -> 1.0
+                    in
+                    (Core.Quality.block_overlap ~truth o.D.o_annotated, rr))
+                  variants ))
+            drifts ))
+      per_wl
+  in
+  List.iter
+    (fun ((w : D.workload), seed, drow) ->
+      pf "%s (drift seed %Ld):\n" w.D.w_name seed;
+      pf "  %5s" "dist";
+      List.iter (fun v -> pf " %24s" (D.variant_name v)) variants;
+      pf "\n";
+      List.iter
+        (fun (d, cells) ->
+          pf "  %5d" d;
+          List.iter
+            (fun (ov, rr) -> pf "    %6.2f%% (counts %5.1f%%)" (ov *. 100.) (rr *. 100.))
+            cells;
+          pf "\n")
+        drow)
+    rows;
+  (* Aggregate curve: mean overlap across the corpus per (variant, distance). *)
+  let nw = float_of_int (List.length workloads) in
+  let mean di vi =
+    List.fold_left
+      (fun acc (_, _, drow) -> acc +. fst (List.nth (snd (List.nth drow di)) vi))
+      0.0 rows
+    /. nw
+  in
+  pf "\naggregate (mean overlap across %d workloads):\n" (List.length workloads);
+  pf "  %5s" "dist";
+  List.iter (fun v -> pf " %18s" (D.variant_name v)) variants;
+  pf "\n";
+  List.iteri
+    (fun di d ->
+      pf "  %5d" d;
+      List.iteri (fun vi _ -> pf "            %6.2f%%" (mean di vi *. 100.)) variants;
+      pf "\n")
+    distances;
+  (* JSON dump: per-workload and aggregate recovery curves. *)
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let float_list sel lst =
+    String.concat ", " (List.map (fun x -> Printf.sprintf "%.4f" (sel x)) lst)
+  in
+  bpf "{\n  \"distances\": [%s],\n"
+    (String.concat ", " (List.map string_of_int distances));
+  bpf "  \"workloads\": [\n";
+  List.iteri
+    (fun i ((w : D.workload), seed, drow) ->
+      bpf "    {\"name\": \"%s\", \"drift_seed\": %Ld,\n" w.D.w_name seed;
+      bpf "     \"overlap\": {";
+      List.iteri
+        (fun vi v ->
+          bpf "%s\"%s\": [%s]"
+            (if vi = 0 then "" else ", ")
+            (D.variant_name v)
+            (float_list (fun (_, cells) -> fst (List.nth cells vi)) drow))
+        variants;
+      bpf "},\n     \"count_recovery\": {";
+      List.iteri
+        (fun vi v ->
+          bpf "%s\"%s\": [%s]"
+            (if vi = 0 then "" else ", ")
+            (D.variant_name v)
+            (float_list (fun (_, cells) -> snd (List.nth cells vi)) drow))
+        variants;
+      bpf "}}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  bpf "  ],\n  \"aggregate_overlap\": {";
+  List.iteri
+    (fun vi v ->
+      bpf "%s\"%s\": [%s]"
+        (if vi = 0 then "" else ", ")
+        (D.variant_name v)
+        (String.concat ", "
+           (List.mapi (fun di _ -> Printf.sprintf "%.4f" (mean di vi)) distances)))
+    variants;
+  bpf "}\n}\n";
+  let oc = open_out "BENCH_stale.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote BENCH_stale.json\n";
+  (* The paper's stability claim, enforced: at every edit distance > 0 the
+     probe-based variants must recover strictly more aggregate overlap than
+     the DWARF baseline (variant 0). *)
+  List.iteri
+    (fun di d ->
+      if d > 0 then begin
+        let dwarf = mean di 0 in
+        List.iteri
+          (fun vi v ->
+            if vi > 0 && mean di vi <= dwarf then
+              failwith
+                (Printf.sprintf
+                   "stale: %s aggregate overlap %.4f not above dwarf %.4f at distance %d"
+                   (D.variant_name v) (mean di vi) dwarf d))
+          variants
+      end)
+    distances
 
 let ablation () =
   sep "Ablations — §III.B mitigations";
@@ -732,6 +898,7 @@ let () =
   | "table1" -> table1 ()
   | "client" -> client ()
   | "drift" -> drift ()
+  | "stale" -> stale ()
   | "ablation" -> ablation ()
   | "orch" -> orch ()
   | "micro" -> micro ()
@@ -745,6 +912,7 @@ let () =
       table1 ();
       client ();
       drift ();
+      stale ();
       ablation ();
       orch ();
       micro ();

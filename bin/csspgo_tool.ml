@@ -4,6 +4,7 @@
      compile  FILE     parse, optimize, emit; print binary statistics
      run      FILE     compile and execute main with integer arguments
      pgo      NAME     run PGO variant(s) end-to-end on a named workload
+     stale    NAME     drift the source, stale-match, report recovery
      report   NAME     all-variant quality report (text or JSON)
      probes   FILE     show the pseudo-probe metadata of a probed build
      contexts NAME     print the reconstructed context trie for a workload
@@ -207,39 +208,73 @@ let print_outcome variant (o : D.outcome) =
             d.Core.Preinliner.d_callee_name d.Core.Preinliner.d_count d.Core.Preinliner.d_size
             (List.length d.Core.Preinliner.d_context))
         o.D.o_preinline_decisions
-    end
+    end;
+    match o.D.o_stale_report with
+    | Some r ->
+        Printf.printf "stale matching (recovery %.4f):\n%s"
+          (Core.Stale_match.recovery_rate r)
+          (Core.Stale_match.report_to_string r)
+    | None -> ()
 
 let all_variants =
   [ D.Nopgo; D.Instr_pgo; D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ]
 
+let sampling_variants = [ D.Autofdo; D.Csspgo_probe_only; D.Csspgo_full ]
+
+let stale_seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "stale-seed" ] ~docv:"SEED" ~doc:"Seed for the source-drift edit script")
+
+let stale_edits_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "stale-edits" ] ~docv:"N"
+        ~doc:
+          "Apply N seeded edits to the source after profiling: the profile is \
+           stale-matched and the final build compiles the drifted version N+1 \
+           (0 = off)")
+
+(* With drift on, the sampling variants stale-match their build-N profile
+   onto the drifted source; the profile-free / exact variants simply build
+   version N+1 fresh, so every row evaluates the same final program. *)
+let stale_plan ~seed ~edits v (w : D.workload) =
+  if edits <= 0 then D.Plan.make ~variant:v w
+  else
+    let d = W.Drift.apply ~seed ~edits w.D.w_source in
+    match v with
+    | D.Autofdo | D.Csspgo_probe_only | D.Csspgo_full ->
+        D.Plan.make_stale ~variant:v ~stale_source:d.W.Drift.dr_source w
+    | D.Nopgo | D.Instr_pgo ->
+        D.Plan.make ~variant:v { w with D.w_source = d.W.Drift.dr_source }
+
 let pgo_cmd =
-  let run name variant all jobs cache_dir trace_file metrics_file fixed_clock =
+  let run name variant all jobs cache_dir trace_file metrics_file fixed_clock
+      stale_seed stale_edits =
     let w = Option.get (W.Suite.find name) in
     let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_file in
     let cache = cache_of_dir ?metrics cache_dir in
     let trace = mk_trace ~fixed:fixed_clock trace_file in
+    let plan v = stale_plan ~seed:stale_seed ~edits:stale_edits v w in
     if all then begin
-      let rows =
-        O.Orchestrate.run_matrix ?cache ?metrics ?trace ~jobs ~variants:all_variants
-          ~workloads:[ w ] ()
+      let outs =
+        O.Orchestrate.run_plans ?cache ?metrics ?trace ~jobs
+          (List.map plan all_variants)
       in
       Printf.printf "%-18s %12s %12s %10s %10s\n" "variant" "eval-cycles" "prof-cycles"
         "text-B" "profile-B";
-      List.iter
-        (fun (_, v, (o : D.outcome)) ->
+      List.iter2
+        (fun v (o : D.outcome) ->
           Printf.printf "%-18s %12Ld %12Ld %10d %10d\n" (D.variant_name v)
             o.D.o_eval.D.ev_cycles o.D.o_profiling_cycles o.D.o_text_size
             o.D.o_profile_size)
-        rows
+        all_variants outs
     end
     else begin
       (* The single-variant path rides the same run_plans wiring so --trace
          and --metrics observe it identically to --all. *)
       let o =
-        match
-          O.Orchestrate.run_plans ?cache ?metrics ?trace ~jobs:1
-            [ D.Plan.make ~variant w ]
-        with
+        match O.Orchestrate.run_plans ?cache ?metrics ?trace ~jobs:1 [ plan variant ] with
         | [ o ] -> o
         | _ -> assert false
       in
@@ -252,7 +287,77 @@ let pgo_cmd =
   Cmd.v
     (Cmd.info "pgo" ~doc:"Run PGO variant(s) end-to-end on a named workload")
     Term.(const run $ workload_arg $ variant_arg $ all_variants_flag $ jobs_arg
-          $ cache_dir_arg $ trace_arg $ metrics_arg $ fixed_clock_arg)
+          $ cache_dir_arg $ trace_arg $ metrics_arg $ fixed_clock_arg
+          $ stale_seed_arg $ stale_edits_arg)
+
+(* --- stale ----------------------------------------------------------- *)
+
+let stale_cmd =
+  let variant_opt_arg =
+    let variants =
+      [ ("autofdo", D.Autofdo); ("probe-only", D.Csspgo_probe_only);
+        ("csspgo", D.Csspgo_full) ]
+    in
+    Arg.(
+      value & opt (some (enum variants)) None
+      & info [ "variant" ] ~docv:"V"
+          ~doc:"autofdo | probe-only | csspgo (default: all three)")
+  in
+  let run name variant seed edits jobs cache_dir metrics_file =
+    let w = Option.get (W.Suite.find name) in
+    let drift = W.Drift.apply ~seed ~edits w.D.w_source in
+    let w_new = { w with D.w_source = drift.W.Drift.dr_source } in
+    Printf.printf "workload           %s\n" w.D.w_name;
+    Printf.printf "drift              seed %Ld, %d edits\n" seed
+      (List.length drift.W.Drift.dr_edits);
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (W.Drift.edit_to_string e))
+      drift.W.Drift.dr_edits;
+    let vs = match variant with Some v -> [ v ] | None -> sampling_variants in
+    let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_file in
+    let cache = cache_of_dir ?metrics cache_dir in
+    (* Per variant: the stale pipeline (profile on N, match + rebuild on N+1)
+       and the fresh pipeline on N+1; one instrumentation ground truth on N+1
+       anchors the block-overlap comparison. *)
+    let plans =
+      List.concat_map
+        (fun v ->
+          [
+            D.Plan.make_stale ~variant:v ~stale_source:drift.W.Drift.dr_source w;
+            D.Plan.make ~variant:v w_new;
+          ])
+        vs
+      @ [ D.Plan.make ~variant:D.Instr_pgo w_new ]
+    in
+    let outs = Array.of_list (O.Orchestrate.run_plans ?cache ?metrics ~jobs plans) in
+    let truth = outs.(2 * List.length vs) in
+    List.iteri
+      (fun i v ->
+        let st = outs.(2 * i) and fr = outs.((2 * i) + 1) in
+        let r = Option.get st.D.o_stale_report in
+        Printf.printf "== %s ==\n" (D.variant_name v);
+        print_string (Core.Stale_match.report_to_string r);
+        let rc =
+          Core.Quality.recovery ~truth:truth.D.o_annotated ~fresh:fr.D.o_annotated
+            st.D.o_annotated
+        in
+        Printf.printf "count recovery     %.4f\n" (Core.Stale_match.recovery_rate r);
+        Printf.printf "block overlap      stale %.4f  fresh %.4f  ratio %.4f\n"
+          rc.Core.Quality.rec_stale rc.Core.Quality.rec_fresh rc.Core.Quality.rec_ratio;
+        Printf.printf "eval cycles        stale %Ld  fresh %Ld\n"
+          st.D.o_eval.D.ev_cycles fr.D.o_eval.D.ev_cycles)
+      vs;
+    print_cache_stats cache;
+    export_metrics metrics metrics_file
+  in
+  Cmd.v
+    (Cmd.info "stale"
+       ~doc:
+         "Drift a workload's source with a seeded edit script, stale-match the \
+          build-N profile onto version N+1, and report recovery (verdicts, counts, \
+          block overlap vs a fresh N+1 profile)")
+    Term.(const run $ workload_arg $ variant_opt_arg $ stale_seed_arg
+          $ stale_edits_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
 
 (* --- report --------------------------------------------------------- *)
 
@@ -441,6 +546,18 @@ let fuzz_cmd =
       & info [ "no-stream-oracle" ]
           ~doc:"Skip the streaming-vs-materialized profile byte-identity oracle")
   in
+  let no_stale_arg =
+    Arg.(
+      value & flag
+      & info [ "no-stale-oracle" ]
+          ~doc:"Skip the stale-profile matching oracle family")
+  in
+  let fuzz_stale_edits_arg =
+    Arg.(
+      value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
+      & info [ "stale-edits" ] ~docv:"N"
+          ~doc:"Drift edit-script length for the stale-matching oracle")
+  in
   let max_failures_arg =
     Arg.(
       value & opt (some int) None
@@ -453,7 +570,7 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      max_failures inject jobs cache_dir metrics_file =
+      no_stale stale_edits max_failures inject jobs cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -464,6 +581,8 @@ let fuzz_cmd =
         cf_variants = not no_variants;
         cf_minimize = not no_minimize;
         cf_stream_oracle = not no_stream;
+        cf_stale_oracle = not no_stale;
+        cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
       }
@@ -506,8 +625,9 @@ let fuzz_cmd =
           against an -O0 reference, with test-case minimization")
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
-      $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ max_failures_arg
-      $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
+      $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
+      $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
+      $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 
@@ -542,6 +662,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; run_cmd; pgo_cmd; report_cmd; probes_cmd; contexts_cmd;
-            fuzz_cmd; cache_cmd;
+            compile_cmd; run_cmd; pgo_cmd; stale_cmd; report_cmd; probes_cmd;
+            contexts_cmd; fuzz_cmd; cache_cmd;
           ]))

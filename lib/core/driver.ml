@@ -71,6 +71,7 @@ type outcome = {
   o_preinline_decisions : Preinliner.decision list;
   o_binary : Cg.Mach.binary;
   o_profile_size : int;
+  o_stale_report : Stale_match.report option;
 }
 
 let compile (w : workload) = Frontend.Lower.compile w.w_source
@@ -203,11 +204,14 @@ module Plan = struct
 
   type evaluate_spec = { e_entry : string; e_eval : run_spec list }
 
+  type stale_spec = { st_source : string; st_probes : bool }
+
   type stage =
     | Compile of compile_spec
     | Instrument of instrument_spec
     | Profile_run of profile_run_spec
     | Correlate of correlate_spec
+    | Stale_apply of stale_spec
     | Preinline of preinline_spec
     | Rebuild of rebuild_spec
     | Evaluate of evaluate_spec
@@ -294,6 +298,29 @@ module Plan = struct
     in
     { pl_variant = variant; pl_workload = w; pl_options = options; pl_stages = stages }
 
+  (* The stale-profile plan: profile build N (the workload source), then
+     rebuild build N+1 ([stale_source]) against the matched profile. The
+     matcher runs between correlation and pre-inlining so the pre-inliner
+     decides on the trie the new build will actually replay. *)
+  let make_stale ?(options = default_options) ~variant ~stale_source (w : workload) =
+    (match variant with
+    | Nopgo | Instr_pgo ->
+        invalid_arg "Plan.make_stale: only sampling variants can go stale"
+    | Autofdo | Csspgo_probe_only | Csspgo_full -> ());
+    let base = make ~options ~variant w in
+    let probes =
+      match variant with Csspgo_probe_only | Csspgo_full -> true | _ -> false
+    in
+    let stages =
+      List.concat_map
+        (function
+          | Correlate _ as st ->
+              [ st; Stale_apply { st_source = stale_source; st_probes = probes } ]
+          | st -> [ st ])
+        base.pl_stages
+    in
+    { base with pl_stages = stages }
+
   type hooks = {
     memo :
       'a.
@@ -321,6 +348,7 @@ module Plan = struct
     | Instrument _ -> "instrument"
     | Profile_run _ -> "profile-run"
     | Correlate _ -> "correlate"
+    | Stale_apply _ -> "stale-apply"
     | Preinline _ -> "preinline"
     | Rebuild _ -> "rebuild"
     | Evaluate _ -> "evaluate"
@@ -415,6 +443,10 @@ module Plan = struct
     let recon = ref None in
     let decisions = ref [] in
     let stales = ref [] in
+    (* Source the final build compiles; Stale_apply retargets it at the
+       drifted "version N+1" while the profile stays from version N. *)
+    let rebuild_source = ref w.w_source in
+    let stale_report = ref None in
     let annotated = ref None in
     let final = ref None in
     let final_key = ref [] in
@@ -640,6 +672,41 @@ module Plan = struct
               profile_ser := mser v;
               profile_size := 8 * inst.in_map.Instrument.n_counters);
           hooks.stat ~name:"correlate.profile-bytes" (String.length !profile_ser)
+      | Stale_apply ss ->
+          (* The match target is the *pre-optimization* IR of the new build,
+             probed for the probe variants so checksums and callsite ids
+             exist to anchor on. *)
+          let target = Frontend.Lower.compile ss.st_source in
+          if ss.st_probes then Pseudo_probe.insert target;
+          let rep =
+            match !profile with
+            | Some (Prof_lines lp) ->
+                let lp', rep = Stale_match.match_line ~obs:hooks.metrics ~target lp in
+                profile := Some (Prof_lines lp');
+                profile_ser := P.Text_io.to_string (P.Text_io.Line_prof lp');
+                rep
+            | Some (Prof_probes pp) ->
+                let pp', rep = Stale_match.match_probe ~obs:hooks.metrics ~target pp in
+                profile := Some (Prof_probes pp');
+                profile_ser := P.Text_io.to_string (P.Text_io.Probe_prof pp');
+                rep
+            | Some (Prof_ctx { x_trie; x_flat }) ->
+                let trie', rep = Stale_match.match_ctx ~obs:hooks.metrics ~target x_trie in
+                (* The flat quality baseline must survive the same drift; its
+                   verdicts would double-count the trie's, so no obs here. *)
+                let flat', _ = Stale_match.match_probe ~target x_flat in
+                profile := Some (Prof_ctx { x_trie = trie'; x_flat = flat' });
+                profile_ser := P.Text_io.to_string (P.Text_io.Ctx_prof trie');
+                rep
+            | Some (Prof_counters _) | None ->
+                invalid_arg "Plan.run: Stale_apply requires a correlated sampling profile"
+          in
+          stale_report := Some rep;
+          rebuild_source := ss.st_source;
+          hooks.stat ~name:"stale.counts-recovered"
+            (Int64.to_int rep.Stale_match.r_recovered);
+          hooks.stat ~name:"stale.counts-dropped"
+            (Int64.to_int rep.Stale_match.r_dropped_counts)
       | Preinline { pi_config } -> (
           match !profile with
           | Some (Prof_ctx { x_trie; _ }) ->
@@ -660,7 +727,7 @@ module Plan = struct
               profile_ser := P.Text_io.to_string (P.Text_io.Ctx_prof x_trie)
           | _ -> () (* no context trie: nothing to pre-inline *))
       | Rebuild rs ->
-          let prog = Frontend.Lower.compile w.w_source in
+          let prog = Frontend.Lower.compile !rebuild_source in
           if rs.r_probes then Pseudo_probe.insert prog;
           (match rs.r_prepass with
           | Some config -> Opt.Pass.optimize ~config prog
@@ -682,12 +749,12 @@ module Plan = struct
              correlation mechanism Table I's "CSSPGO" row measures. *)
           (match !profile with
           | Some (Prof_ctx { x_flat; _ }) ->
-              let qp = Frontend.Lower.compile w.w_source in
+              let qp = Frontend.Lower.compile !rebuild_source in
               Pseudo_probe.insert qp;
               ignore (Annotate.probes x_flat qp);
               annotated := Some qp
           | _ -> annotated := Some (Ir.Program.copy prog));
-          let key = [ src_fp; fp rs; fp_string !profile_ser ] in
+          let key = [ fp_string !rebuild_source; fp rs; fp_string !profile_ser ] in
           final_key := key;
           let bin =
             hooks.memo ~kind:"final-build" ~key ~ser:mser ~de:mde (fun () ->
@@ -734,6 +801,7 @@ module Plan = struct
           o_preinline_decisions = !decisions;
           o_binary = bin;
           o_profile_size = !profile_size;
+          o_stale_report = !stale_report;
         }
     | _ -> invalid_arg "Plan.run: plan must end with Rebuild and Evaluate stages"
 end

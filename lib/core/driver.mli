@@ -61,6 +61,8 @@ type outcome = {
   o_preinline_decisions : Preinliner.decision list;
   o_binary : Csspgo_codegen.Mach.binary;
   o_profile_size : int;                (** serialized profile estimate, bytes *)
+  o_stale_report : Stale_match.report option;
+      (** present iff the plan ran a [Stale_apply] stage *)
 }
 
 (** {1 Staged build plans}
@@ -114,11 +116,22 @@ module Plan : sig
 
   type evaluate_spec = { e_entry : string; e_eval : run_spec list }
 
+  type stale_spec = {
+    st_source : string;
+        (** the drifted "version N+1" MiniC source; also replaces the plan's
+            workload source for the final [Rebuild] *)
+    st_probes : bool;  (** insert pseudo-probes into the match target *)
+  }
+  (** Stale-profile matching stage: the profile correlated so far (from the
+      {e old} source) is re-anchored onto the pre-opt IR of [st_source] via
+      {!Stale_match}, and the final build compiles [st_source]. *)
+
   type stage =
     | Compile of compile_spec
     | Instrument of instrument_spec
     | Profile_run of profile_run_spec
     | Correlate of correlate_spec
+    | Stale_apply of stale_spec
     | Preinline of preinline_spec
     | Rebuild of rebuild_spec
     | Evaluate of evaluate_spec
@@ -134,6 +147,13 @@ module Plan : sig
   (** The staged equivalent of the old monolithic [run_variant] recipes:
       every variant becomes an explicit stage list ending in
       [Rebuild; Evaluate]. *)
+
+  val make_stale :
+    ?options:options -> variant:variant -> stale_source:string -> workload -> t
+  (** {!make}, with a [Stale_apply stale_source] stage inserted directly
+      after [Correlate] — profile on [w.w_source], match against and rebuild
+      [stale_source]. Only meaningful for sampling variants; raises
+      [Invalid_argument] for [Nopgo] / [Instr_pgo]. *)
 
   type hooks = {
     memo :
@@ -179,8 +199,8 @@ module Plan : sig
 
   val stage_name : stage -> string
   (** Stable lower-case stage label: ["compile"], ["instrument"],
-      ["profile-run"], ["correlate"], ["preinline"], ["rebuild"],
-      ["evaluate"]. Used as span names and in reports. *)
+      ["profile-run"], ["correlate"], ["stale-apply"], ["preinline"],
+      ["rebuild"], ["evaluate"]. Used as span names and in reports. *)
 
   val run : ?hooks:hooks -> t -> outcome
   (** Interpret the stages in order. Raises [Invalid_argument] on malformed

@@ -34,3 +34,13 @@ let block_overlap ~(truth : Ir.Program.t) (cand : Ir.Program.t) =
           | _ -> ()))
     cand;
   if !total_weight <= 0.0 then 0.0 else !acc /. !total_weight
+
+type recovery = { rec_stale : float; rec_fresh : float; rec_ratio : float }
+
+let recovery ~truth ~fresh stale =
+  let rec_stale = block_overlap ~truth stale in
+  let rec_fresh = block_overlap ~truth fresh in
+  (* Guard the ratio: a fresh profile with zero overlap (unexecuted
+     workload, fully dropped annotation) must not yield NaN or inf. *)
+  let rec_ratio = if rec_fresh > 0.0 then rec_stale /. rec_fresh else 1.0 in
+  { rec_stale; rec_fresh; rec_ratio }

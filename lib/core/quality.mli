@@ -10,5 +10,27 @@ val func_overlap : truth:Csspgo_ir.Func.t -> Csspgo_ir.Func.t -> float option
 (** [None] when either side has zero total count. *)
 
 val block_overlap : truth:Csspgo_ir.Program.t -> Csspgo_ir.Program.t -> float
-(** Programs must contain the same functions with the same CFGs (same
-    source, same lowering). Result in [0, 1]. *)
+(** Result in [0, 1]. Tolerates mismatched function and block sets (the
+    stale-matching scenario): functions missing on either side and blocks
+    present in only one CFG simply contribute no overlap — fractions are
+    normalized per side, so nothing divides by zero. [0.0] when no function
+    pair carries counts on both sides ("no data", matching the
+    {!func_overlap} [None] convention). *)
+
+type recovery = {
+  rec_stale : float;  (** overlap of the stale-matched profile vs truth *)
+  rec_fresh : float;  (** overlap of the fresh N+1 profile vs truth *)
+  rec_ratio : float;
+      (** [rec_stale / rec_fresh]; 1.0 when the fresh overlap is zero
+          (nothing to lose — avoids NaN/inf on unexecuted inputs). May
+          exceed 1.0 when the stale profile happens to beat the fresh one. *)
+}
+
+val recovery :
+  truth:Csspgo_ir.Program.t ->
+  fresh:Csspgo_ir.Program.t ->
+  Csspgo_ir.Program.t ->
+  recovery
+(** How much of a fresh build-N+1 profile's quality a stale-matched
+    build-N profile recovers, all three annotated onto (structurally
+    compatible) pre-opt IR of the new source. *)

@@ -1,0 +1,90 @@
+(** Stale-profile matching: re-anchor a profile collected on binary N onto
+    the IR of binary N+1 (§III.A's source-drift scenario, cf. LLVM's
+    stale-profile matcher).
+
+    The matcher never invents or silently loses a count: every input count
+    is either transferred to a location of the target program (possibly at
+    a different probe id / line key — "fuzzily reassigned") or explicitly
+    dropped, and the per-function {!verdict}s account for both sides, so
+    [v_total_in = v_recovered + v_dropped] always holds.
+
+    {b Pseudo-probe profiles} use probe-ID anchor matching under a
+    function-checksum guard: when the CFG-shape checksum recorded in the
+    profile still matches the target function, every probe id is carried
+    over unchanged ([Exact]); on a mismatch, callsite probes are re-anchored
+    by callee GUID (call sites calling the same function are aligned in
+    order) and block probes keep their id when it still names a block in the
+    new function. The matched profile is stamped with the {e new} checksum,
+    so downstream annotation ({!Annotate.probes}) accepts it.
+
+    {b Line profiles} (the DWARF/AutoFDO shape) have no checksums: call
+    sites are anchored by callee GUID, non-anchor keys are shifted by the
+    nearest preceding anchor's line delta, and keys that still miss fall
+    back to the nearest valid (line, discriminator) within a small radius.
+    This decays under drift — which is the paper's point.
+
+    {b Context tries} apply the probe matcher at every context node and
+    remap the (callsite, callee) frame keys along each context chain; a
+    node whose chain can no longer be spelled in the new binary drops with
+    its subtree.
+
+    Functions whose GUID no longer exists (renamed or removed) are
+    [Dropped] wholesale. All outputs are deterministic: verdicts are sorted
+    by function name and matched profiles serialize canonically through
+    {!Csspgo_profile.Text_io}. *)
+
+type status = Exact | Fuzzy | Dropped
+
+val status_name : status -> string
+
+type verdict = {
+  v_name : string;
+  v_guid : Csspgo_ir.Guid.t;
+  v_status : status;
+  v_total_in : int64;  (** counts in the input profile for this function *)
+  v_recovered : int64;  (** transferred onto the target program *)
+  v_dropped : int64;  (** invariant: [v_total_in = v_recovered + v_dropped] *)
+}
+
+type report = {
+  r_verdicts : verdict list;  (** sorted by function name *)
+  r_exact : int;
+  r_fuzzy : int;
+  r_dropped : int;
+  r_total_in : int64;
+  r_recovered : int64;
+  r_dropped_counts : int64;
+}
+
+val report_to_string : report -> string
+(** Multi-line human rendering: one row per verdict plus a totals line. *)
+
+val recovery_rate : report -> float
+(** [r_recovered / r_total_in]; 1.0 when the input profile is empty. *)
+
+(** Each matcher takes the {e pre-optimization} IR of the new build as
+    [target] — probe matchers require {!Pseudo_probe.insert} to have run on
+    it (checksums and probe ids present), the line matcher only needs debug
+    locations — and emits [stale.*] counters to [obs]. *)
+
+val match_probe :
+  ?obs:Csspgo_obs.Metrics.t ->
+  target:Csspgo_ir.Program.t ->
+  Csspgo_profile.Probe_profile.t ->
+  Csspgo_profile.Probe_profile.t * report
+
+val match_line :
+  ?obs:Csspgo_obs.Metrics.t ->
+  target:Csspgo_ir.Program.t ->
+  Csspgo_profile.Line_profile.t ->
+  Csspgo_profile.Line_profile.t * report
+
+val match_ctx :
+  ?obs:Csspgo_obs.Metrics.t ->
+  target:Csspgo_ir.Program.t ->
+  Csspgo_profile.Ctx_profile.t ->
+  Csspgo_profile.Ctx_profile.t * report
+(** Per-function verdicts aggregate over a function's context nodes:
+    [Exact] iff every node matched exactly, [Dropped] iff every node
+    dropped, [Fuzzy] otherwise. Pre-inliner marks ([n_inlined]) are
+    preserved on matched nodes. *)

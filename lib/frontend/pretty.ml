@@ -1,0 +1,101 @@
+open Ast
+module T = Csspgo_ir.Types
+
+let binop_str = function
+  | Arith T.Add -> "+"
+  | Arith T.Sub -> "-"
+  | Arith T.Mul -> "*"
+  | Arith T.Div -> "/"
+  | Arith T.Rem -> "%"
+  | Arith T.And -> "&"
+  | Arith T.Or -> "|"
+  | Arith T.Xor -> "^"
+  | Arith T.Shl -> "<<"
+  | Arith T.Shr -> ">>"
+  | Compare T.Eq -> "=="
+  | Compare T.Ne -> "!="
+  | Compare T.Lt -> "<"
+  | Compare T.Le -> "<="
+  | Compare T.Gt -> ">"
+  | Compare T.Ge -> ">="
+  | Log_and -> "&&"
+  | Log_or -> "||"
+
+let rec expr e =
+  match e.e with
+  | Int v ->
+      (* The lexer has no negative literals; a negative constant (only
+         reachable through constant folding on an edited AST) must print
+         as an expression that re-parses to the same value. *)
+      if Int64.compare v 0L >= 0 then Int64.to_string v
+      else Printf.sprintf "(0 - %Ld)" (Int64.neg v)
+  | Var name -> name
+  | Binary (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr a) (binop_str op) (expr b)
+  | Unary (Neg, a) -> Printf.sprintf "(- %s)" (expr a)
+  | Unary (Not, a) -> Printf.sprintf "(! %s)" (expr a)
+  | Call (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr args))
+  | Index (name, idx) -> Printf.sprintf "%s[%s]" name (expr idx)
+
+let rec stmt buf indent st =
+  let pad = String.make (2 * indent) ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  match st.s with
+  | Let (name, e) -> line "let %s = %s;" name (expr e)
+  | Assign (name, e) -> line "%s = %s;" name (expr e)
+  | Store (name, idx, v) -> line "%s[%s] = %s;" name (expr idx) (expr v)
+  | If (cond, then_, []) ->
+      line "if (%s) {" (expr cond);
+      block buf (indent + 1) then_;
+      line "}"
+  | If (cond, then_, else_) ->
+      line "if (%s) {" (expr cond);
+      block buf (indent + 1) then_;
+      line "} else {";
+      block buf (indent + 1) else_;
+      line "}"
+  | While (cond, body) ->
+      line "while (%s) {" (expr cond);
+      block buf (indent + 1) body;
+      line "}"
+  | Switch (scrut, cases, default) ->
+      line "switch (%s) {" (expr scrut);
+      List.iter
+        (fun (v, body) ->
+          line "case %Ld:" v;
+          block buf (indent + 1) body)
+        cases;
+      if default <> [] then begin
+        line "default:";
+        block buf (indent + 1) default
+      end;
+      line "}"
+  | Return e -> line "return %s;" (expr e)
+  | Expr e -> line "%s;" (expr e)
+  | Break -> line "break;"
+  | Continue -> line "continue;"
+
+and block buf indent stmts = List.iter (stmt buf indent) stmts
+
+let program p =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, size) -> Buffer.add_string buf (Printf.sprintf "global %s[%d];\n" name size))
+    p.pglobals;
+  (* The parser attributes functions to the most recent [module] header,
+     defaulting to "main"; replay the headers at attribution changes. *)
+  let current = ref "main" in
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      if not (String.equal f.fmodule !current) then begin
+        Buffer.add_string buf (Printf.sprintf "module %s;\n" f.fmodule);
+        current := f.fmodule
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "fn %s(%s) {\n" f.fname (String.concat ", " f.fparams));
+      block buf 1 f.fbody;
+      Buffer.add_string buf "}\n")
+    p.pfns;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Render a MiniC AST back to concrete syntax.
+
+    The output re-parses ({!Parser.parse}) to a program with the same
+    semantics: every statement is printed on its own line so lowering
+    assigns distinct (function-relative) debug lines, expressions are
+    fully parenthesized so no precedence information is lost, and
+    [module] headers are re-emitted whenever the module attribution
+    changes between consecutive function definitions.
+
+    Line {e numbers} are not preserved — the printer lays source out
+    fresh — which is exactly what the source-drift model
+    ({!Csspgo_workloads.Drift}) wants: an edited AST printed through
+    here behaves like a new revision of the file, with every statement
+    below an insertion point shifted to a new line. *)
+
+val program : Ast.program -> string
+(** Concrete syntax for a whole program: globals, then functions in
+    definition order. Ends with a newline. *)
+
+val expr : Ast.expr -> string
+(** One expression, fully parenthesized (atoms excepted). *)

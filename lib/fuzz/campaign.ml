@@ -83,6 +83,7 @@ type site =
   | Variant of D.variant
   | Quality
   | Stream of D.variant
+  | Stale of { sl_variant : D.variant option; sl_drift_seed : int64; sl_edits : int }
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -90,6 +91,15 @@ let site_to_string = function
   | Variant v -> "pgo variant " ^ D.variant_name v
   | Quality -> "probe-vs-instrumentation profile quality"
   | Stream v -> "streaming-vs-materialized profile (" ^ D.variant_name v ^ ")"
+  | Stale s ->
+      (* Both seeds in the message: the campaign seed is on the FAIL line,
+         the edit-script seed here, so any staleness counterexample replays
+         from the CLI in one command. *)
+      Printf.sprintf "stale matching %s (drift seed %Ld, %d edits)"
+        (match s.sl_variant with
+        | Some v -> D.variant_name v
+        | None -> "probe-vs-dwarf recovery")
+        s.sl_drift_seed s.sl_edits
 
 type failure = {
   fl_seed : int64;
@@ -114,6 +124,12 @@ type config = {
   cf_max_failures : int option;  (** stop the campaign after this many *)
   cf_stream_oracle : bool;
       (** streaming-vs-materialized profile byte-identity differential *)
+  cf_stale_oracle : bool;
+      (** stale-profile matching oracle family: drift the source with a
+          seeded edit script, stale-match, and check that matching never
+          crashes, the stale-built binary computes the drifted program's
+          -O0 result, and probe recovery >= DWARF recovery *)
+  cf_stale_edits : int;      (** drift edit-script length for the oracle *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -131,6 +147,8 @@ let default_config =
     cf_minimize = true;
     cf_max_failures = None;
     cf_stream_oracle = true;
+    cf_stale_oracle = true;
+    cf_stale_edits = 3;
     cf_inject = None;
   }
 
@@ -337,6 +355,73 @@ let check_quality cfg ?on_overlap ~truth ~cand ~pcycles () =
                cfg.cf_quality_floor ))
   end
 
+(* Stale-matching oracle family. Drift the source with a seeded edit script
+   (seed derived from the campaign seed, decoupled from the generation and
+   plan streams), then for each sampling variant run the stale pipeline —
+   profile version N, match + rebuild version N+1 — and check:
+   - matching and the stale-guided rebuild never crash;
+   - the stale-built binary computes the drifted program's own -O0 result
+     (drift edits may legitimately change semantics, so the N+1 reference
+     is the oracle, not the original one);
+   - count recovery of the probe matcher is never below the DWARF matcher's
+     (the paper's stability claim), once the profiling run was long enough
+     to carry signal. *)
+let drift_seed_of seed = Int64.logxor seed 0xC3A5C85C97CB3127L
+
+let check_stale ?hooks ?cache cfg ~seed src args =
+  let drift_seed = drift_seed_of seed in
+  let edits = cfg.cf_stale_edits in
+  let site v = Stale { sl_variant = v; sl_drift_seed = drift_seed; sl_edits = edits } in
+  let d =
+    guarded_build (site None) (fun () ->
+        W.Drift.apply ~seed:drift_seed ~edits src)
+  in
+  let new_src = d.W.Drift.dr_source in
+  let new_ref =
+    let bin = guarded_build (site None) (fun () -> build_reference ?cache new_src) in
+    guarded_run (site None) (fun () -> run_bin ~fuel:cfg.cf_fuel bin args)
+  in
+  let w = workload_of ~seed src args in
+  let check v =
+    let o =
+      guarded_build (site (Some v)) (fun () ->
+          D.Plan.run ?hooks
+            (D.Plan.make_stale ~options:driver_options ~variant:v
+               ~stale_source:new_src w))
+    in
+    let r =
+      guarded_run (site (Some v)) (fun () ->
+          run_bin ~fuel:(Int64.mul 4L cfg.cf_fuel) o.D.o_binary args)
+    in
+    if not (Int64.equal r new_ref) then
+      raise
+        (Fail
+           ( Result_mismatch,
+             site (Some v),
+             Printf.sprintf "N+1 reference=%Ld stale %s=%Ld" new_ref
+               (D.variant_name v) r ));
+    o
+  in
+  let o_dwarf = check D.Autofdo in
+  let o_probe = check D.Csspgo_probe_only in
+  let (_ : D.outcome) = check D.Csspgo_full in
+  let period = Int64.of_int driver_options.D.pmu.Vm.Machine.sample_period in
+  let expected_samples = Int64.div o_probe.D.o_profiling_cycles period in
+  let rate (o : D.outcome) =
+    match o.D.o_stale_report with
+    | Some r -> Core.Stale_match.recovery_rate r
+    | None -> 1.0
+  in
+  if Int64.compare expected_samples quality_min_samples >= 0 then begin
+    let pr = rate o_probe and dr = rate o_dwarf in
+    if pr +. 1e-9 < dr then
+      raise
+        (Fail
+           ( Quality_low,
+             site None,
+             Printf.sprintf "probe recovery %.4f below dwarf recovery %.4f" pr dr ))
+  end
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -369,6 +454,9 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         check_quality cfg ?on_overlap ~truth ~cand:cand_o.D.o_annotated
           ~pcycles:cand_o.D.o_profiling_cycles ()
     | Some (Stream v) -> check_stream v ~seed src
+    | Some (Stale _) ->
+        (* The whole family replays: minimization only needs "same kind". *)
+        check_stale ?hooks ?cache cfg ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -387,7 +475,9 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
             ~pcycles:cand_o.D.o_profiling_cycles ()
         end;
         if cfg.cf_stream_oracle then
-          List.iter (fun v -> check_stream v ~seed src) stream_variants);
+          List.iter (fun v -> check_stream v ~seed src) stream_variants;
+        if cfg.cf_stale_oracle && cfg.cf_stale_edits > 0 then
+          check_stale ?hooks ?cache cfg ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -429,10 +519,13 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
+    (if cfg.cf_stale_oracle then "" else " --no-stale-oracle")
+    (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
+     else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""
      else Printf.sprintf " --quality-floor %g" cfg.cf_quality_floor)
     (* a custom cf_inject is not expressible on the CLI; --inject-bug is

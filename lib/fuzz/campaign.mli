@@ -16,7 +16,15 @@
     - {b streaming identity}: the zero-materialization sink pipeline
       produces byte-identical canonical profile dumps to the materialized
       sample-list pipeline ([Core.Driver.profile_pipeline_texts], AutoFDO
-      and full CSSPGO).
+      and full CSSPGO);
+    - {b stale matching}: the source is drifted with a seeded edit script
+      ([Workloads.Drift], seed derived from the campaign seed) and each
+      sampling variant stale-matches its build-N profile onto version N+1
+      ([Core.Stale_match]) — matching must never crash, the stale-built
+      binary must compute the drifted program's own -O0 result, and the
+      probe matcher's count recovery must never fall below the DWARF
+      matcher's. Failure sites carry the edit-script seed and length, so
+      every counterexample replays from the CLI in one command.
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -48,6 +56,12 @@ type site =
   | Stream of Csspgo_core.Driver.variant
       (** streaming-vs-materialized profile byte-identity
           ({!Csspgo_core.Driver.profile_pipeline_texts}) *)
+  | Stale of {
+      sl_variant : Csspgo_core.Driver.variant option;
+          (** [None] for the probe-vs-DWARF recovery comparison *)
+      sl_drift_seed : int64;  (** the edit-script seed ([Workloads.Drift]) *)
+      sl_edits : int;
+    }  (** stale-profile matching against a drifted source *)
 
 val site_to_string : site -> string
 
@@ -71,6 +85,8 @@ type config = {
   cf_minimize : bool;
   cf_max_failures : int option;
   cf_stream_oracle : bool;
+  cf_stale_oracle : bool;
+  cf_stale_edits : int;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

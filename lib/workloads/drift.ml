@@ -1,0 +1,567 @@
+module F = Csspgo_frontend
+module Ast = F.Ast
+module Rng = Csspgo_support.Rng
+
+type edit =
+  | Insert_stmt of { in_fn : string; at_line : int }
+  | Insert_block of { in_fn : string; at_line : int }
+  | Delete_stmt of { in_fn : string; at_line : int }
+  | Add_fn of { name : string }
+  | Remove_fn of { name : string }
+  | Rename_fn of { old_name : string; new_name : string; call_sites : int }
+  | Reorder_defs of { moved : string }
+  | Retarget_call of { in_fn : string; old_callee : string; new_callee : string }
+
+let edit_to_string = function
+  | Insert_stmt { in_fn; at_line } ->
+      Printf.sprintf "insert-stmt %s@%d" in_fn at_line
+  | Insert_block { in_fn; at_line } ->
+      Printf.sprintf "insert-block %s@%d" in_fn at_line
+  | Delete_stmt { in_fn; at_line } ->
+      Printf.sprintf "delete-stmt %s@%d" in_fn at_line
+  | Add_fn { name } -> Printf.sprintf "add-fn %s" name
+  | Remove_fn { name } -> Printf.sprintf "remove-fn %s" name
+  | Rename_fn { old_name; new_name; call_sites } ->
+      Printf.sprintf "rename-fn %s->%s (%d call sites)" old_name new_name call_sites
+  | Reorder_defs { moved } -> Printf.sprintf "reorder-defs %s" moved
+  | Retarget_call { in_fn; old_callee; new_callee } ->
+      Printf.sprintf "retarget-call %s: %s->%s" in_fn old_callee new_callee
+
+type result = { dr_source : string; dr_edits : edit list }
+
+let distances = [ 0; 1; 2; 4; 8 ]
+
+(* The entry function is never removed or renamed: the driver looks it up by
+   name, and the whole point of drift is a program the old profile can still
+   be replayed against. *)
+let entry_name = "main"
+
+(* ------------------------------------------------------------------ *)
+(* AST traversal helpers.                                             *)
+(*                                                                    *)
+(* Blocks inside one function body are numbered in DFS pre-order; the *)
+(* numbering is the contract between candidate collection and the     *)
+(* rewrite pass, which both walk the unedited tree in the same order. *)
+(* ------------------------------------------------------------------ *)
+
+(* All rewrite passes below mirror a stateful enumeration pass (block
+   numbering, expression occurrence counting), so every recursive call must
+   happen left to right. OCaml evaluates constructor and tuple arguments
+   right to left — sequence explicitly with [let] and use this in-order map
+   instead of relying on [List.map]'s application order. *)
+let rec map_in_order f = function
+  | [] -> []
+  | x :: tl ->
+      let y = f x in
+      let rest = map_in_order f tl in
+      y :: rest
+
+let iter_blocks (body : Ast.block) (f : int -> Ast.block -> unit) =
+  let next = ref 0 in
+  let rec go_block b =
+    let id = !next in
+    incr next;
+    f id b;
+    List.iter go_stmt b
+  and go_stmt (st : Ast.stmt) =
+    match st.s with
+    | If (_, t, e) ->
+        go_block t;
+        go_block e
+    | While (_, b) -> go_block b
+    | Switch (_, cases, d) ->
+        List.iter (fun (_, b) -> go_block b) cases;
+        go_block d
+    | _ -> ()
+  in
+  go_block body
+
+let rewrite_block (body : Ast.block) ~target (edit : Ast.block -> Ast.block) =
+  let next = ref 0 in
+  let rec go_block b =
+    let id = !next in
+    incr next;
+    let b = if id = target then edit b else b in
+    map_in_order go_stmt b
+  and go_stmt (st : Ast.stmt) : Ast.stmt =
+    match st.s with
+    | If (c, t, e) ->
+        let t = go_block t in
+        let e = go_block e in
+        { st with s = If (c, t, e) }
+    | While (c, b) -> { st with s = While (c, go_block b) }
+    | Switch (c, cases, d) ->
+        let cases = map_in_order (fun (v, b) -> (v, go_block b)) cases in
+        let d = go_block d in
+        { st with s = Switch (c, cases, d) }
+    | _ -> st
+  in
+  go_block body
+
+let rec iter_exprs_stmt f (st : Ast.stmt) =
+  match st.s with
+  | Let (_, e) | Assign (_, e) | Return e | Expr e -> iter_exprs f e
+  | Store (_, i, v) ->
+      iter_exprs f i;
+      iter_exprs f v
+  | If (c, t, e) ->
+      iter_exprs f c;
+      List.iter (iter_exprs_stmt f) t;
+      List.iter (iter_exprs_stmt f) e
+  | While (c, b) ->
+      iter_exprs f c;
+      List.iter (iter_exprs_stmt f) b
+  | Switch (c, cases, d) ->
+      iter_exprs f c;
+      List.iter (fun (_, b) -> List.iter (iter_exprs_stmt f) b) cases;
+      List.iter (iter_exprs_stmt f) d
+  | Break | Continue -> ()
+
+and iter_exprs f (e : Ast.expr) =
+  f e;
+  match e.e with
+  | Int _ | Var _ -> ()
+  | Binary (_, a, b) ->
+      iter_exprs f a;
+      iter_exprs f b
+  | Unary (_, a) -> iter_exprs f a
+  | Call (_, args) -> List.iter (iter_exprs f) args
+  | Index (_, i) -> iter_exprs f i
+
+let rec map_exprs_stmt f (st : Ast.stmt) : Ast.stmt =
+  match st.s with
+  | Let (n, e) -> { st with s = Let (n, map_exprs f e) }
+  | Assign (n, e) -> { st with s = Assign (n, map_exprs f e) }
+  | Return e -> { st with s = Return (map_exprs f e) }
+  | Expr e -> { st with s = Expr (map_exprs f e) }
+  | Store (n, i, v) ->
+      let i = map_exprs f i in
+      let v = map_exprs f v in
+      { st with s = Store (n, i, v) }
+  | If (c, t, e) ->
+      let c = map_exprs f c in
+      let t = map_in_order (map_exprs_stmt f) t in
+      let e = map_in_order (map_exprs_stmt f) e in
+      { st with s = If (c, t, e) }
+  | While (c, b) ->
+      let c = map_exprs f c in
+      { st with s = While (c, map_in_order (map_exprs_stmt f) b) }
+  | Switch (c, cases, d) ->
+      let c = map_exprs f c in
+      let cases =
+        map_in_order (fun (v, b) -> (v, map_in_order (map_exprs_stmt f) b)) cases
+      in
+      let d = map_in_order (map_exprs_stmt f) d in
+      { st with s = Switch (c, cases, d) }
+  | Break | Continue -> st
+
+and map_exprs f (e : Ast.expr) : Ast.expr =
+  (* Pre-order, like [iter_exprs], so occurrence counters agree between an
+     enumeration pass and a rewrite pass. *)
+  let e : Ast.expr = f e in
+  match e.e with
+  | Int _ | Var _ -> e
+  | Binary (op, a, b) ->
+      let a = map_exprs f a in
+      let b = map_exprs f b in
+      { e with e = Binary (op, a, b) }
+  | Unary (op, a) -> { e with e = Unary (op, map_exprs f a) }
+  | Call (n, args) -> { e with e = Call (n, map_in_order (map_exprs f) args) }
+  | Index (n, i) -> { e with e = Index (n, map_exprs f i) }
+
+let map_fn_exprs f (fn : Ast.fndef) =
+  { fn with fbody = map_in_order (map_exprs_stmt f) fn.fbody }
+
+(* ------------------------------------------------------------------ *)
+(* Program facts.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+let used_names (p : Ast.program) =
+  let acc = ref SS.empty in
+  let add n = acc := SS.add n !acc in
+  List.iter (fun (n, _) -> add n) p.pglobals;
+  List.iter
+    (fun (fn : Ast.fndef) ->
+      add fn.fname;
+      List.iter add fn.fparams;
+      List.iter
+        (iter_exprs_stmt (fun (e : Ast.expr) ->
+             match e.e with
+             | Var n | Call (n, _) | Index (n, _) -> add n
+             | _ -> ()))
+        fn.fbody)
+    p.pfns;
+  let rec add_stmt_names (st : Ast.stmt) =
+    match st.s with
+    | Let (n, _) | Assign (n, _) -> add n
+    | Store (n, _, _) -> add n
+    | If (_, t, e) ->
+        List.iter add_stmt_names t;
+        List.iter add_stmt_names e
+    | While (_, b) -> List.iter add_stmt_names b
+    | Switch (_, cases, d) ->
+        List.iter (fun (_, b) -> List.iter add_stmt_names b) cases;
+        List.iter add_stmt_names d
+    | _ -> ()
+  in
+  List.iter (fun (fn : Ast.fndef) -> List.iter add_stmt_names fn.fbody) p.pfns;
+  !acc
+
+(* Called-by-anyone set, over the whole program. *)
+let callees (p : Ast.program) =
+  let acc = ref SS.empty in
+  List.iter
+    (fun (fn : Ast.fndef) ->
+      List.iter
+        (iter_exprs_stmt (fun (e : Ast.expr) ->
+             match e.e with Call (n, _) -> acc := SS.add n !acc | _ -> ()))
+        fn.fbody)
+    p.pfns;
+  !acc
+
+let is_leaf (fn : Ast.fndef) =
+  let has_call = ref false in
+  List.iter
+    (iter_exprs_stmt (fun (e : Ast.expr) ->
+         match e.e with Call _ -> has_call := true | _ -> ()))
+    fn.fbody;
+  not !has_call
+
+let arity_of (p : Ast.program) name =
+  List.find_map
+    (fun (fn : Ast.fndef) ->
+      if String.equal fn.fname name then Some (List.length fn.fparams) else None)
+    p.pfns
+
+(* ------------------------------------------------------------------ *)
+(* A fresh-name source shared across the whole edit script.           *)
+(* ------------------------------------------------------------------ *)
+
+type naming = { mutable used : SS.t; mutable next : int }
+
+let fresh names prefix =
+  let rec go () =
+    let n = Printf.sprintf "%s%d" prefix names.next in
+    names.next <- names.next + 1;
+    if SS.mem n names.used then go ()
+    else begin
+      names.used <- SS.add n names.used;
+      n
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The edits. Each returns [Some (program, log entry)] or [None] when *)
+(* no candidate satisfies its safety precondition.                    *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_stmt s : Ast.stmt = { s; sline = 0 }
+let dummy_expr e : Ast.expr = { e; eline = 0 }
+
+let small_const rng = dummy_expr (Ast.Int (Int64.of_int (Rng.int_in rng 1 97)))
+
+(* Uniform (function, block, slot) choice for insertions. *)
+let pick_insertion rng (p : Ast.program) =
+  let slots = ref [] in
+  List.iteri
+    (fun fi (fn : Ast.fndef) ->
+      iter_blocks fn.fbody (fun bid b ->
+          for at = 0 to List.length b do
+            slots := (fi, bid, at) :: !slots
+          done))
+    p.pfns;
+  let arr = Array.of_list (List.rev !slots) in
+  if Array.length arr = 0 then None else Some (Rng.choose rng arr)
+
+let insert_at b at st =
+  let rec go i = function
+    | rest when i = at -> st :: rest
+    | x :: rest -> x :: go (i + 1) rest
+    | [] -> [ st ]
+  in
+  go 0 b
+
+let edit_insert_stmt rng names (p : Ast.program) =
+  match pick_insertion rng p with
+  | None -> None
+  | Some (fi, bid, at) ->
+      let name = fresh names "drift_v" in
+      let st =
+        dummy_stmt
+          (Ast.Let
+             ( name,
+               dummy_expr
+                 (Ast.Binary (Ast.Arith Csspgo_ir.Types.Add, small_const rng, small_const rng))
+             ))
+      in
+      let pfns =
+        List.mapi
+          (fun i (fn : Ast.fndef) ->
+            if i = fi then
+              { fn with fbody = rewrite_block fn.fbody ~target:bid (fun b -> insert_at b at st) }
+            else fn)
+          p.pfns
+      in
+      let in_fn = (List.nth p.pfns fi).fname in
+      Some ({ p with pfns }, Insert_stmt { in_fn; at_line = at + 1 })
+
+let edit_insert_block rng names (p : Ast.program) =
+  match pick_insertion rng p with
+  | None -> None
+  | Some (fi, bid, at) ->
+      let name = fresh names "drift_b" in
+      (* Statically dead: the condition is the literal 0. The block still
+         lowers to real CFG nodes, so the function's shape checksum moves. *)
+      let st =
+        dummy_stmt
+          (Ast.If
+             ( dummy_expr (Ast.Int 0L),
+               [ dummy_stmt (Ast.Let (name, small_const rng)) ],
+               [] ))
+      in
+      let pfns =
+        List.mapi
+          (fun i (fn : Ast.fndef) ->
+            if i = fi then
+              { fn with fbody = rewrite_block fn.fbody ~target:bid (fun b -> insert_at b at st) }
+            else fn)
+          p.pfns
+      in
+      let in_fn = (List.nth p.pfns fi).fname in
+      Some ({ p with pfns }, Insert_block { in_fn; at_line = at + 1 })
+
+let edit_delete_stmt rng (p : Ast.program) =
+  (* Only side-effect-only statements: deleting a [let] breaks later uses,
+     deleting an assignment can break a loop induction. *)
+  let cands = ref [] in
+  List.iteri
+    (fun fi (fn : Ast.fndef) ->
+      iter_blocks fn.fbody (fun bid b ->
+          List.iteri
+            (fun at (st : Ast.stmt) ->
+              match st.s with
+              | Expr _ | Store _ -> cands := (fi, bid, at) :: !cands
+              | _ -> ())
+            b))
+    p.pfns;
+  match List.rev !cands with
+  | [] -> None
+  | l ->
+      let fi, bid, at = Rng.choose rng (Array.of_list l) in
+      let pfns =
+        List.mapi
+          (fun i (fn : Ast.fndef) ->
+            if i = fi then
+              { fn with
+                fbody =
+                  rewrite_block fn.fbody ~target:bid (fun b ->
+                      List.filteri (fun j _ -> j <> at) b) }
+            else fn)
+          p.pfns
+      in
+      let in_fn = (List.nth p.pfns fi).fname in
+      Some ({ p with pfns }, Delete_stmt { in_fn; at_line = at + 1 })
+
+let edit_add_fn rng names (p : Ast.program) =
+  let name = fresh names "drift_fn" in
+  let body =
+    [ dummy_stmt
+        (Ast.Return
+           (dummy_expr
+              (Ast.Binary
+                 ( Ast.Arith Csspgo_ir.Types.Mul,
+                   dummy_expr (Ast.Var "a"),
+                   small_const rng )))) ]
+  in
+  let fn : Ast.fndef =
+    { fname = name; fparams = [ "a" ]; fbody = body; fline = 0; fmodule = "main" }
+  in
+  Some ({ p with pfns = p.pfns @ [ fn ] }, Add_fn { name })
+
+let edit_remove_fn rng (p : Ast.program) =
+  let called = callees p in
+  let cands =
+    List.filter
+      (fun (fn : Ast.fndef) ->
+        (not (String.equal fn.fname entry_name)) && not (SS.mem fn.fname called))
+      p.pfns
+  in
+  match cands with
+  | [] -> None
+  | l ->
+      let victim = (Rng.choose rng (Array.of_list l)).Ast.fname in
+      let pfns = List.filter (fun (fn : Ast.fndef) -> not (String.equal fn.fname victim)) p.pfns in
+      Some ({ p with pfns }, Remove_fn { name = victim })
+
+let edit_rename_fn rng names (p : Ast.program) =
+  let cands =
+    List.filter (fun (fn : Ast.fndef) -> not (String.equal fn.fname entry_name)) p.pfns
+  in
+  match cands with
+  | [] -> None
+  | l ->
+      let old_name = (Rng.choose rng (Array.of_list l)).Ast.fname in
+      let new_name = fresh names "drift_r" in
+      let sites = ref 0 in
+      let pfns =
+        List.map
+          (fun (fn : Ast.fndef) ->
+            let fn =
+              map_fn_exprs
+                (fun (e : Ast.expr) ->
+                  match e.e with
+                  | Call (n, args) when String.equal n old_name ->
+                      incr sites;
+                      { e with e = Call (new_name, args) }
+                  | _ -> e)
+                fn
+            in
+            if String.equal fn.fname old_name then { fn with fname = new_name } else fn)
+          p.pfns
+      in
+      Some
+        ( { p with pfns },
+          Rename_fn { old_name; new_name; call_sites = !sites } )
+
+let edit_reorder_defs rng (p : Ast.program) =
+  let n = List.length p.pfns in
+  if n < 2 then None
+  else begin
+    let from = Rng.int rng n in
+    let to_ = (from + 1 + Rng.int rng (n - 1)) mod n in
+    let arr = Array.of_list p.pfns in
+    let moved = arr.(from) in
+    let rest = List.filteri (fun i _ -> i <> from) p.pfns in
+    let rec insert i = function
+      | rest when i = to_ -> moved :: rest
+      | x :: tl -> x :: insert (i + 1) tl
+      | [] -> [ moved ]
+    in
+    Some ({ p with pfns = insert 0 rest }, Reorder_defs { moved = moved.Ast.fname })
+  end
+
+let edit_retarget_call rng (p : Ast.program) =
+  let leaves =
+    List.filter (fun (fn : Ast.fndef) -> is_leaf fn) p.pfns
+  in
+  if leaves = [] then None
+  else begin
+    (* Enumerate call sites as (function index, occurrence index) with the
+       set of viable replacement leaves: same arity, not the enclosing
+       function (no recursion), not the current callee. *)
+    let cands = ref [] in
+    List.iteri
+      (fun fi (fn : Ast.fndef) ->
+        let occ = ref (-1) in
+        List.iter
+          (iter_exprs_stmt (fun (e : Ast.expr) ->
+               match e.e with
+               | Call (callee, args) ->
+                   incr occ;
+                   let nargs = List.length args in
+                   (match arity_of p callee with
+                   | None -> ()
+                   | Some _ ->
+                       let viable =
+                         List.filter
+                           (fun (l : Ast.fndef) ->
+                             List.length l.fparams = nargs
+                             && (not (String.equal l.fname fn.fname))
+                             && not (String.equal l.fname callee))
+                           leaves
+                       in
+                       if viable <> [] then cands := (fi, !occ, callee, viable) :: !cands)
+               | _ -> ()))
+          fn.fbody)
+      p.pfns;
+    match List.rev !cands with
+    | [] -> None
+    | l ->
+        let fi, occ, old_callee, viable = Rng.choose rng (Array.of_list l) in
+        let new_callee = (Rng.choose rng (Array.of_list viable)).Ast.fname in
+        (* Occurrence numbering counts every call in the function, matching
+           the enumeration pass above. *)
+        let seen = ref (-1) in
+        let pfns =
+          List.mapi
+            (fun i (fn : Ast.fndef) ->
+              if i <> fi then fn
+              else
+                map_fn_exprs
+                  (fun (e : Ast.expr) ->
+                    match e.e with
+                    | Call (_, args) ->
+                        incr seen;
+                        if !seen = occ then { e with e = Call (new_callee, args) }
+                        else e
+                    | _ -> e)
+                  fn)
+            p.pfns
+        in
+        let in_fn = (List.nth p.pfns fi).fname in
+        Some ({ p with pfns }, Retarget_call { in_fn; old_callee; new_callee })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The script driver.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | K_insert_stmt
+  | K_insert_block
+  | K_delete_stmt
+  | K_add_fn
+  | K_remove_fn
+  | K_rename_fn
+  | K_reorder
+  | K_retarget
+
+(* Weighted toward the statement-level edits that dominate real diffs;
+   structural edits (rename/remove/reorder) are rarer, as in production
+   release-to-release drift. *)
+let kind_pool =
+  [| K_insert_stmt; K_insert_stmt; K_insert_block; K_delete_stmt; K_delete_stmt;
+     K_retarget; K_add_fn; K_rename_fn; K_reorder; K_remove_fn |]
+
+let try_kind rng names p = function
+  | K_insert_stmt -> edit_insert_stmt rng names p
+  | K_insert_block -> edit_insert_block rng names p
+  | K_delete_stmt -> edit_delete_stmt rng p
+  | K_add_fn -> edit_add_fn rng names p
+  | K_remove_fn -> edit_remove_fn rng p
+  | K_rename_fn -> edit_rename_fn rng names p
+  | K_reorder -> edit_reorder_defs rng p
+  | K_retarget -> edit_retarget_call rng p
+
+let apply ~seed ~edits src =
+  if edits <= 0 then { dr_source = src; dr_edits = [] }
+  else begin
+    let p = F.Parser.parse src in
+    let rng = Rng.create seed in
+    let names = { used = used_names p; next = 1 } in
+    let prog = ref p in
+    let log = ref [] in
+    for _ = 1 to edits do
+      let first = Rng.choose rng kind_pool in
+      (* Fall back through the other kinds if the chosen one has no safe
+         candidate; insertions always apply, so the script never stalls. *)
+      let fallback =
+        [ K_delete_stmt; K_retarget; K_rename_fn; K_reorder; K_remove_fn;
+          K_add_fn; K_insert_block; K_insert_stmt ]
+      in
+      let rec attempt = function
+        | [] -> assert false
+        | k :: rest -> (
+            match try_kind rng names !prog k with
+            | Some (p', entry) ->
+                prog := p';
+                log := entry :: !log
+            | None -> attempt rest)
+      in
+      attempt (first :: List.filter (fun k -> k <> first) fallback)
+    done;
+    { dr_source = F.Pretty.program !prog; dr_edits = List.rev !log }
+  end

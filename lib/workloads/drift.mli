@@ -1,0 +1,63 @@
+(** Deterministic source drift: seeded edit scripts over MiniC programs.
+
+    The stale-profile problem is "profile build N, optimize build N+1"
+    (paper §III.A). This module manufactures build N+1: it parses a MiniC
+    source, applies a seeded sequence of semantically safe edits to the
+    AST, and pretty-prints the result ({!Csspgo_frontend.Pretty}), so the
+    new revision has shifted line numbers, changed CFG shapes, renamed
+    functions, and retargeted call sites — everything that defeats
+    line-offset correlation in real toolchains — together with a
+    ground-truth edit log.
+
+    Every edit preserves termination and crash-freedom by construction:
+
+    - only side-effect-only statements ([Expr], [Store]) are deleted, never
+      [let] bindings (later uses) or assignments (loop inductions);
+    - inserted statements are fresh [let] bindings and
+      statically-dead [if] blocks over fresh names;
+    - removed functions are uncalled non-entry functions; added functions
+      are uncalled;
+    - call retargeting only redirects to same-arity leaf functions (no
+      calls in their body), which cannot introduce recursion or unbounded
+      loops (generated loop bounds are constants);
+    - renames rewrite every call site consistently.
+
+    Equal [(seed, edits, source)] triples yield byte-identical results, and
+    [edits = 0] returns the source verbatim with an empty log. *)
+
+type edit =
+  | Insert_stmt of { in_fn : string; at_line : int }
+      (** fresh [let] inserted in [in_fn]; [at_line] is the 1-based
+          statement slot within the enclosing block *)
+  | Insert_block of { in_fn : string; at_line : int }
+      (** statically-dead [if] block inserted in [in_fn] *)
+  | Delete_stmt of { in_fn : string; at_line : int }
+  | Add_fn of { name : string }  (** new, uncalled function appended *)
+  | Remove_fn of { name : string }  (** uncalled function removed *)
+  | Rename_fn of { old_name : string; new_name : string; call_sites : int }
+      (** definition + every call site rewritten *)
+  | Reorder_defs of { moved : string }
+      (** function definition moved to a new position *)
+  | Retarget_call of { in_fn : string; old_callee : string; new_callee : string }
+      (** one call site redirected to a same-arity leaf *)
+
+val edit_to_string : edit -> string
+(** One-line rendering for logs and fuzz reports. *)
+
+type result = {
+  dr_source : string;  (** the pretty-printed "version N+1" program *)
+  dr_edits : edit list;  (** ground truth, in application order *)
+}
+
+val apply : seed:int64 -> edits:int -> string -> result
+(** [apply ~seed ~edits src] parses [src], applies [edits] seeded edits,
+    and pretty-prints. [edits = 0] returns [src] unchanged (byte-equal)
+    with an empty log. An edit step whose preconditions admit no candidate
+    (e.g. no removable function remains) falls back to an always-applicable
+    kind, so the log always has exactly [edits] entries.
+
+    @raise Csspgo_frontend.Parser.Parse_error if [src] does not parse. *)
+
+val distances : int list
+(** The edit-distance ladder shared by the bench recovery curves and the
+    documentation: [[0; 1; 2; 4; 8]]. *)

@@ -15,5 +15,6 @@ let () =
       Test_pipeline.suite;
       Test_differential.suite;
       Test_fuzz.suite;
+      Test_stale.suite;
       Test_obs.suite;
     ]
