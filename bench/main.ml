@@ -3,7 +3,7 @@
    next to the paper's reference values.
 
    Usage: main.exe
-     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|all]
+     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -886,6 +886,162 @@ let obs_overhead () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Binary profile format: decode vs text parse on an hhvm-scale profile, *)
+(* plus the profile-delta incremental rebuild the fingerprints enable.   *)
+
+let format_bench () =
+  sep "Format — binary profile codec vs text, and delta-driven rebuilds";
+  let module O = Csspgo_orchestrator in
+  let open Bechamel in
+  let estimate name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+    let results =
+      Benchmark.all cfg [ instance ]
+        (Test.make_grouped ~name:"format" ~fmt:"%s/%s" [ test ])
+    in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ o ->
+        match Analyze.OLS.estimates o with Some [ e ] -> est := e | _ -> ())
+      ols;
+    !est (* ns per run *)
+  in
+  (* hhvm at a dense sample period: the biggest profiles the substrate
+     produces, one context trie and one flat probe profile. *)
+  let w = W.Suite.hhvm in
+  let opts =
+    { D.default_options with
+      D.pmu = { Vm.Machine.default_pmu with sample_period = 499 } }
+  in
+  let texts = D.profile_pipeline_texts ~options:opts ~streaming:true D.Csspgo_full w in
+  pf "profile codec (hhvm, dense period %d):\n" 499;
+  let shapes =
+    List.map
+      (fun (tag, text) ->
+        let p = P.Text_io.of_string text in
+        let b = P.Binary_io.encode p in
+        (match P.Binary_io.decode b with
+        | Ok p' when String.equal (P.Text_io.to_string p') text -> ()
+        | _ -> failwith ("format: binary round-trip failed for " ^ tag));
+        let ns_parse = estimate (tag ^ "-text-parse") (fun () -> ignore (P.Text_io.of_string text)) in
+        let ns_decode =
+          estimate (tag ^ "-binary-decode") (fun () ->
+              match P.Binary_io.decode b with Ok p -> ignore p | Error _ -> assert false)
+        in
+        let ns_encode = estimate (tag ^ "-binary-encode") (fun () -> ignore (P.Binary_io.encode p)) in
+        let speedup = ns_parse /. ns_decode in
+        pf "  %-12s text %8d B, %8.1f us parse | binary %8d B, %8.1f us decode, %8.1f us encode\n"
+          tag (String.length text) (ns_parse /. 1e3) (String.length b)
+          (ns_decode /. 1e3) (ns_encode /. 1e3);
+        pf "  %-12s decode speedup %.2fx (target >= 3x), size %.2fx smaller\n" ""
+          speedup
+          (float_of_int (String.length text) /. float_of_int (String.length b));
+        (tag, String.length text, String.length b, ns_parse, ns_decode, ns_encode, speedup))
+      texts
+  in
+  (* Sample-log codec on the same run shape. *)
+  let log =
+    let prog = F.Lower.compile w.D.w_source in
+    Core.Pseudo_probe.insert prog;
+    Opt.Pass.optimize ~config:Opt.Config.o2_nopgo prog;
+    let bin = Cg.Emit.emit ~options:Cg.Emit.default_options prog in
+    let pmu = Some { Vm.Machine.default_pmu with sample_period = 499 } in
+    let log = Vm.Sample_log.create () in
+    List.iter
+      (fun (spec : D.run_spec) ->
+        ignore
+          (Vm.Machine.run ~pmu ~sink:(Vm.Sample_log.sink log)
+             ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin
+             ~entry:w.D.w_entry))
+      w.D.w_train;
+    Vm.Sample_log.compact log;
+    log
+  in
+  let log_text = Vm.Sample_log.to_text log in
+  let log_bin = Vm.Sample_log.encode log in
+  let ns_log_parse =
+    estimate "log-text-parse" (fun () ->
+        match Vm.Sample_log.of_text log_text with Ok l -> ignore l | Error _ -> assert false)
+  in
+  let ns_log_decode =
+    estimate "log-binary-decode" (fun () ->
+        match Vm.Sample_log.decode log_bin with Ok l -> ignore l | Error _ -> assert false)
+  in
+  pf "sample log (%d samples): text %d B, %.1f us parse | binary %d B, %.1f us decode (%.2fx)\n"
+    (Vm.Sample_log.n_samples log) (String.length log_text) (ns_log_parse /. 1e3)
+    (String.length log_bin) (ns_log_decode /. 1e3) (ns_log_parse /. ns_log_decode);
+  (* Delta-driven incremental rebuild: warm rerun is a whole-binary hit;
+     rebuilding a second drifted version against the first one's cache
+     recompiles only the re-edited function (test/test_incremental.ml pins
+     the counters; here we time it). *)
+  let wc = W.Suite.clangish in
+  let plan = D.Plan.make ~variant:D.Csspgo_full wc in
+  let stale seed =
+    let d = W.Drift.apply ~seed ~edits:1 wc.D.w_source in
+    D.Plan.make_stale ~variant:D.Csspgo_full ~stale_source:d.W.Drift.dr_source wc
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cache = O.Cache.create () in
+  let _, t_cold = time (fun () -> D.Plan.run ~hooks:(O.Orchestrate.hooks cache) plan) in
+  let _, t_warm = time (fun () -> D.Plan.run ~hooks:(O.Orchestrate.hooks cache) plan) in
+  let _, t_a = time (fun () -> D.Plan.run ~hooks:(O.Orchestrate.hooks cache) (stale 3L)) in
+  let stats = O.Orchestrate.create_stats () in
+  let _, t_delta =
+    time (fun () -> D.Plan.run ~hooks:(O.Orchestrate.hooks ~stats cache) (stale 4L))
+  in
+  let n_rec = O.Orchestrate.stats_get stats "rebuild.funcs-recompiled" in
+  let n_reu = O.Orchestrate.stats_get stats "rebuild.funcs-reused" in
+  pf "incremental rebuild (clangish, full CSSPGO, in-memory cache):\n";
+  pf "  cold build                 %7.3fs\n" t_cold;
+  pf "  warm rerun (binary hit)    %7.3fs   (%.1fx faster)\n" t_warm (t_cold /. t_warm);
+  pf "  drifted rebuild (v2)       %7.3fs\n" t_a;
+  pf "  delta rebuild (v2 -> v2')  %7.3fs   (%d recompiled, %d reused)\n" t_delta
+    n_rec n_reu;
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"workload\": \"hhvm\",\n  \"sample_period\": 499,\n  \"profiles\": [\n";
+  List.iteri
+    (fun i (tag, tb, bb, np, nd, ne, sp) ->
+      bpf
+        "    {\"tag\": \"%s\", \"text_bytes\": %d, \"binary_bytes\": %d,\n\
+        \     \"parse_ns\": %.0f, \"decode_ns\": %.0f, \"encode_ns\": %.0f,\n\
+        \     \"decode_speedup\": %.3f}%s\n"
+        tag tb bb np nd ne sp
+        (if i = List.length shapes - 1 then "" else ","))
+    shapes;
+  bpf "  ],\n";
+  bpf "  \"sample_log\": {\"n_samples\": %d, \"text_bytes\": %d, \"binary_bytes\": %d,\n"
+    (Vm.Sample_log.n_samples log) (String.length log_text) (String.length log_bin);
+  bpf "    \"parse_ns\": %.0f, \"decode_ns\": %.0f, \"decode_speedup\": %.3f},\n"
+    ns_log_parse ns_log_decode (ns_log_parse /. ns_log_decode);
+  bpf "  \"incremental\": {\"workload\": \"clangish\", \"cold_s\": %.4f, \"warm_s\": %.4f,\n"
+    t_cold t_warm;
+  bpf "    \"drifted_s\": %.4f, \"delta_s\": %.4f, \"delta_recompiled\": %d, \"delta_reused\": %d}\n"
+    t_a t_delta n_rec n_reu;
+  bpf "}\n";
+  let oc = open_out "BENCH_format.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote BENCH_format.json\n";
+  List.iter
+    (fun (tag, _, _, _, _, _, sp) ->
+      if sp < 3.0 then
+        failwith
+          (Printf.sprintf "format: %s binary decode speedup %.2fx below 3x target" tag sp))
+    shapes
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -904,6 +1060,7 @@ let () =
   | "micro" -> micro ()
   | "pipeline" -> pipeline ()
   | "obs" -> obs_overhead ()
+  | "format" -> format_bench ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -917,7 +1074,8 @@ let () =
       orch ();
       micro ();
       pipeline ();
-      obs_overhead ()
+      obs_overhead ();
+      format_bench ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

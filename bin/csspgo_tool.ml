@@ -481,6 +481,117 @@ let contexts_cmd =
     (Cmd.info "contexts" ~doc:"Print the reconstructed context trie of a workload")
     Term.(const run $ workload_arg)
 
+(* --- convert / inspect ---------------------------------------------- *)
+
+let profile_file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Profile (text or binary) or sample log")
+
+(* Malformed input is a user error, not a crash: report and exit 1. *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("csspgo: " ^ msg); exit 1) fmt
+
+let load_profile path =
+  let data = read_file path in
+  match P.Binary_io.read_any data with
+  | Ok p -> p
+  | Error msg -> die "%s: %s" path msg
+
+let convert_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout)")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("text", `Text); ("binary", `Binary) ])) None
+      & info [ "to" ] ~docv:"FORM"
+          ~doc:"Target form: text | binary (default: the opposite of the input)")
+  in
+  let run file out target =
+    let data = read_file file in
+    let is_log = Vm.Sample_log.is_binary data || String.length data >= 9
+                 && String.equal (String.sub data 0 9) "samplelog" in
+    let input_binary = P.Binary_io.is_binary data || Vm.Sample_log.is_binary data in
+    let target =
+      match target with
+      | Some t -> t
+      | None -> if input_binary then `Text else `Binary
+    in
+    let converted =
+      if is_log then begin
+        let log =
+          match
+            (if Vm.Sample_log.is_binary data then Vm.Sample_log.decode data
+             else Vm.Sample_log.of_text data)
+          with
+          | Ok log -> log
+          | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
+        in
+        match target with
+        | `Text -> Vm.Sample_log.to_text log
+        | `Binary -> Vm.Sample_log.encode log
+      end
+      else
+        let p = load_profile file in
+        match target with
+        | `Text -> P.Text_io.to_string p
+        | `Binary -> P.Binary_io.encode p
+    in
+    match out with None -> print_string converted | Some path -> write_out path converted
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a profile or sample log between the canonical text form and the \
+          digest-framed binary form (input format auto-detected)")
+    Term.(const run $ profile_file_arg $ out_arg $ to_arg)
+
+let inspect_cmd =
+  let funcs_flag =
+    Arg.(
+      value & flag
+      & info [ "funcs" ] ~doc:"Also list one fingerprint line per function")
+  in
+  let run file funcs =
+    let data = read_file file in
+    if Vm.Sample_log.is_binary data then begin
+      match Vm.Sample_log.decode data with
+      | Ok log ->
+          Printf.printf "format      sample-log (binary)\n";
+          Printf.printf "samples     %d\n" (Vm.Sample_log.n_samples log);
+          Printf.printf "arena words %d\n" (Vm.Sample_log.words log)
+      | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
+    end
+    else begin
+      let p = load_profile file in
+      let kind, form =
+        ( (match p with
+          | P.Text_io.Probe_prof _ -> "probe"
+          | P.Text_io.Ctx_prof _ -> "ctx"
+          | P.Text_io.Line_prof _ -> "line"),
+          if P.Binary_io.is_binary data then "binary" else "text" )
+      in
+      let fps = P.Fingerprint.per_func p in
+      Printf.printf "format      %s profile (%s)\n" kind form;
+      Printf.printf "size        %d bytes (text %d, binary %d)\n" (String.length data)
+        (String.length (P.Text_io.to_string p))
+        (String.length (P.Binary_io.encode p));
+      Printf.printf "functions   %d\n" (List.length fps);
+      Printf.printf "fingerprint %Lx\n" (P.Fingerprint.merged p);
+      if funcs then
+        List.iter (fun (g, d) -> Printf.printf "  %Lx %Lx\n" g d) fps
+    end
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Show a profile's shape, sizes and per-function fingerprints (or a sample \
+          log's record counts); accepts both text and binary forms")
+    Term.(const run $ profile_file_arg $ funcs_flag)
+
 (* --- fuzz ---------------------------------------------------------- *)
 
 module Fuzz = Csspgo_fuzz
@@ -552,6 +663,14 @@ let fuzz_cmd =
       & info [ "no-stale-oracle" ]
           ~doc:"Skip the stale-profile matching oracle family")
   in
+  let no_format_arg =
+    Arg.(
+      value & flag
+      & info [ "no-format-oracle" ]
+          ~doc:
+            "Skip the binary/text profile format oracle family (round-trips, \
+             sample logs, incremental rebuilds)")
+  in
   let fuzz_stale_edits_arg =
     Arg.(
       value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
@@ -570,7 +689,7 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      no_stale stale_edits max_failures inject jobs cache_dir metrics_file =
+      no_stale no_format stale_edits max_failures inject jobs cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -582,6 +701,7 @@ let fuzz_cmd =
         cf_minimize = not no_minimize;
         cf_stream_oracle = not no_stream;
         cf_stale_oracle = not no_stale;
+        cf_format_oracle = not no_format;
         cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
@@ -626,7 +746,7 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
-      $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
+      $ no_format_arg $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
       $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
@@ -663,5 +783,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; pgo_cmd; stale_cmd; report_cmd; probes_cmd;
-            contexts_cmd; fuzz_cmd; cache_cmd;
+            contexts_cmd; convert_cmd; inspect_cmd; fuzz_cmd; cache_cmd;
           ]))

@@ -754,11 +754,72 @@ module Plan = struct
               ignore (Annotate.probes x_flat qp);
               annotated := Some qp
           | _ -> annotated := Some (Ir.Program.copy prog));
-          let key = [ fp_string !rebuild_source; fp rs; fp_string !profile_ser ] in
+          (* Key the whole-binary cache on the merged per-function profile
+             fingerprint where one exists: equal fingerprints mean no
+             function drifted, so a rebuild against a refreshed-but-equal
+             profile reuses the cached artifact outright (0 recompiles).
+             Exact counter profiles keep the raw text hash. *)
+          let profile_fp =
+            match !profile with
+            | Some (Prof_lines lp) ->
+                Printf.sprintf "pfp:%Lx" (P.Fingerprint.merged (P.Text_io.Line_prof lp))
+            | Some (Prof_probes pp) ->
+                Printf.sprintf "pfp:%Lx" (P.Fingerprint.merged (P.Text_io.Probe_prof pp))
+            | Some (Prof_ctx { x_trie; _ }) ->
+                Printf.sprintf "pfp:%Lx" (P.Fingerprint.merged (P.Text_io.Ctx_prof x_trie))
+            | Some (Prof_counters _) | None -> fp_string !profile_ser
+          in
+          let key = [ fp_string !rebuild_source; fp rs; profile_fp ] in
           final_key := key;
           let bin =
             hooks.memo ~kind:"final-build" ~key ~ser:mser ~de:mde (fun () ->
-                Opt.Pass.optimize ~config:rs.r_config prog;
+                (* The whole-binary entry missed: the profile (or source)
+                   drifted. Run the program-level pipeline prefix, then
+                   recompile per function through a second-level cache
+                   keyed on each function's post-inline annotated image —
+                   functions the drift did not reach digest identically
+                   and splice their cached optimized bodies back in. *)
+                let config = rs.r_config in
+                if Opt.Pass.prepare ~config prog then begin
+                  let steps = Opt.Pass.steps_of_config config in
+                  let pipeline_fp = fp (config, steps) in
+                  let recompiled = ref 0 and reused = ref 0 in
+                  Ir.Program.iter_funcs
+                    (fun f ->
+                      let fkey =
+                        [
+                          "fv1";
+                          pipeline_fp;
+                          Printf.sprintf "%Lx" f.Ir.Func.guid;
+                          Printf.sprintf "%Lx" (Ir.Func.digest f);
+                        ]
+                      in
+                      let fresh = ref false in
+                      let f' =
+                        hooks.memo ~kind:"func-opt" ~key:fkey ~ser:mser ~de:mde
+                          (fun () ->
+                            fresh := true;
+                            Opt.Pass.optimize_func_with ~config ~steps ~program:prog f;
+                            f)
+                      in
+                      if !fresh then incr recompiled
+                      else begin
+                        incr reused;
+                        Ir.Program.add_func prog f'
+                      end)
+                    prog;
+                  hooks.stat ~name:"rebuild.funcs-recompiled" !recompiled;
+                  hooks.stat ~name:"rebuild.funcs-reused" !reused;
+                  if config.Opt.Config.verify_between_passes then begin
+                    match Ir.Verify.program prog with
+                    | [] -> ()
+                    | errs ->
+                        failwith
+                          (Format.asprintf "@[<v>after incremental pipeline:@ %a@]"
+                             (Format.pp_print_list Ir.Verify.pp_error)
+                             errs)
+                  end
+                end;
                 Cg.Emit.emit ~options:rs.r_emit prog)
           in
           final := Some bin

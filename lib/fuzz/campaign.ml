@@ -22,6 +22,7 @@ module W = Csspgo_workloads
 module Core = Csspgo_core
 module O = Csspgo_orchestrator
 module S = Csspgo_support
+module P = Csspgo_profile
 module D = Core.Driver
 
 (* --- plans ---------------------------------------------------------- *)
@@ -84,6 +85,7 @@ type site =
   | Quality
   | Stream of D.variant
   | Stale of { sl_variant : D.variant option; sl_drift_seed : int64; sl_edits : int }
+  | Format of string  (** which leg of the format oracle family *)
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -100,6 +102,7 @@ let site_to_string = function
         | Some v -> D.variant_name v
         | None -> "probe-vs-dwarf recovery")
         s.sl_drift_seed s.sl_edits
+  | Format leg -> "profile format (" ^ leg ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -130,6 +133,12 @@ type config = {
           crashes, the stale-built binary computes the drifted program's
           -O0 result, and probe recovery >= DWARF recovery *)
   cf_stale_edits : int;      (** drift edit-script length for the oracle *)
+  cf_format_oracle : bool;
+      (** binary/text format oracle family: every pipeline profile dump
+          must survive text -> binary -> text byte-identically, sample
+          logs must round-trip through both forms, and an incremental
+          (cache-warm) rebuild must produce the same binary as a clean
+          one *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -149,6 +158,7 @@ let default_config =
     cf_stream_oracle = true;
     cf_stale_oracle = true;
     cf_stale_edits = 3;
+    cf_format_oracle = true;
     cf_inject = None;
   }
 
@@ -422,6 +432,118 @@ let check_stale ?hooks ?cache cfg ~seed src args =
              Printf.sprintf "probe recovery %.4f below dwarf recovery %.4f" pr dr ))
   end
 
+(* Format oracle family (Binary_io / Sample_log / incremental rebuilds):
+   - every canonical text profile the pipeline produces must survive
+     text -> binary -> text byte-identically (canonical text equality is
+     structural equality, so this also proves the binary path feeds the
+     pipeline the same profile);
+   - a recorded sample log must round-trip through both its text and its
+     binary form;
+   - with a warm artifact cache, a repeat build must reuse the final
+     binary outright and an incremental rebuild of a drifted source must
+     produce a binary byte-identical to a cold clean rebuild. *)
+
+(* Everything deterministic in a [Mach.binary] except [addr_index], whose
+   hash-table layout depends on insertion history. [No_sharing] keeps the
+   projection structural: binaries respliced from cached functions carry
+   different subterm sharing than freshly emitted ones. *)
+let bin_projection (b : Cg.Mach.binary) =
+  Marshal.to_string
+    ( b.Cg.Mach.funcs,
+      b.Cg.Mach.insts,
+      b.Cg.Mach.probes,
+      b.Cg.Mach.n_counters,
+      b.Cg.Mach.globals,
+      b.Cg.Mach.text_size,
+      b.Cg.Mach.debug_size,
+      b.Cg.Mach.probe_meta_size )
+    [ Marshal.No_sharing ]
+
+let check_format ?cache ~seed src args =
+  let w = workload_of ~seed src args in
+  List.iter
+    (fun v ->
+      let site = Format ("text-binary round-trip " ^ D.variant_name v) in
+      let texts =
+        guarded_build site (fun () ->
+            D.profile_pipeline_texts ~options:driver_options ~streaming:true v w)
+      in
+      List.iter
+        (fun (tag, text) ->
+          (* Tiny fuzz programs can yield empty dumps (e.g. autofdo with no
+             surviving samples); empty text has no kind to round-trip. *)
+          if String.length (String.trim text) = 0 then ()
+          else
+          guarded_build site (fun () ->
+              let p = P.Text_io.of_string text in
+              let b = P.Binary_io.encode p in
+              if not (P.Binary_io.is_binary b) then
+                raise (Fail (Result_mismatch, site, tag ^ ": encoding not sniffable"));
+              match P.Binary_io.decode b with
+              | Error e ->
+                  raise
+                    (Fail
+                       ( Result_mismatch,
+                         site,
+                         tag ^ ": decode failed: " ^ S.Wire.error_to_string e ))
+              | Ok p' ->
+                  if not (String.equal (P.Text_io.to_string p') text) then
+                    raise
+                      (Fail
+                         ( Result_mismatch,
+                           site,
+                           tag ^ ": binary round-trip not byte-identical" ))))
+        texts)
+    stream_variants;
+  let site = Format "sample-log round-trip" in
+  guarded_build site (fun () ->
+      let _, samples, _ = D.profiling_run ~options:driver_options ~probes:true w in
+      let log = Vm.Sample_log.create () in
+      List.iter
+        (fun (s : Vm.Machine.sample) ->
+          Vm.Sample_log.add log ~lbr:s.Vm.Machine.s_lbr
+            ~lbr_len:(Array.length s.Vm.Machine.s_lbr)
+            ~stack:s.Vm.Machine.s_stack
+            ~stack_len:(Array.length s.Vm.Machine.s_stack))
+        samples;
+      let txt = Vm.Sample_log.to_text log in
+      (match Vm.Sample_log.of_text txt with
+      | Ok log' when String.equal (Vm.Sample_log.to_text log') txt -> ()
+      | Ok _ ->
+          raise (Fail (Result_mismatch, site, "text round-trip not byte-identical"))
+      | Error e -> raise (Fail (Result_mismatch, site, S.Wire.error_to_string e)));
+      match Vm.Sample_log.decode (Vm.Sample_log.encode log) with
+      | Ok log' when String.equal (Vm.Sample_log.to_text log') txt -> ()
+      | Ok _ ->
+          raise (Fail (Result_mismatch, site, "binary round-trip not byte-identical"))
+      | Error e -> raise (Fail (Result_mismatch, site, S.Wire.error_to_string e)));
+  let site = Format "incremental-vs-clean rebuild" in
+  guarded_build site (fun () ->
+      ignore cache;
+      let c = O.Cache.create () in
+      let stats = O.Orchestrate.create_stats () in
+      let h = O.Orchestrate.hooks ~stats c in
+      let plan = D.Plan.make ~options:driver_options ~variant:D.Csspgo_full w in
+      let cold = D.Plan.run ~hooks:h plan in
+      let warm = D.Plan.run ~hooks:h plan in
+      if
+        not
+          (String.equal (bin_projection cold.D.o_binary) (bin_projection warm.D.o_binary))
+      then raise (Fail (Result_mismatch, site, "warm rebuild differs from cold build"));
+      let d = W.Drift.apply ~seed:(drift_seed_of seed) ~edits:1 src in
+      let stale_plan =
+        D.Plan.make_stale ~options:driver_options ~variant:D.Csspgo_full
+          ~stale_source:d.W.Drift.dr_source w
+      in
+      let inc = D.Plan.run ~hooks:h stale_plan in
+      let clean = D.Plan.run stale_plan in
+      if
+        not
+          (String.equal (bin_projection inc.D.o_binary) (bin_projection clean.D.o_binary))
+      then
+        raise
+          (Fail (Result_mismatch, site, "incremental rebuild differs from clean rebuild")))
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -457,6 +579,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
     | Some (Stale _) ->
         (* The whole family replays: minimization only needs "same kind". *)
         check_stale ?hooks ?cache cfg ~seed src args
+    | Some (Format _) -> check_format ?cache ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -477,7 +600,8 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         if cfg.cf_stream_oracle then
           List.iter (fun v -> check_stream v ~seed src) stream_variants;
         if cfg.cf_stale_oracle && cfg.cf_stale_edits > 0 then
-          check_stale ?hooks ?cache cfg ~seed src args);
+          check_stale ?hooks ?cache cfg ~seed src args;
+        if cfg.cf_format_oracle then check_format ?cache ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -519,11 +643,12 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
     (if cfg.cf_stale_oracle then "" else " --no-stale-oracle")
+    (if cfg.cf_format_oracle then "" else " --no-format-oracle")
     (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
      else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""

@@ -62,6 +62,10 @@ type site =
       sl_drift_seed : int64;  (** the edit-script seed ([Workloads.Drift]) *)
       sl_edits : int;
     }  (** stale-profile matching against a drifted source *)
+  | Format of string
+      (** binary/text profile format oracle family ([Profile.Binary_io],
+          [Vm.Sample_log], incremental-vs-clean rebuilds); the string
+          names the failing leg *)
 
 val site_to_string : site -> string
 
@@ -87,6 +91,7 @@ type config = {
   cf_stream_oracle : bool;
   cf_stale_oracle : bool;
   cf_stale_edits : int;
+  cf_format_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

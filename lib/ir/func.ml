@@ -105,6 +105,40 @@ let copy t =
     inlined_away = t.inlined_away;
   }
 
+(* Canonical structural digest. Marshaling the whole record would be
+   unstable: the blocks table's layout depends on its operation history
+   and [Vec]s keep garbage past their length — two structurally equal
+   functions built along different paths would hash apart. Instead walk
+   the function in sorted label order and hash each field through a
+   stable serialization (per-instruction [Marshal] is fine: [Instr.t] is
+   a plain immediate-data record). *)
+let digest t =
+  let acc = Fnv.init in
+  let acc = Fnv.string acc t.name in
+  let acc = Fnv.int64 acc t.guid in
+  let acc = Fnv.string acc t.modname in
+  let acc = List.fold_left Fnv.int (Fnv.int acc (List.length t.params)) t.params in
+  let acc = Fnv.int acc t.nregs in
+  let acc = Fnv.int acc t.entry in
+  let acc = Fnv.int acc t.next_label in
+  let acc = Fnv.int acc t.next_probe in
+  let acc = Fnv.int64 acc t.checksum in
+  let acc = Fnv.int acc (if t.annotated then 1 else 0) in
+  let acc = Fnv.int acc (if t.inlined_away then 1 else 0) in
+  fold_blocks
+    (fun acc (b : Block.t) ->
+      let acc = Fnv.int acc b.Block.id in
+      let acc = Fnv.int64 acc b.Block.count in
+      let acc = Array.fold_left Fnv.int64 (Fnv.int acc (Array.length b.Block.edge_counts)) b.Block.edge_counts in
+      let acc = Fnv.string acc (Marshal.to_string b.Block.term []) in
+      let acc = Fnv.int acc (Vec.length b.Block.instrs) in
+      let racc = ref acc in
+      Vec.iter
+        (fun (i : Instr.t) -> racc := Fnv.string !racc (Marshal.to_string i []))
+        b.Block.instrs;
+      !racc)
+    acc t
+
 let pp fmt t =
   Format.fprintf fmt "fn %s(%a) {  ; guid=%a module=%s@."
     t.name

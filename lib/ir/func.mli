@@ -44,4 +44,12 @@ val entry_count : t -> int64
 val copy : t -> t
 (** Deep copy (blocks and instructions are fresh). *)
 
+val digest : t -> Csspgo_support.Fnv.t
+(** Canonical structural digest: hashes the function's scalar fields and
+    every block (sorted label order — counts, edge counts, terminator,
+    instructions). Two structurally equal functions digest equally no
+    matter how they were built (cold lowering, [copy], [Marshal]
+    round-trip), which is what lets the incremental rebuild engine key
+    per-function compilation caches on it. *)
+
 val pp : Format.formatter -> t -> unit

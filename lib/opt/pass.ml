@@ -97,11 +97,18 @@ let optimize_func_with ~(config : Config.t) ~steps ?(program : Ir.Program.t opti
 let optimize_func ~(config : Config.t) (f : Ir.Func.t) =
   optimize_func_with ~config ~steps:(steps_of_config config) f
 
-let optimize_with ~(config : Config.t) ~steps (p : Ir.Program.t) =
+(* The program-level prefix of the pipeline: cleanup and cross-function
+   phases (inlining, dead-function drop) that must see the whole program.
+   After [prepare] the remaining work is purely per-function, which is
+   what lets the incremental rebuild engine in [Core.Driver] swap in
+   cached post-pipeline bodies for functions whose annotated image did
+   not drift. Returns [true] when the per-function pipeline should run. *)
+let prepare ~(config : Config.t) (p : Ir.Program.t) =
   (* Even at -O0 the lowering junk blocks must go. *)
   Ir.Program.iter_funcs (fun f -> ignore (Simplify.run ~config f)) p;
   verify_if ~config p "initial simplify";
-  if config.Config.opt_level >= 1 then begin
+  if config.Config.opt_level < 1 then false
+  else begin
     Ir.Program.iter_funcs
       (fun f ->
         ignore (Constfold.run f);
@@ -114,6 +121,11 @@ let optimize_with ~(config : Config.t) ~steps (p : Ir.Program.t) =
         Log.debug (fun m -> m "dropped %d fully-inlined functions" (List.length dropped))
     end;
     verify_if ~config p "inlining";
+    true
+  end
+
+let optimize_with ~(config : Config.t) ~steps (p : Ir.Program.t) =
+  if prepare ~config p then begin
     Ir.Program.iter_funcs (fun f -> optimize_func_with ~config ~steps ~program:p f) p;
     verify_if ~config p "function pipeline"
   end

@@ -43,6 +43,16 @@ val optimize_func_with :
     given and [verify_between_passes] is set, the function is re-verified
     after every step and [Failure] raised on the first broken invariant. *)
 
+val prepare : config:Config.t -> Csspgo_ir.Program.t -> bool
+(** The program-level prefix of [optimize]: initial simplify, early
+    cleanup, inlining and dead-function elimination (with inter-phase
+    verification). After [prepare] the rest of the pipeline is purely
+    per-function ([optimize_func_with]), so callers that cache compiled
+    functions (the incremental rebuild engine in [Core.Driver]) can run
+    [prepare] and then choose per function between replaying the step
+    list and splicing in a cached body. Returns [true] when the
+    per-function pipeline should run (i.e. [opt_level >= 1]). *)
+
 val optimize : config:Config.t -> Csspgo_ir.Program.t -> unit
 (** Full pipeline, including inlining and dead-function elimination.
     Raises [Failure] if [verify_between_passes] is set and a pass breaks

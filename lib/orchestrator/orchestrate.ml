@@ -17,6 +17,12 @@ let stats_list s =
      does not. *)
   List.sort compare l
 
+let stats_get s name =
+  Mutex.lock s.st_mutex;
+  let v = match Hashtbl.find_opt s.st_counts name with Some r -> !r | None -> 0 in
+  Mutex.unlock s.st_mutex;
+  v
+
 let stat_hook ?metrics stats =
   let base =
     match stats with

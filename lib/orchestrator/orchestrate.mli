@@ -22,6 +22,11 @@ val stats_list : stats -> (string * int) list
     schedule, so callers (and tests) rely on this list being identical for
     identical counter multisets whatever [jobs] was. *)
 
+val stats_get : stats -> string -> int
+(** One counter's accumulated total, 0 if it never fired. The incremental
+    rebuild tests read ["rebuild.funcs-recompiled"] /
+    ["rebuild.funcs-reused"] through this. *)
+
 val plan_label : Csspgo_core.Driver.Plan.t -> string
 (** ["<workload>/<variant>"] — span and track naming for a plan. *)
 

@@ -44,6 +44,18 @@ let base t guid ~name =
       Ir.Guid.Tbl.replace t.roots guid n;
       n
 
+let attach t ~parent ~site guid ~name =
+  match parent with
+  | None -> base t guid ~name
+  | Some p -> (
+      let key = (site, guid) in
+      match Hashtbl.find_opt p.n_children key with
+      | Some c -> c
+      | None ->
+          let c = mk_node guid name in
+          Hashtbl.replace p.n_children key c;
+          c)
+
 let node_at t ~path =
   match path with
   | [] -> None

@@ -36,6 +36,13 @@ val create : unit -> t
 val base : t -> Csspgo_ir.Guid.t -> name:string -> node
 (** Base (context-less) node for a function, created on demand. *)
 
+val attach :
+  t -> parent:node option -> site:int -> Csspgo_ir.Guid.t -> name:string -> node
+(** Find-or-create one trie step: the root for the guid when [parent] is
+    [None] ([site] is ignored), else [parent]'s child at callsite probe
+    [site]. The O(1) primitive the binary profile reader uses; [node_at]
+    walks a whole path through the same tables. *)
+
 val node_at : t -> path:(frame * Csspgo_ir.Guid.t * string) list -> node option
 (** Resolve a context: the path starts at a root function and each element
     is ((parent_func, callsite_probe), child_guid, child_name); [None] if

@@ -1,0 +1,168 @@
+type error =
+  | Bad_magic of { expected : string; got : string }
+  | Unsupported_version of { version : int; max : int }
+  | Truncated of string
+  | Digest_mismatch of { section : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_magic { expected; got } ->
+      Printf.sprintf "bad magic: expected %S, got %S" expected got
+  | Unsupported_version { version; max } ->
+      Printf.sprintf "unsupported format version %d (this reader handles 1..%d)"
+        version max
+  | Truncated what -> Printf.sprintf "truncated input while reading %s" what
+  | Digest_mismatch { section } ->
+      Printf.sprintf "digest mismatch in section %d" section
+  | Malformed what -> Printf.sprintf "malformed input: %s" what
+
+exception Error of error
+
+let fail e = raise (Error e)
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let byte t b = Buffer.add_char t (Char.chr (b land 0xff))
+
+  (* Unsigned LEB128 over the 64-bit pattern: logical shifts, so negative
+     int64s (checksums are arbitrary bit patterns) encode in 10 bytes. *)
+  let varint64 t v =
+    let v = ref v in
+    let continue = ref true in
+    while !continue do
+      let b = Int64.to_int (Int64.logand !v 0x7fL) in
+      v := Int64.shift_right_logical !v 7;
+      if Int64.equal !v 0L then begin
+        byte t b;
+        continue := false
+      end
+      else byte t (b lor 0x80)
+    done
+
+  let varint t v = varint64 t (Int64.of_int v)
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let contents = Buffer.contents
+end
+
+module Dec = struct
+  type t = { buf : string; mutable pos : int; limit : int }
+
+  let of_string s = { buf = s; pos = 0; limit = String.length s }
+  let remaining t = t.limit - t.pos
+  let at_end t = t.pos >= t.limit
+
+  let byte t =
+    if t.pos >= t.limit then fail (Truncated "byte");
+    let b = Char.code t.buf.[t.pos] in
+    t.pos <- t.pos + 1;
+    b
+
+  (* Hot path: 7-bit groups up to shift 49 (56 bits) accumulate in a
+     native int — one [Int64] conversion per varint instead of boxed
+     arithmetic per byte. Only the 9th and 10th bytes touch [Int64]. *)
+  let varint64 t =
+    let b0 = byte t in
+    if b0 land 0x80 = 0 then Int64.of_int b0
+    else begin
+      let acc = ref (b0 land 0x7f) in
+      let hi = ref 0L in
+      let shift = ref 7 in
+      let continue = ref true in
+      while !continue do
+        if !shift > 63 then fail (Malformed "varint longer than 10 bytes");
+        let b = byte t in
+        if !shift <= 49 then acc := !acc lor ((b land 0x7f) lsl !shift)
+        else
+          hi := Int64.logor !hi (Int64.shift_left (Int64.of_int (b land 0x7f)) !shift);
+        shift := !shift + 7;
+        if b land 0x80 = 0 then continue := false
+      done;
+      Int64.logor !hi (Int64.of_int !acc)
+    end
+
+  let varint t =
+    let v = varint64 t in
+    let n = Int64.to_int v in
+    if not (Int64.equal (Int64.of_int n) v) then
+      fail (Malformed "varint exceeds the native int range");
+    n
+
+  let string t =
+    let n = varint t in
+    if n < 0 || n > remaining t then fail (Truncated "string");
+    let s = String.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+end
+
+let digest ~tag payload =
+  Fnv.string (Fnv.int Fnv.init tag) payload
+
+let add_digest buf d =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical d (8 * i)) land 0xff))
+  done
+
+let frame ~magic ~version sections =
+  if String.length magic <> 4 then invalid_arg "Wire.frame: magic must be 4 bytes";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  let hdr = Enc.create () in
+  Enc.varint hdr version;
+  Enc.varint hdr (List.length sections);
+  Buffer.add_string buf (Enc.contents hdr);
+  List.iter
+    (fun (tag, payload) ->
+      let sec = Enc.create () in
+      Enc.varint sec tag;
+      Enc.varint sec (String.length payload);
+      Buffer.add_string buf (Enc.contents sec);
+      Buffer.add_string buf payload;
+      add_digest buf (digest ~tag payload))
+    sections;
+  Buffer.contents buf
+
+let sniff ~magic s =
+  String.length s >= String.length magic && String.sub s 0 (String.length magic) = magic
+
+let unframe ~magic ~max_version s =
+  try
+    if String.length s < 4 then
+      fail (Bad_magic { expected = magic; got = s });
+    let got = String.sub s 0 4 in
+    if not (String.equal got magic) then fail (Bad_magic { expected = magic; got });
+    let d = Dec.of_string s in
+    d.Dec.pos <- 4;
+    let version = Dec.varint d in
+    if version < 1 || version > max_version then
+      fail (Unsupported_version { version; max = max_version });
+    let nsections = Dec.varint d in
+    if nsections < 0 then fail (Malformed "negative section count");
+    let sections = ref [] in
+    for i = 0 to nsections - 1 do
+      let tag = Dec.varint d in
+      let len = Dec.varint d in
+      if len < 0 || len > Dec.remaining d then fail (Truncated "section payload");
+      let payload = String.sub d.Dec.buf d.Dec.pos len in
+      d.Dec.pos <- d.Dec.pos + len;
+      let want = digest ~tag payload in
+      if Dec.remaining d < 8 then fail (Truncated "section digest");
+      let got = ref 0L in
+      for j = 0 to 7 do
+        got :=
+          Int64.logor !got (Int64.shift_left (Int64.of_int (Dec.byte d)) (8 * j))
+      done;
+      if not (Int64.equal !got want) then fail (Digest_mismatch { section = i });
+      sections := (tag, payload) :: !sections
+    done;
+    if not (Dec.at_end d) then
+      fail (Malformed "trailing bytes after the last section");
+    Ok (version, List.rev !sections)
+  with Error e -> Result.error e

@@ -80,3 +80,172 @@ let words t = Array.length t.data + 4
 
 let compact t =
   if Array.length t.data > t.len then t.data <- Array.sub t.data 0 t.len
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. Both forms carry the arena's record stream verbatim
+   (lbr_len, pairs, stack_len, addrs — one record per sample), so a
+   decoded log replays the identical sample stream.                    *)
+
+module Wire = Csspgo_support.Wire
+
+let magic = "CSLG"
+let version = 1
+let tag_log = 1
+
+let to_text t =
+  let buf = Buffer.create (16 * t.n) in
+  Buffer.add_string buf (Printf.sprintf "samplelog %d\n" t.n);
+  let p = ref 0 in
+  let d = t.data in
+  for _ = 1 to t.n do
+    let ln = d.(!p) in
+    Buffer.add_string buf (string_of_int ln);
+    incr p;
+    for _ = 1 to 2 * ln do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int d.(!p));
+      incr p
+    done;
+    let sn = d.(!p) in
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int sn);
+    incr p;
+    for _ = 1 to sn do
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int d.(!p));
+      incr p
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* Rebuild through [add] so arena growth (and thus [words]/marshaling)
+   matches a live recording of the same stream. *)
+let rebuild records =
+  let t = create () in
+  List.iter
+    (fun (lbr, stack) ->
+      add t ~lbr ~lbr_len:(Array.length lbr) ~stack ~stack_len:(Array.length stack))
+    (List.rev records);
+  t
+
+let of_text s =
+  let malformed what = Error (Wire.Malformed what) in
+  match String.split_on_char '\n' s with
+  | [] -> malformed "empty sample log"
+  | header :: lines -> (
+      match String.split_on_char ' ' header with
+      | [ "samplelog"; n ] -> (
+          match int_of_string_opt n with
+          | None -> malformed "bad sample count in samplelog header"
+          | Some n when n < 0 -> malformed "negative sample count"
+          | Some n -> (
+              let records = ref [] in
+              let bad = ref None in
+              let nrec = ref 0 in
+              List.iteri
+                (fun i line ->
+                  if !bad = None && not (String.equal line "") then begin
+                    let ints =
+                      String.split_on_char ' ' line
+                      |> List.filter (fun w -> not (String.equal w ""))
+                      |> List.map int_of_string_opt
+                    in
+                    if List.exists Option.is_none ints then
+                      bad := Some (Printf.sprintf "bad integer on line %d" (i + 2))
+                    else
+                      let ints = List.filter_map Fun.id ints in
+                      match ints with
+                      | ln :: rest when ln >= 0 && List.length rest >= 2 * ln -> (
+                          let lbr = Array.make (max ln 1) (0, 0) in
+                          let rest = ref rest in
+                          for j = 0 to ln - 1 do
+                            match !rest with
+                            | src :: tgt :: r ->
+                                lbr.(j) <- (src, tgt);
+                                rest := r
+                            | _ -> assert false
+                          done;
+                          match !rest with
+                          | sn :: addrs when sn >= 0 && List.length addrs = sn ->
+                              incr nrec;
+                              records :=
+                                (Array.sub lbr 0 ln, Array.of_list addrs) :: !records
+                          | _ ->
+                              bad :=
+                                Some
+                                  (Printf.sprintf "bad stack record on line %d" (i + 2)))
+                      | _ ->
+                          bad :=
+                            Some (Printf.sprintf "bad LBR record on line %d" (i + 2))
+                  end)
+                lines;
+              match !bad with
+              | Some what -> malformed what
+              | None ->
+                  if !nrec <> n then
+                    malformed
+                      (Printf.sprintf "header declares %d samples, found %d" n !nrec)
+                  else Ok (rebuild !records)))
+      | _ -> malformed "missing samplelog header")
+
+let encode t =
+  let e = Wire.Enc.create () in
+  Wire.Enc.varint e t.n;
+  Wire.Enc.varint e t.len;
+  for i = 0 to t.len - 1 do
+    Wire.Enc.varint e t.data.(i)
+  done;
+  Wire.frame ~magic ~version [ (tag_log, Wire.Enc.contents e) ]
+
+let decode s =
+  match Wire.unframe ~magic ~max_version:version s with
+  | Error e -> Error e
+  | Ok (_version, sections) -> (
+      try
+        match sections with
+        | [ (tag, payload) ] when tag = tag_log ->
+            let d = Wire.Dec.of_string payload in
+            let n = Wire.Dec.varint d in
+            let len = Wire.Dec.varint d in
+            if n < 0 || len < 0 then
+              raise (Wire.Error (Wire.Malformed "negative log size"));
+            let data = Array.make (max len 1) 0 in
+            for i = 0 to len - 1 do
+              data.(i) <- Wire.Dec.varint d
+            done;
+            let data = if len = 0 then [||] else Array.sub data 0 len in
+            if not (Wire.Dec.at_end d) then
+              raise (Wire.Error (Wire.Malformed "trailing bytes in log section"));
+            (* Framing is valid; now check the record structure walks the
+               arena exactly (a well-digested blob can still declare an
+               inconsistent record stream). *)
+            let overrun () =
+              raise (Wire.Error (Wire.Malformed "record stream overruns arena"))
+            in
+            let p = ref 0 in
+            for _ = 1 to n do
+              if !p >= len then overrun ();
+              let ln = data.(!p) in
+              if ln < 0 || ln > len then
+                raise (Wire.Error (Wire.Malformed "bad LBR length"));
+              p := !p + 1 + (2 * ln);
+              if !p >= len then overrun ();
+              let sn = data.(!p) in
+              if sn < 0 || sn > len then
+                raise (Wire.Error (Wire.Malformed "bad stack length"));
+              p := !p + 1 + sn
+            done;
+            if !p <> len then
+              raise (Wire.Error (Wire.Malformed "record stream does not cover arena"));
+            Ok { data; len; n }
+        | [ (tag, _) ] ->
+            Error (Wire.Malformed (Printf.sprintf "unknown section tag %d" tag))
+        | _ ->
+            Error
+              (Wire.Malformed
+                 (Printf.sprintf "expected exactly one log section, got %d"
+                    (List.length sections)))
+      with Wire.Error e -> Error e)
+
+let is_binary s = Wire.sniff ~magic s

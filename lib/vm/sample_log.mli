@@ -36,3 +36,31 @@ val words : t -> int
 
 val compact : t -> unit
 (** Trim spare arena capacity (call before marshaling). *)
+
+(** {1 Serialization}
+
+    Two interchangeable on-disk forms share one record layout. The text
+    form is the debuggable golden format: a [samplelog] header, then one
+    line per sample ([lbr_len src tgt ... stack_len addr ...], ints
+    space-separated). The binary form is a digest-framed
+    {!Csspgo_support.Wire} envelope (magic ["CSLG"], version 1, one
+    varint-packed section) — compact and validated before decoding, so
+    corrupt blobs fail with a typed error. Both round-trip exactly:
+    [of_text (to_text t)] and [decode (encode t)] reproduce the log
+    byte-for-byte under re-serialization. *)
+
+val magic : string
+(** ["CSLG"], the binary blob prefix. *)
+
+val to_text : t -> string
+
+val of_text : string -> (t, Csspgo_support.Wire.error) result
+(** Parse the text form; structural problems come back as
+    [Error (Malformed _)]. *)
+
+val encode : t -> string
+
+val decode : string -> (t, Csspgo_support.Wire.error) result
+
+val is_binary : string -> bool
+(** Does the data start with {!magic}? *)

@@ -64,10 +64,21 @@ let line () =
   P.Line_profile.add_line hot (2, 0) 4000L;
   P.Text_io.(to_string (Line_prof t))
 
+(* The .bprof fixtures pin the binary wire format the same way: the blob
+   for each kind is checked in byte-for-byte, so any encoder change — even
+   a compatible one — must be an explicit `dune promote`, and a version
+   bump that breaks decoding of the pinned v1 blobs fails the diff rules'
+   sibling test in [Test_binary_io]. *)
+let binary text = P.Binary_io.encode (P.Text_io.of_string text)
+
 let () =
+  set_binary_mode_out stdout true;
   match Sys.argv.(1) with
   | "probe" -> print_string (probe ())
   | "ctx" -> print_string (ctx ())
   | "line" -> print_string (line ())
+  | "probe-bin" -> print_string (binary (probe ()))
+  | "ctx-bin" -> print_string (binary (ctx ()))
+  | "line-bin" -> print_string (binary (line ()))
   | s -> failwith ("golden_gen: unknown kind " ^ s)
-  | exception _ -> failwith "usage: golden_gen (probe|ctx|line)"
+  | exception _ -> failwith "usage: golden_gen (probe|ctx|line|probe-bin|ctx-bin|line-bin)"

@@ -8,6 +8,7 @@ let () =
       Test_codegen.suite;
       Test_vm.suite;
       Test_profile.suite;
+      Test_binary_io.suite;
       Test_inference.suite;
       Test_profgen.suite;
       Test_core.suite;
@@ -16,5 +17,6 @@ let () =
       Test_differential.suite;
       Test_fuzz.suite;
       Test_stale.suite;
+      Test_incremental.suite;
       Test_obs.suite;
     ]
