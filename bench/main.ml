@@ -3,7 +3,7 @@
    next to the paper's reference values.
 
    Usage: main.exe
-     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|all]
+     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|fleet|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -32,6 +32,29 @@ let outcome (w : D.workload) v =
       o
 
 let cycles w v = Int64.to_float (outcome w v).D.o_eval.D.ev_cycles
+
+(* Profiling run measurement shared by fig8 / table1 / micro: the -O2
+   profiling build (probed or plain) run over the training inputs under
+   the sampling PMU. Returns the binary, the materialized samples and the
+   total training cycles. *)
+let profiling_run ~probes (w : D.workload) =
+  let options = D.default_options in
+  let prog = F.Lower.compile w.D.w_source in
+  if probes then Core.Pseudo_probe.insert prog;
+  Opt.Pass.optimize ~config:options.D.opt_profiling prog;
+  let bin = Cg.Emit.emit ~options:options.D.emit_opts prog in
+  let log = Vm.Sample_log.create () in
+  let cycles = ref 0L in
+  List.iter
+    (fun (spec : D.run_spec) ->
+      let r =
+        Vm.Machine.run ~pmu:(Some options.D.pmu) ~sink:(Vm.Sample_log.sink log)
+          ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin
+          ~entry:w.D.w_entry
+      in
+      cycles := Int64.add !cycles r.Vm.Machine.cycles)
+    w.D.w_train;
+  (bin, Vm.Sample_log.to_samples log, !cycles)
 
 let gain_vs_autofdo w v =
   let base = cycles w D.Autofdo in
@@ -92,8 +115,8 @@ let fig8 () =
   pf "%-12s %14s %14s %10s\n" "workload" "plain(cyc)" "probed(cyc)" "overhead";
   List.iter
     (fun w ->
-      let _, _, plain = D.profiling_run ~probes:false w in
-      let _, _, probed = D.profiling_run ~probes:true w in
+      let _, _, plain = profiling_run ~probes:false w in
+      let _, _, probed = profiling_run ~probes:true w in
       pf "%-12s %14Ld %14Ld %+9.2f%%\n" w.D.w_name plain probed
         ((Int64.to_float probed -. Int64.to_float plain) /. Int64.to_float plain *. 100.))
     W.Suite.server_workloads
@@ -126,8 +149,8 @@ let table1 () =
   let truth = (outcome w D.Instr_pgo).D.o_annotated in
   let ov v = Core.Quality.block_overlap ~truth (outcome w v).D.o_annotated *. 100. in
   (* Profiling overhead: training-run cycles vs the plain sampling run. *)
-  let _, _, plain = D.profiling_run ~probes:false w in
-  let _, _, probed = D.profiling_run ~probes:true w in
+  let _, _, plain = profiling_run ~probes:false w in
+  let _, _, probed = profiling_run ~probes:true w in
   let instr_cycles = (outcome w D.Instr_pgo).D.o_profiling_cycles in
   let ovh c = (Int64.to_float c -. Int64.to_float plain) /. Int64.to_float plain *. 100. in
   pf "measured:            AutoFDO   CSSPGO   Instr PGO\n";
@@ -576,7 +599,7 @@ let orch () =
 let micro () =
   sep "Microbenchmarks (Bechamel) — offline pipeline component cost";
   let w = W.Suite.adretriever in
-  let pbin, samples, _ = D.profiling_run ~probes:true w in
+  let pbin, samples, _ = profiling_run ~probes:true w in
   let refp =
     let p = F.Lower.compile w.D.w_source in
     Core.Pseudo_probe.insert p;
@@ -1042,6 +1065,213 @@ let format_bench () =
     shapes
 
 (* ------------------------------------------------------------------ *)
+(* Fleet — continuous profiling: sharded collection, duty cycling,      *)
+(* version skew, and the release train.                                 *)
+
+let fleet_bench () =
+  sep "Fleet — continuous profiling (sharded collectors, cross-version merge)";
+  let module Fl = Csspgo_fleet in
+  let w = W.Suite.adfinder in
+  let options = D.default_options in
+  let version ?(id = 0) ?(n = 1) src =
+    { Fl.Sim.v_id = id; v_source = src; v_weight = 1L; v_instances = n }
+  in
+  (* One rebuild measurement per distinct source: inject the merged
+     profile through the plan pipeline, compare against no-PGO and the
+     instrumentation truth of the same source. *)
+  let baselines = Hashtbl.create 8 in
+  let measure src (out : Fl.Sim.outcome) =
+    let gen_w = { w with D.w_source = src } in
+    let nopgo, truth =
+      match Hashtbl.find_opt baselines src with
+      | Some b -> b
+      | None ->
+          let b =
+            ( (D.run_variant ~options D.Nopgo gen_w).D.o_eval,
+              (D.run_variant ~options D.Instr_pgo gen_w).D.o_annotated )
+          in
+          Hashtbl.replace baselines src b;
+          b
+    in
+    let o =
+      D.Plan.run
+        (D.Plan.make_with_profile ~options ~profile:out.Fl.Sim.fs_profile
+           ?flat:out.Fl.Sim.fs_flat gen_w)
+    in
+    let speedup =
+      Int64.to_float nopgo.D.ev_cycles /. Int64.to_float o.D.o_eval.D.ev_cycles
+    in
+    (speedup, Core.Quality.block_overlap ~truth o.D.o_annotated)
+  in
+  (* Fleet-size sweep at full duty: the merged profile must be
+     byte-identical to the single-instance baseline whatever the fleet
+     size — sharding and partitioning must be invisible. *)
+  let sizes = [ 1; 4; 16; 64 ] in
+  let size_cfg =
+    { Fl.Sim.default with Fl.Sim.f_options = options; f_request_copies = 64 }
+  in
+  pf "fleet size sweep (duty 1.0, %d stream copies):\n" 64;
+  let single = ref "" in
+  let size_rows =
+    List.map
+      (fun n ->
+        let out =
+          Fl.Sim.run size_cfg ~workload:w ~versions:[ version ~n w.D.w_source ]
+        in
+        let text = P.Text_io.to_string out.Fl.Sim.fs_profile in
+        if n = 1 then single := text;
+        let identical = String.equal text !single in
+        if not identical then
+          failwith
+            (Printf.sprintf
+               "fleet: %d-instance merged profile differs from single-instance baseline" n);
+        let speedup, overlap = measure w.D.w_source out in
+        pf "  %3d instances: %7d samples %8d bytes %4d batches  speedup %.3f  overlap %.3f  identical %b\n"
+          n out.Fl.Sim.fs_samples out.Fl.Sim.fs_bytes out.Fl.Sim.fs_batches
+          speedup overlap identical;
+        (n, out, speedup, overlap, identical))
+      sizes
+  in
+  (* Duty-cycle sweep: fewer sampled requests, smaller shipped logs; the
+     quality/overhead trade continuous profilers actually run. *)
+  let duties = [ 1.0; 0.5; 0.25; 0.1 ] in
+  pf "duty sweep (16 instances):\n";
+  let duty_rows =
+    List.map
+      (fun duty ->
+        let out =
+          Fl.Sim.run
+            { size_cfg with Fl.Sim.f_duty = duty }
+            ~workload:w
+            ~versions:[ version ~n:16 w.D.w_source ]
+        in
+        let speedup, overlap = measure w.D.w_source out in
+        pf "  duty %4.2f: sampled %3d/%3d  %7d samples %8d bytes  speedup %.3f  overlap %.3f\n"
+          duty out.Fl.Sim.fs_sampled out.Fl.Sim.fs_requests out.Fl.Sim.fs_samples
+          out.Fl.Sim.fs_bytes speedup overlap;
+        (duty, out, speedup, overlap))
+      duties
+  in
+  (* Version-skew sweep: 1 + skew drifted versions in flight, stale-routed
+     onto the newest and merged. *)
+  let skews = [ 0; 1; 2 ] in
+  pf "version skew sweep (cohort 4, 16 stream copies):\n";
+  let skew_cfg =
+    { Fl.Sim.default with Fl.Sim.f_options = options; f_request_copies = 16 }
+  in
+  let skew_rows =
+    List.map
+      (fun skew ->
+        let sources =
+          List.init (skew + 1) Fun.id
+          |> List.fold_left
+               (fun acc i ->
+                 match acc with
+                 | [] -> [ w.D.w_source ]
+                 | prev :: _ ->
+                     (W.Drift.apply ~seed:(Int64.of_int (100 + i)) ~edits:2 prev)
+                       .W.Drift.dr_source
+                     :: acc)
+               []
+          |> List.rev
+        in
+        let versions = List.mapi (fun id src -> version ~id ~n:4 src) sources in
+        let out = Fl.Sim.run skew_cfg ~workload:w ~versions in
+        let target_src = List.nth sources skew in
+        let speedup, overlap = measure target_src out in
+        let recovery =
+          match out.Fl.Sim.fs_per_version with
+        | [] -> 1.0
+        | pvs ->
+            let reps = List.filter_map (fun pv -> pv.Fl.Sim.pv_stale) pvs in
+            if reps = [] then 1.0
+            else
+              List.fold_left
+                (fun acc r -> acc +. Core.Stale_match.recovery_rate r)
+                0.0 reps
+              /. float_of_int (List.length reps)
+        in
+        pf "  skew %d: %d versions  %7d samples  recovery %.3f  speedup %.3f  overlap %.3f\n"
+          skew (List.length versions) out.Fl.Sim.fs_samples recovery speedup
+          overlap;
+        (skew, out, recovery, speedup, overlap))
+      skews
+  in
+  (* Release train: drift + fleet window + carried merge per generation. *)
+  let train_cfg =
+    {
+      Fl.Train.default with
+      Fl.Train.t_generations = 3;
+      t_cohort = 4;
+      t_fleet =
+        { Fl.Sim.default with Fl.Sim.f_options = options; f_request_copies = 8 };
+    }
+  in
+  let gens = Fl.Train.run train_cfg w in
+  pf "release train (3 generations, skew 1, carry 1:3):\n";
+  List.iter
+    (fun (g : Fl.Train.generation) ->
+      pf "  gen %d: speedup %.3f  overlap %s  carry-recovery %s\n" g.Fl.Train.g_id
+        g.Fl.Train.g_speedup
+        (match g.Fl.Train.g_overlap with
+        | Some f -> Printf.sprintf "%.3f" f
+        | None -> "-")
+        (match g.Fl.Train.g_carry with
+        | Some r -> Printf.sprintf "%.3f" (Core.Stale_match.recovery_rate r)
+        | None -> "-"))
+    gens;
+  (* JSON export mirrors the other BENCH_* artifacts. *)
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"workload\": \"%s\",\n  \"fleet_sizes\": [\n" w.D.w_name;
+  List.iteri
+    (fun i (n, (out : Fl.Sim.outcome), speedup, overlap, identical) ->
+      bpf
+        "    {\"instances\": %d, \"samples\": %d, \"bytes\": %d, \"batches\": %d,\n\
+        \     \"speedup\": %.4f, \"overlap\": %.4f, \"identical_to_single\": %b}%s\n"
+        n out.Fl.Sim.fs_samples out.Fl.Sim.fs_bytes out.Fl.Sim.fs_batches speedup
+        overlap identical
+        (if i = List.length size_rows - 1 then "" else ","))
+    size_rows;
+  bpf "  ],\n  \"duty_sweep\": [\n";
+  List.iteri
+    (fun i (duty, (out : Fl.Sim.outcome), speedup, overlap) ->
+      bpf
+        "    {\"duty\": %.2f, \"sampled\": %d, \"requests\": %d, \"samples\": %d,\n\
+        \     \"bytes\": %d, \"speedup\": %.4f, \"overlap\": %.4f}%s\n"
+        duty out.Fl.Sim.fs_sampled out.Fl.Sim.fs_requests out.Fl.Sim.fs_samples
+        out.Fl.Sim.fs_bytes speedup overlap
+        (if i = List.length duty_rows - 1 then "" else ","))
+    duty_rows;
+  bpf "  ],\n  \"skew_sweep\": [\n";
+  List.iteri
+    (fun i (skew, (out : Fl.Sim.outcome), recovery, speedup, overlap) ->
+      bpf
+        "    {\"skew\": %d, \"versions\": %d, \"samples\": %d, \"recovery\": %.4f,\n\
+        \     \"speedup\": %.4f, \"overlap\": %.4f}%s\n"
+        skew (skew + 1) out.Fl.Sim.fs_samples recovery speedup overlap
+        (if i = List.length skew_rows - 1 then "" else ","))
+    skew_rows;
+  bpf "  ],\n  \"train\": [\n";
+  List.iteri
+    (fun i (g : Fl.Train.generation) ->
+      bpf "    {\"id\": %d, \"speedup\": %.4f, \"overlap\": %s, \"carry_recovery\": %s}%s\n"
+        g.Fl.Train.g_id g.Fl.Train.g_speedup
+        (match g.Fl.Train.g_overlap with
+        | Some f -> Printf.sprintf "%.4f" f
+        | None -> "null")
+        (match g.Fl.Train.g_carry with
+        | Some r -> Printf.sprintf "%.4f" (Core.Stale_match.recovery_rate r)
+        | None -> "null")
+        (if i = List.length gens - 1 then "" else ","))
+    gens;
+  bpf "  ]\n}\n";
+  let oc = open_out "BENCH_fleet.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote BENCH_fleet.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1061,6 +1291,7 @@ let () =
   | "pipeline" -> pipeline ()
   | "obs" -> obs_overhead ()
   | "format" -> format_bench ()
+  | "fleet" -> fleet_bench ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -1075,7 +1306,8 @@ let () =
       micro ();
       pipeline ();
       obs_overhead ();
-      format_bench ()
+      format_bench ();
+      fleet_bench ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

@@ -8,6 +8,8 @@
      report   NAME     all-variant quality report (text or JSON)
      probes   FILE     show the pseudo-probe metadata of a probed build
      contexts NAME     print the reconstructed context trie for a workload
+     fleet    NAME     continuous-profiling simulation: sharded fleet,
+                       cross-version merge, release train
      fuzz              differential fuzzing campaign over random programs
      cache    DIR      inspect or clear an orchestrator artifact cache
 
@@ -26,6 +28,8 @@ module P = Csspgo_profile
 module Core = Csspgo_core
 module D = Core.Driver
 module O = Csspgo_orchestrator
+module Pg = Csspgo_profgen
+module Fl = Csspgo_fleet
 module W = Csspgo_workloads
 module Obs = Csspgo_obs
 open Cmdliner
@@ -453,7 +457,11 @@ let probes_cmd =
 let contexts_cmd =
   let run name =
     let w = Option.get (W.Suite.find name) in
-    let pbin, samples, _ = D.profiling_run ~probes:true w in
+    let options = D.default_options in
+    let prog = F.Lower.compile w.D.w_source in
+    Core.Pseudo_probe.insert prog;
+    Opt.Pass.optimize ~config:options.D.opt_profiling prog;
+    let pbin = Cg.Emit.emit ~options:options.D.emit_opts prog in
     let refp =
       let p = F.Lower.compile w.D.w_source in
       Core.Pseudo_probe.insert p;
@@ -467,15 +475,30 @@ let contexts_cmd =
       | Some f -> f.Ir.Func.checksum
       | None -> 0L
     in
-    let missing = Core.Missing_frame.build pbin samples in
-    let trie, stats =
-      Core.Ctx_reconstruct.reconstruct ~name_of ~missing ~checksum_of pbin samples
+    let log = Vm.Sample_log.create () in
+    List.iter
+      (fun (spec : D.run_spec) ->
+        ignore
+          (Vm.Machine.run ~pmu:(Some options.D.pmu)
+             ~sink:(Vm.Sample_log.sink log) ~globals_init:spec.D.rs_globals
+             ~args:spec.D.rs_args pbin ~entry:w.D.w_entry))
+      w.D.w_train;
+    let mb = Core.Missing_frame.start (Pg.Bindex.create pbin) in
+    Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ ->
+        Core.Missing_frame.feed mb ~lbr ~lbr_len);
+    let missing = Core.Missing_frame.finish mb in
+    let st =
+      Core.Ctx_reconstruct.start ~name_of ~missing ~checksum_of
+        (Pg.Bindex.create pbin)
     in
+    Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack ~stack_len ->
+        Core.Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+    let trie, stats = Core.Ctx_reconstruct.finish st in
     Printf.printf "# samples=%d dropped=%d gaps: %d fixed / %d failed\n"
       stats.Core.Ctx_reconstruct.st_samples stats.Core.Ctx_reconstruct.st_dropped_misaligned
       stats.Core.Ctx_reconstruct.st_gaps_resolved stats.Core.Ctx_reconstruct.st_gaps_failed;
     (* The text profile format round-trips through Csspgo_profile.Text_io. *)
-    print_string (P.Text_io.ctx_to_string trie)
+    print_string (P.Text_io.to_string (P.Text_io.Ctx_prof trie))
   in
   Cmd.v
     (Cmd.info "contexts" ~doc:"Print the reconstructed context trie of a workload")
@@ -493,7 +516,7 @@ let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("csspgo: " ^ msg); exit
 
 let load_profile path =
   let data = read_file path in
-  match P.Binary_io.read_any data with
+  match P.Io.read data with
   | Ok p -> p
   | Error msg -> die "%s: %s" path msg
 
@@ -562,7 +585,21 @@ let inspect_cmd =
       | Ok log ->
           Printf.printf "format      sample-log (binary)\n";
           Printf.printf "samples     %d\n" (Vm.Sample_log.n_samples log);
-          Printf.printf "arena words %d\n" (Vm.Sample_log.words log)
+          Printf.printf "arena words %d\n" (Vm.Sample_log.words log);
+          (* The envelope was just validated by decode, so unframe cannot
+             fail here; per-section sizes show where the bytes go. *)
+          (match
+             Csspgo_support.Wire.unframe ~magic:Vm.Sample_log.magic
+               ~max_version:max_int data
+           with
+          | Ok (version, sections) ->
+              Printf.printf "version     %d\n" version;
+              List.iter
+                (fun (tag, payload) ->
+                  Printf.printf "section     tag %d: %d bytes\n" tag
+                    (String.length payload))
+                sections
+          | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e))
       | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
     end
     else begin
@@ -591,6 +628,170 @@ let inspect_cmd =
          "Show a profile's shape, sizes and per-function fingerprints (or a sample \
           log's record counts); accepts both text and binary forms")
     Term.(const run $ profile_file_arg $ funcs_flag)
+
+(* --- fleet ---------------------------------------------------------- *)
+
+let fleet_cmd =
+  let instances_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Total fleet instances, split evenly across in-flight versions")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Collector shards")
+  in
+  let duty_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duty" ] ~docv:"P"
+          ~doc:"Per-request sampling probability on each instance")
+  in
+  let versions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "versions" ] ~docv:"K"
+          ~doc:"Binary versions in flight per window (the canary plus K-1 draining)")
+  in
+  let generations_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "generations" ] ~docv:"G" ~doc:"Release-train length")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the train summary as JSON")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Re-parse the emitted JSON and assert its schema invariants")
+  in
+  let run name instances shards duty versions generations jobs json check =
+    let w = Option.get (W.Suite.find name) in
+    if versions < 1 then die "--versions must be at least 1";
+    if generations < 1 then die "--generations must be at least 1";
+    if instances < versions then die "--instances must be at least --versions";
+    let cfg =
+      {
+        Fl.Train.default with
+        Fl.Train.t_generations = generations;
+        t_skew = versions - 1;
+        t_cohort = max 1 (instances / versions);
+        t_fleet =
+          {
+            Fl.Sim.default with
+            Fl.Sim.f_shards = shards;
+            f_duty = duty;
+            f_jobs = jobs;
+            (* Scale the stream to the cohort so every instance serves
+               work (the suite workloads have short training input lists). *)
+            f_request_copies = max 1 (instances / versions);
+          };
+      }
+    in
+    let gens = Fl.Train.run cfg w in
+    let opt_float = function Some f -> Printf.sprintf "%.3f" f | None -> "-" in
+    List.iter
+      (fun (g : Fl.Train.generation) ->
+        let fl = g.Fl.Train.g_fleet in
+        Printf.printf
+          "gen %d  speedup %.3f  overlap %s  carry-recovery %s  requests %d  \
+           sampled %d  samples %d  batches %d  bytes %d\n"
+          g.Fl.Train.g_id g.Fl.Train.g_speedup
+          (opt_float g.Fl.Train.g_overlap)
+          (opt_float
+             (Option.map Core.Stale_match.recovery_rate g.Fl.Train.g_carry))
+          fl.Fl.Sim.fs_requests fl.Fl.Sim.fs_sampled fl.Fl.Sim.fs_samples
+          fl.Fl.Sim.fs_batches fl.Fl.Sim.fs_bytes)
+      gens;
+    let doc =
+      Obs.Json.Obj
+        [
+          ("workload", Obs.Json.String w.D.w_name);
+          ("instances", Obs.Json.Int instances);
+          ("shards", Obs.Json.Int shards);
+          ("duty", Obs.Json.Float duty);
+          ("versions", Obs.Json.Int versions);
+          ("generations", Obs.Json.Int generations);
+          ( "train",
+            Obs.Json.List
+              (List.map
+                 (fun (g : Fl.Train.generation) ->
+                   let fl = g.Fl.Train.g_fleet in
+                   Obs.Json.Obj
+                     [
+                       ("id", Obs.Json.Int g.Fl.Train.g_id);
+                       ("speedup", Obs.Json.Float g.Fl.Train.g_speedup);
+                       ( "overlap",
+                         match g.Fl.Train.g_overlap with
+                         | Some f -> Obs.Json.Float f
+                         | None -> Obs.Json.Null );
+                       ( "carry_recovery",
+                         match g.Fl.Train.g_carry with
+                         | Some r ->
+                             Obs.Json.Float (Core.Stale_match.recovery_rate r)
+                         | None -> Obs.Json.Null );
+                       ("requests", Obs.Json.Int fl.Fl.Sim.fs_requests);
+                       ("sampled", Obs.Json.Int fl.Fl.Sim.fs_sampled);
+                       ("samples", Obs.Json.Int fl.Fl.Sim.fs_samples);
+                       ("batches", Obs.Json.Int fl.Fl.Sim.fs_batches);
+                       ("bytes", Obs.Json.Int fl.Fl.Sim.fs_bytes);
+                     ])
+                 gens) );
+        ]
+    in
+    let text = Obs.Json.to_string doc in
+    (match json with Some path -> write_out path text | None -> ());
+    if check then begin
+      (* Schema self-assertion: the emitted document must parse back and
+         carry one well-formed record per generation. *)
+      let doc' = Obs.Json.parse_exn text in
+      let expect what = die "fleet --check: %s" what in
+      let mem k d = match Obs.Json.member k d with
+        | Some v -> v
+        | None -> expect (Printf.sprintf "missing field %S" k)
+      in
+      (match mem "generations" doc' with
+      | Obs.Json.Int g when g = generations -> ()
+      | _ -> expect "generation count mismatch");
+      let train =
+        match Obs.Json.to_list (mem "train" doc') with
+        | Some l -> l
+        | None -> expect "train is not a list"
+      in
+      if List.length train <> generations then
+        expect "train length differs from generation count";
+      List.iteri
+        (fun i g ->
+          (match mem "id" g with
+          | Obs.Json.Int id when id = i -> ()
+          | _ -> expect "non-contiguous generation ids");
+          (match mem "speedup" g with
+          | Obs.Json.Float f when f > 0.0 -> ()
+          | _ -> expect "speedup not a positive number");
+          (match mem "overlap" g with
+          | Obs.Json.Null -> ()
+          | Obs.Json.Float f when f >= 0.0 && f <= 1.0 -> ()
+          | _ -> expect "overlap outside [0, 1]");
+          match mem "samples" g with
+          | Obs.Json.Int n when n >= 0 -> ()
+          | _ -> expect "samples not a non-negative integer")
+        train;
+      print_endline "fleet check ok"
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate continuous profiling: a sharded fleet samples mixed binary \
+          versions, profiles merge across versions and generations, and each \
+          release rebuilds with the carried profile")
+    Term.(
+      const run $ workload_arg $ instances_arg $ shards_arg $ duty_arg
+      $ versions_arg $ generations_arg $ jobs_arg $ json_arg $ check_flag)
 
 (* --- fuzz ---------------------------------------------------------- *)
 
@@ -671,6 +872,14 @@ let fuzz_cmd =
             "Skip the binary/text profile format oracle family (round-trips, \
              sample logs, incremental rebuilds)")
   in
+  let no_fleet_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fleet-oracle" ]
+          ~doc:
+            "Skip the fleet merge oracle family (sharded-fleet-vs-single \
+             identity, merge laws on correlated profiles)")
+  in
   let fuzz_stale_edits_arg =
     Arg.(
       value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
@@ -689,7 +898,8 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      no_stale no_format stale_edits max_failures inject jobs cache_dir metrics_file =
+      no_stale no_format no_fleet stale_edits max_failures inject jobs cache_dir
+      metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -702,6 +912,7 @@ let fuzz_cmd =
         cf_stream_oracle = not no_stream;
         cf_stale_oracle = not no_stale;
         cf_format_oracle = not no_format;
+        cf_fleet_oracle = not no_fleet;
         cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
@@ -746,8 +957,8 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
-      $ no_format_arg $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
-      $ cache_dir_arg $ metrics_arg)
+      $ no_format_arg $ no_fleet_arg $ fuzz_stale_edits_arg $ max_failures_arg
+      $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 
@@ -783,5 +994,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; pgo_cmd; stale_cmd; report_cmd; probes_cmd;
-            contexts_cmd; convert_cmd; inspect_cmd; fuzz_cmd; cache_cmd;
+            contexts_cmd; convert_cmd; inspect_cmd; fleet_cmd; fuzz_cmd; cache_cmd;
           ]))

@@ -8,16 +8,41 @@
      - the end performance of each variant,
      - the profile-quality (block overlap) each profile achieves. *)
 
+module F = Csspgo_frontend
+module Opt = Csspgo_opt
+module Cg = Csspgo_codegen
+module Vm = Csspgo_vm
 module Core = Csspgo_core
 module D = Core.Driver
 module W = Csspgo_workloads
+
+(* Cycles spent serving the training inputs under sampling, with or
+   without pseudo-probes in the binary. *)
+let profiling_cycles ~probes (w : D.workload) =
+  let options = D.default_options in
+  let prog = F.Lower.compile w.D.w_source in
+  if probes then Core.Pseudo_probe.insert prog;
+  Opt.Pass.optimize ~config:options.D.opt_profiling prog;
+  let bin = Cg.Emit.emit ~options:options.D.emit_opts prog in
+  let log = Vm.Sample_log.create () in
+  let cycles = ref 0L in
+  List.iter
+    (fun (spec : D.run_spec) ->
+      let r =
+        Vm.Machine.run ~pmu:(Some options.D.pmu) ~sink:(Vm.Sample_log.sink log)
+          ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin
+          ~entry:w.D.w_entry
+      in
+      cycles := Int64.add !cycles r.Vm.Machine.cycles)
+    w.D.w_train;
+  !cycles
 
 let () =
   print_endline "== PGO on a bytecode interpreter (hhvm stand-in) ==\n";
   let w = W.Suite.hhvm in
   (* Profiling overhead. *)
-  let _, _, plain = D.profiling_run ~probes:false w in
-  let _, _, probed = D.profiling_run ~probes:true w in
+  let plain = profiling_cycles ~probes:false w in
+  let probed = profiling_cycles ~probes:true w in
   let instr = D.run_variant D.Instr_pgo w in
   let pct c = (Int64.to_float c -. Int64.to_float plain) /. Int64.to_float plain *. 100. in
   Printf.printf "profiling-run cost (the operational-overhead story):\n";

@@ -11,10 +11,30 @@
 
 module F = Csspgo_frontend
 module Ir = Csspgo_ir
+module Opt = Csspgo_opt
+module Cg = Csspgo_codegen
+module Vm = Csspgo_vm
 module P = Csspgo_profile
 module Core = Csspgo_core
 module D = Core.Driver
 module W = Csspgo_workloads
+
+(* A probed profiling build sampled over the training inputs. *)
+let profiling_run (w : D.workload) =
+  let options = D.default_options in
+  let prog = F.Lower.compile w.D.w_source in
+  Core.Pseudo_probe.insert prog;
+  Opt.Pass.optimize ~config:options.D.opt_profiling prog;
+  let bin = Cg.Emit.emit ~options:options.D.emit_opts prog in
+  let log = Vm.Sample_log.create () in
+  List.iter
+    (fun (spec : D.run_spec) ->
+      ignore
+        (Vm.Machine.run ~pmu:(Some options.D.pmu) ~sink:(Vm.Sample_log.sink log)
+           ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin
+           ~entry:w.D.w_entry))
+    w.D.w_train;
+  (bin, Vm.Sample_log.to_samples log)
 
 let () =
   print_endline "== CSSPGO quickstart: the scalarOp example (paper Fig. 3/4) ==\n";
@@ -32,7 +52,7 @@ let () =
     }
   in
   (* Steps 1-3: look inside the context-sensitive profile. *)
-  let pbin, samples, _ = D.profiling_run ~probes:true w in
+  let pbin, samples = profiling_run w in
   let refp =
     let p = F.Lower.compile w.D.w_source in
     Core.Pseudo_probe.insert p;

@@ -163,14 +163,6 @@ let evaluate_opts (bin : Cg.Mach.binary) (w : workload) =
 
 let evaluate bin w = evaluate_opts bin w
 
-let profiling_run ?(options = default_options) ~probes (w : workload) =
-  let prog = compile w in
-  if probes then Pseudo_probe.insert prog;
-  Opt.Pass.optimize ~config:options.opt_profiling prog;
-  let bin = Cg.Emit.emit ~options:options.emit_opts prog in
-  let r = run_specs ~pmu:(Some options.pmu) bin ~entry:w.w_entry w.w_train in
-  (bin, r.r_samples, r.r_cycles)
-
 (* ------------------------------------------------------------------ *)
 (* Staged build plans: the supported surface for running variants.     *)
 
@@ -205,12 +197,14 @@ module Plan = struct
   type evaluate_spec = { e_entry : string; e_eval : run_spec list }
 
   type stale_spec = { st_source : string; st_probes : bool }
+  type use_spec = { u_text : string; u_flat_text : string option }
 
   type stage =
     | Compile of compile_spec
     | Instrument of instrument_spec
     | Profile_run of profile_run_spec
     | Correlate of correlate_spec
+    | Use_profile of use_spec
     | Stale_apply of stale_spec
     | Preinline of preinline_spec
     | Rebuild of rebuild_spec
@@ -321,6 +315,44 @@ module Plan = struct
     in
     { base with pl_stages = stages }
 
+  (* Profile-injection plans: rebuild [w.w_source] against an externally
+     produced (fleet-merged, train-carried) profile. The profile shape
+     picks the variant so caching, annotation and quality accounting all
+     behave exactly as the sampled equivalent would. *)
+  let make_with_profile ?(options = default_options) ~profile ?flat (w : workload) =
+    let kind = P.Text_io.kind_of profile in
+    let variant =
+      match kind with
+      | P.Text_io.Line -> Autofdo
+      | P.Text_io.Probe -> Csspgo_probe_only
+      | P.Text_io.Ctx -> Csspgo_full
+    in
+    let probes = match kind with P.Text_io.Line -> false | _ -> true in
+    let use =
+      Use_profile
+        {
+          u_text = P.Text_io.to_string profile;
+          u_flat_text =
+            Option.map (fun f -> P.Text_io.to_string (P.Text_io.Probe_prof f)) flat;
+        }
+    in
+    let rebuild =
+      Rebuild
+        {
+          r_probes = probes;
+          r_prepass = None;
+          r_config = options.opt_final;
+          r_emit = options.emit_opts;
+        }
+    in
+    let evaluate = Evaluate { e_entry = w.w_entry; e_eval = w.w_eval } in
+    let stages =
+      match kind with
+      | P.Text_io.Ctx -> [ use; Preinline { pi_config = options.preinline }; rebuild; evaluate ]
+      | _ -> [ use; rebuild; evaluate ]
+    in
+    { pl_variant = variant; pl_workload = w; pl_options = options; pl_stages = stages }
+
   type hooks = {
     memo :
       'a.
@@ -348,10 +380,29 @@ module Plan = struct
     | Instrument _ -> "instrument"
     | Profile_run _ -> "profile-run"
     | Correlate _ -> "correlate"
+    | Use_profile _ -> "use-profile"
     | Stale_apply _ -> "stale-apply"
     | Preinline _ -> "preinline"
     | Rebuild _ -> "rebuild"
     | Evaluate _ -> "evaluate"
+
+  (* Rough serialized-size estimates (one row per entry), shared by the
+     Correlate and Use_profile stages. *)
+  let line_profile_size (lp : P.Line_profile.t) =
+    Ir.Guid.Tbl.fold
+      (fun _ fe acc ->
+        acc + 24
+        + (12 * Hashtbl.length fe.P.Line_profile.fe_lines)
+        + (18 * Hashtbl.length fe.P.Line_profile.fe_calls))
+      lp.P.Line_profile.funcs 0
+
+  let probe_profile_size (pp : P.Probe_profile.t) =
+    Ir.Guid.Tbl.fold
+      (fun _ fe acc ->
+        acc + 24
+        + (10 * Hashtbl.length fe.P.Probe_profile.fe_probes)
+        + (18 * Hashtbl.length fe.P.Probe_profile.fe_calls))
+      pp.P.Probe_profile.funcs 0
 
   (* Fingerprints for cache keys: FNV-1a over the Marshal image of a spec.
      Every spec type is a closure-free record, so this is total. *)
@@ -577,25 +628,12 @@ module Plan = struct
               in
               profile := Some (Prof_lines lp);
               profile_ser := text;
-              (* rough text encoding: one row per line entry *)
-              profile_size :=
-                Ir.Guid.Tbl.fold
-                  (fun _ fe acc ->
-                    acc + 24
-                    + (12 * Hashtbl.length fe.P.Line_profile.fe_lines)
-                    + (18 * Hashtbl.length fe.P.Line_profile.fe_calls))
-                  lp.P.Line_profile.funcs 0
+              profile_size := line_profile_size lp
           | Corr_probes ->
               let pp, text = probe_flat () in
               profile := Some (Prof_probes pp);
               profile_ser := text;
-              profile_size :=
-                Ir.Guid.Tbl.fold
-                  (fun _ fe acc ->
-                    acc + 24
-                    + (10 * Hashtbl.length fe.P.Probe_profile.fe_probes)
-                    + (18 * Hashtbl.length fe.P.Probe_profile.fe_calls))
-                  pp.P.Probe_profile.funcs 0
+              profile_size := probe_profile_size pp
           | Corr_ctx { cc_missing_frames; cc_trim_threshold } ->
               let built = ref None in
               let text, stats =
@@ -672,6 +710,30 @@ module Plan = struct
               profile_ser := mser v;
               profile_size := 8 * inst.in_map.Instrument.n_counters);
           hooks.stat ~name:"correlate.profile-bytes" (String.length !profile_ser)
+      | Use_profile us ->
+          (* Adopt an externally merged profile as this plan's correlated
+             profile. The text is already canonical, so it doubles as the
+             serialized form the caches key on. *)
+          (match P.Text_io.of_string us.u_text with
+          | P.Text_io.Line_prof lp ->
+              profile := Some (Prof_lines lp);
+              profile_size := line_profile_size lp
+          | P.Text_io.Probe_prof pp ->
+              profile := Some (Prof_probes pp);
+              profile_size := probe_profile_size pp
+          | P.Text_io.Ctx_prof trie ->
+              let flat =
+                match us.u_flat_text with
+                | Some t -> (
+                    match P.Text_io.read P.Text_io.Probe t with
+                    | P.Text_io.Probe_prof pp -> pp
+                    | _ -> assert false)
+                | None -> P.Merge.flatten_ctx trie
+              in
+              profile := Some (Prof_ctx { x_trie = trie; x_flat = flat });
+              profile_size := P.Ctx_profile.size_bytes trie);
+          profile_ser := us.u_text;
+          hooks.stat ~name:"correlate.profile-bytes" (String.length !profile_ser)
       | Stale_apply ss ->
           (* The match target is the *pre-optimization* IR of the new build,
              probed for the probe variants so checksums and callsite ids
@@ -710,14 +772,31 @@ module Plan = struct
       | Preinline { pi_config } -> (
           match !profile with
           | Some (Prof_ctx { x_trie; _ }) ->
-              let po =
-                match !prof with
-                | Some po -> po
-                | None -> invalid_arg "Plan.run: Preinline before Profile_run"
-              in
               (match pi_config with
               | Some cfg ->
-                  let sizes = Size_extract.compute po.pr_bin in
+                  let sizes =
+                    match !prof with
+                    | Some po -> Size_extract.compute po.pr_bin
+                    | None ->
+                        (* Injected-profile plan (Use_profile): no profiling
+                           binary in this plan. Rebuild the probed
+                           profiling-shape binary of the rebuild source —
+                           the shape fleet instances were sampling — for
+                           the inline cost extraction. *)
+                        hooks.memo ~kind:"preinline-sizes"
+                          ~key:
+                            [
+                              fp_string !rebuild_source;
+                              fp (plan.pl_options.opt_profiling, plan.pl_options.emit_opts);
+                            ]
+                          ~ser:mser ~de:mde
+                          (fun () ->
+                            let prog = Frontend.Lower.compile !rebuild_source in
+                            Pseudo_probe.insert prog;
+                            Opt.Pass.optimize ~config:plan.pl_options.opt_profiling prog;
+                            Size_extract.compute
+                              (Cg.Emit.emit ~options:plan.pl_options.emit_opts prog))
+                  in
                   decisions := Preinliner.run ~config:cfg x_trie sizes
               | None ->
                   (* Without the pre-inliner every context merges into base. *)

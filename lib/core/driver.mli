@@ -126,11 +126,26 @@ module Plan : sig
       {e old} source) is re-anchored onto the pre-opt IR of [st_source] via
       {!Stale_match}, and the final build compiles [st_source]. *)
 
+  type use_spec = {
+    u_text : string;
+        (** canonical {!Csspgo_profile.Text_io} text of the injected
+            profile (any sampling shape) *)
+    u_flat_text : string option;
+        (** for context profiles: the flat (context-merged) probe profile
+            used as the quality baseline; when [None] the trie is
+            flattened via {!Csspgo_profile.Merge.flatten_ctx} *)
+  }
+  (** Profile-injection stage: adopt an externally produced profile —
+      merged across a fleet, carried over a release train — as if a
+      [Correlate] stage had just built it. Replaces the
+      [Compile; Profile_run; Correlate] prefix. *)
+
   type stage =
     | Compile of compile_spec
     | Instrument of instrument_spec
     | Profile_run of profile_run_spec
     | Correlate of correlate_spec
+    | Use_profile of use_spec
     | Stale_apply of stale_spec
     | Preinline of preinline_spec
     | Rebuild of rebuild_spec
@@ -154,6 +169,19 @@ module Plan : sig
       after [Correlate] — profile on [w.w_source], match against and rebuild
       [stale_source]. Only meaningful for sampling variants; raises
       [Invalid_argument] for [Nopgo] / [Instr_pgo]. *)
+
+  val make_with_profile :
+    ?options:options ->
+    profile:Csspgo_profile.Text_io.profile ->
+    ?flat:Csspgo_profile.Probe_profile.t ->
+    workload ->
+    t
+  (** A plan that injects [profile] instead of collecting one:
+      [Use_profile; (Preinline for context shapes); Rebuild; Evaluate]
+      against [w.w_source]. The variant is implied by the profile's kind
+      (line → [Autofdo], probe → [Csspgo_probe_only], ctx →
+      [Csspgo_full]); [flat] is the context shape's quality baseline. The
+      fleet release train rebuilds every generation through this. *)
 
   type hooks = {
     memo :
@@ -199,8 +227,9 @@ module Plan : sig
 
   val stage_name : stage -> string
   (** Stable lower-case stage label: ["compile"], ["instrument"],
-      ["profile-run"], ["correlate"], ["stale-apply"], ["preinline"],
-      ["rebuild"], ["evaluate"]. Used as span names and in reports. *)
+      ["profile-run"], ["correlate"], ["use-profile"], ["stale-apply"],
+      ["preinline"], ["rebuild"], ["evaluate"]. Used as span names and in
+      reports. *)
 
   val run : ?hooks:hooks -> t -> outcome
   (** Interpret the stages in order. Raises [Invalid_argument] on malformed
@@ -211,19 +240,6 @@ end
 
 val run_variant : ?options:options -> variant -> workload -> outcome
 (** Thin wrapper: [Plan.run (Plan.make ?options ~variant w)]. *)
-
-val profiling_run :
-  ?options:options ->
-  probes:bool ->
-  workload ->
-  Csspgo_codegen.Mach.binary * Csspgo_vm.Machine.sample list * int64
-(** Build the profiling binary (optionally pseudo-instrumented), run the
-    training inputs under the PMU, and return (binary, samples, cycles).
-    Exposed for the overhead experiments (Fig. 8).
-    @deprecated Outside [lib/core], build a plan with {!Plan.make} (or a
-    custom stage list ending at [Profile_run]) instead; this entry point
-    bypasses the plan cache and will lose its public status once the bench
-    overhead experiments migrate. *)
 
 val evaluate : Csspgo_codegen.Mach.binary -> workload -> eval
 (** Run the eval inputs (no PMU) and aggregate. *)

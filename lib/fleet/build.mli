@@ -1,0 +1,56 @@
+(** Per-version build and correlation support for the fleet loop.
+
+    Each binary version in flight gets one {!built}: the probed profiling
+    binary its instances serve traffic on, plus the pre-optimization IR
+    that anchors correlation names/checksums and stale matching. Once the
+    collector has reassembled a version's sample log, {!correlate} runs
+    the same streaming recipe as a [Driver.Plan] [Correlate] stage (range
+    aggregation + missing-frame table + context-trie replay), so a
+    single-version fleet at full duty produces a profile byte-identical to
+    the plan pipeline's. *)
+
+type shape = Lines | Probes | Ctx
+(** The sampled profile shape: DWARF line (AutoFDO), flat pseudo-probe,
+    or context trie (full CSSPGO). *)
+
+val shape_name : shape -> string
+val kind_of_shape : shape -> Csspgo_profile.Text_io.kind
+
+val shape_of_variant : Csspgo_core.Driver.variant -> shape option
+(** [None] for the unsampled variants ([Nopgo], [Instr_pgo]). *)
+
+val variant_of_shape : shape -> Csspgo_core.Driver.variant
+
+type built = {
+  vb_source : string;
+  vb_bin : Csspgo_codegen.Mach.binary;
+      (** profiling build: probed for [Probes]/[Ctx], plain for [Lines] *)
+  vb_target : Csspgo_ir.Program.t;
+      (** pre-opt IR, probed for the probe shapes — the stale-match target
+          and the name/checksum reference *)
+  vb_names : string Csspgo_ir.Guid.Tbl.t;
+  vb_checksums : int64 Csspgo_ir.Guid.Tbl.t;
+}
+
+val profiling_build :
+  options:Csspgo_core.Driver.options -> shape:shape -> source:string -> built
+
+val correlate :
+  ?obs:Csspgo_obs.Metrics.t ->
+  options:Csspgo_core.Driver.options ->
+  shape:shape ->
+  built ->
+  Csspgo_vm.Sample_log.t ->
+  Csspgo_profile.Text_io.profile * Csspgo_profile.Probe_profile.t option
+(** Correlate a (merged) sample log collected on [built]'s binary. For
+    [Ctx] the context trie is trimmed at [options.trim_threshold] and the
+    flat (context-merged) probe profile rides along as the quality
+    baseline; other shapes return [None]. *)
+
+val match_onto :
+  ?obs:Csspgo_obs.Metrics.t ->
+  target:Csspgo_ir.Program.t ->
+  Csspgo_profile.Text_io.profile ->
+  Csspgo_profile.Text_io.profile * Csspgo_core.Stale_match.report
+(** Kind-dispatched stale matching — route one version's profile onto
+    another version's {!built}[.vb_target] before merging. *)

@@ -1,0 +1,102 @@
+module Vm = Csspgo_vm
+module Obs = Csspgo_obs
+module S = Csspgo_orchestrator.Scheduler
+
+type t = {
+  c_shards : Instance.batch list ref array;  (** newest-first per shard *)
+  c_batches : Obs.Metrics.counter;
+  c_bytes : Obs.Metrics.counter;
+  c_samples : Obs.Metrics.counter;
+}
+
+let create ?(obs = Obs.Metrics.null) ~shards () =
+  if shards <= 0 then invalid_arg "Collector.create: shards must be positive";
+  {
+    c_shards = Array.init shards (fun _ -> ref []);
+    c_batches = Obs.Metrics.counter obs "collector.batches";
+    c_bytes = Obs.Metrics.counter obs "collector.bytes";
+    c_samples = Obs.Metrics.counter obs "collector.samples";
+  }
+
+let shards t = Array.length t.c_shards
+
+let ingest t (b : Instance.batch) =
+  let shard = t.c_shards.(b.Instance.b_instance mod Array.length t.c_shards) in
+  shard := b :: !shard;
+  Obs.Metrics.incr t.c_batches;
+  Obs.Metrics.bump t.c_bytes (String.length b.Instance.b_blob);
+  Obs.Metrics.bump t.c_samples b.Instance.b_samples
+
+type merged = {
+  m_version : int;
+  m_log : Vm.Sample_log.t;
+  m_batches : int;
+  m_samples : int;
+  m_bytes : int;
+}
+
+let decode (b : Instance.batch) =
+  match Vm.Sample_log.decode b.Instance.b_blob with
+  | Ok log -> (b, log)
+  | Error e ->
+      failwith
+        (Printf.sprintf "collector: corrupt batch from instance %d seq %d: %s"
+           b.Instance.b_instance b.Instance.b_seq
+           (Csspgo_support.Wire.error_to_string e))
+
+(* Fresh-log combine: [append ~into] mutates, and tree_reduce may reuse a
+   node's operand as another node's input on the serial path, so every
+   merge allocates its own arena. *)
+let concat a b =
+  let log = Vm.Sample_log.create () in
+  Vm.Sample_log.append ~into:log a;
+  Vm.Sample_log.append ~into:log b;
+  log
+
+let drain ?metrics ?trace ~jobs t =
+  let all =
+    Array.fold_left (fun acc shard -> List.rev_append !shard acc) [] t.c_shards
+  in
+  Array.iter (fun shard -> shard := []) t.c_shards;
+  let ordered =
+    List.sort
+      (fun (a : Instance.batch) (b : Instance.batch) ->
+        match compare a.Instance.b_version b.Instance.b_version with
+        | 0 -> (
+            match compare a.Instance.b_instance b.Instance.b_instance with
+            | 0 -> compare a.Instance.b_seq b.Instance.b_seq
+            | c -> c)
+        | c -> c)
+      all
+  in
+  (* Shard decode is the parallel stage; the batch order is already fixed,
+     so map's index-placement keeps (version, instance, seq) order. *)
+  let decoded = S.map ?metrics ?trace ~jobs decode ordered in
+  let by_version = Hashtbl.create 8 in
+  List.iter
+    (fun ((b : Instance.batch), log) ->
+      let v = b.Instance.b_version in
+      let prev = try Hashtbl.find by_version v with Not_found -> [] in
+      Hashtbl.replace by_version v ((b, log) :: prev))
+    decoded;
+  Hashtbl.fold (fun v _ acc -> v :: acc) by_version []
+  |> List.sort compare
+  |> List.map (fun v ->
+         let batches = List.rev (Hashtbl.find by_version v) in
+         let logs = List.map snd batches in
+         let log =
+           match S.tree_reduce ?metrics ?trace ~jobs concat logs with
+           | Some log -> log
+           | None -> Vm.Sample_log.create ()
+         in
+         {
+           m_version = v;
+           m_log = log;
+           m_batches = List.length batches;
+           m_samples = Vm.Sample_log.n_samples log;
+           m_bytes =
+             List.fold_left
+               (fun acc ((b : Instance.batch), _) ->
+                 acc + String.length b.Instance.b_blob)
+               0 batches;
+         })

@@ -1,0 +1,43 @@
+(** The sharded sample collector: fleet instances {!ingest} CSLG-framed
+    batches into shards (routed by instance id), and a {!drain} at the end
+    of the collection window decodes every shard in parallel and reassembles
+    one merged sample log per binary version.
+
+    Drain ordering is deterministic and independent of both arrival order
+    and [jobs]: batches sort by (version, instance, seq) — the collection
+    order within each instance, instances in fleet order — and per-version
+    logs concatenate through {!Csspgo_orchestrator.Scheduler.tree_reduce},
+    whose tree shape is a pure function of the batch count. With contiguous
+    request partitioning and full duty, a version's merged log is
+    byte-identical (under re-encoding) to the log a single instance serving
+    the whole stream would have produced. *)
+
+type t
+
+val create : ?obs:Csspgo_obs.Metrics.t -> shards:int -> unit -> t
+(** [shards] must be positive. [obs] receives [collector.batches],
+    [collector.bytes] and [collector.samples] counters as batches arrive. *)
+
+val shards : t -> int
+
+val ingest : t -> Instance.batch -> unit
+(** Route a batch to shard [b_instance mod shards]. Cheap: the CSLG blob is
+    stored undecoded; decoding is deferred to {!drain}. *)
+
+type merged = {
+  m_version : int;
+  m_log : Csspgo_vm.Sample_log.t;  (** all of the version's samples *)
+  m_batches : int;
+  m_samples : int;
+  m_bytes : int;  (** shipped CSLG bytes for this version *)
+}
+
+val drain :
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  jobs:int ->
+  t ->
+  merged list
+(** Decode and reassemble, [merged] sorted by version. Raises [Failure] on
+    a corrupt blob (naming the offending instance/seq). The collector is
+    emptied; a second drain returns []. *)

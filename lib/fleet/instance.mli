@@ -1,0 +1,49 @@
+(** One simulated VM instance in the fleet: serves its slice of the request
+    stream on a profiling binary, sampling a duty-cycled subset of requests,
+    and ships the samples to the collector as CSLG-framed batches.
+
+    Determinism contract: the PMU stream is a pure function of the binary
+    and the request (each request is its own [Machine.run]), so whether a
+    request executes under the sampler is independent of {e which} instance
+    runs it. At duty 1.0 the concatenation of a version's batches in
+    (instance, seq) order therefore reproduces the single-instance sample
+    log byte-for-byte — the anchor of the fleet's skew-0 identity oracle. *)
+
+type config = {
+  ic_instance : int;  (** fleet-unique id; collector routing key *)
+  ic_version : int;  (** binary version this instance is serving *)
+  ic_duty : float;  (** probability a request runs under the sampler *)
+  ic_batch_requests : int;  (** flush a batch every this many requests *)
+  ic_seed : int64;  (** duty-cycle gating stream *)
+}
+
+type batch = {
+  b_instance : int;
+  b_version : int;
+  b_seq : int;  (** per-instance batch sequence number, from 0 *)
+  b_blob : string;  (** CSLG-framed sample-log section *)
+  b_samples : int;
+  b_requests : int;  (** requests covered (sampled or not) *)
+}
+
+type report = {
+  ir_batches : int;
+  ir_requests : int;
+  ir_sampled : int;  (** requests that ran under the sampler *)
+  ir_samples : int;
+  ir_cycles : int64;  (** total work cycles, sampled or not *)
+}
+
+val serve :
+  config ->
+  pmu:Csspgo_vm.Machine.pmu ->
+  bin:Csspgo_codegen.Mach.binary ->
+  entry:string ->
+  requests:Csspgo_core.Driver.run_spec list ->
+  ship:(batch -> unit) ->
+  report
+(** Run every request in order; gate each under the sampler with
+    probability [ic_duty] (seeded by [ic_seed]); ship a batch after every
+    [ic_batch_requests] requests and once more at the end. Empty batches
+    (no samples collected) are not shipped, but [b_seq] still counts them
+    — sequence numbers order surviving batches, they are not dense. *)

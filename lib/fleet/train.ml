@@ -1,0 +1,130 @@
+module P = Csspgo_profile
+module Core = Csspgo_core
+module D = Core.Driver
+module W = Csspgo_workloads
+module Fnv = Csspgo_support.Fnv
+
+type config = {
+  t_generations : int;
+  t_edits : int;
+  t_drift_seed : int64;
+  t_skew : int;
+  t_cohort : int;
+  t_carry_weight : int64;
+  t_fresh_weight : int64;
+  t_overlap : bool;
+  t_fleet : Sim.config;
+}
+
+let default =
+  {
+    t_generations = 3;
+    t_edits = 2;
+    t_drift_seed = 7L;
+    t_skew = 1;
+    t_cohort = 2;
+    t_carry_weight = 1L;
+    t_fresh_weight = 3L;
+    t_overlap = true;
+    t_fleet = Sim.default;
+  }
+
+type generation = {
+  g_id : int;
+  g_source : string;
+  g_fleet : Sim.outcome;
+  g_carry : Core.Stale_match.report option;
+  g_profile : P.Text_io.profile;
+  g_outcome : D.outcome;
+  g_nopgo : D.eval;
+  g_speedup : float;
+  g_overlap : float option;
+}
+
+let run ?metrics ?trace cfg (w : D.workload) =
+  if cfg.t_generations < 1 then
+    invalid_arg "Train.run: t_generations must be at least 1";
+  if cfg.t_skew < 0 then invalid_arg "Train.run: negative t_skew";
+  let options = cfg.t_fleet.Sim.f_options in
+  (* Drift chain: each release drifts from its predecessor, so edits
+     compound down the train the way real source history does. *)
+  let sources = Array.make cfg.t_generations w.D.w_source in
+  for g = 1 to cfg.t_generations - 1 do
+    sources.(g) <-
+      (W.Drift.apply
+         ~seed:(Fnv.int cfg.t_drift_seed g)
+         ~edits:cfg.t_edits sources.(g - 1))
+        .W.Drift.dr_source
+  done;
+  let kind = Build.kind_of_shape cfg.t_fleet.Sim.f_shape in
+  let carried = ref None in
+  List.init cfg.t_generations (fun g ->
+      let source = sources.(g) in
+      let gen_w = { w with D.w_source = source } in
+      let lo = max 0 (g - cfg.t_skew) in
+      let versions =
+        List.init (g - lo + 1) (fun i ->
+            let id = lo + i in
+            {
+              Sim.v_id = id;
+              v_source = sources.(id);
+              v_weight = 1L;
+              v_instances = cfg.t_cohort;
+            })
+      in
+      let fleet = Sim.run ?metrics ?trace cfg.t_fleet ~workload:gen_w ~versions in
+      let profile, flat, carry_rep =
+        match !carried with
+        | None -> (fleet.Sim.fs_profile, fleet.Sim.fs_flat, None)
+        | Some (prev, prev_flat) ->
+            let target = fleet.Sim.fs_target.Build.vb_target in
+            let matched, rep = Build.match_onto ?obs:metrics ~target prev in
+            let profile =
+              P.Merge.weighted ~kind
+                [
+                  (cfg.t_carry_weight, matched);
+                  (cfg.t_fresh_weight, fleet.Sim.fs_profile);
+                ]
+            in
+            let flat =
+              match (prev_flat, fleet.Sim.fs_flat) with
+              | Some pf, Some ff ->
+                  let pf', _ = Core.Stale_match.match_probe ~target pf in
+                  (match
+                     P.Merge.weighted ~kind:P.Text_io.Probe
+                       [
+                         (cfg.t_carry_weight, P.Text_io.Probe_prof pf');
+                         (cfg.t_fresh_weight, P.Text_io.Probe_prof ff);
+                       ]
+                   with
+                  | P.Text_io.Probe_prof pp -> Some pp
+                  | _ -> assert false)
+              | _ -> fleet.Sim.fs_flat
+            in
+            (profile, flat, Some rep)
+      in
+      carried := Some (profile, flat);
+      let plan = D.Plan.make_with_profile ~options ~profile ?flat gen_w in
+      let outcome = D.Plan.run plan in
+      let nopgo = (D.run_variant ~options D.Nopgo gen_w).D.o_eval in
+      let speedup =
+        Int64.to_float nopgo.D.ev_cycles
+        /. Int64.to_float outcome.D.o_eval.D.ev_cycles
+      in
+      let overlap =
+        if cfg.t_overlap then
+          let truth = (D.run_variant ~options D.Instr_pgo gen_w).D.o_annotated in
+          Some (Core.Quality.block_overlap ~truth outcome.D.o_annotated)
+        else None
+      in
+      {
+        g_id = g;
+        g_source = source;
+        g_fleet = fleet;
+        g_carry = carry_rep;
+        g_profile = profile;
+        g_outcome = outcome;
+        g_nopgo = nopgo;
+        g_speedup = speedup;
+        g_overlap = overlap;
+      })

@@ -1,0 +1,53 @@
+(** The release train: the continuous-profiling loop iterated over
+    successive releases N → N+1 → … → N+k.
+
+    Each generation's source drifts from its predecessor's
+    ({!Csspgo_workloads.Drift}); a fleet window ({!Sim.run}) samples the
+    versions still in flight (the new canary plus up to [t_skew] older
+    generations, each serving its own cohort) and merges them onto the
+    canary. The carried profile then folds in history: the previous
+    generation's carried profile is forward-matched onto the new source and
+    weighted-merged with the fresh window ([t_carry_weight] :
+    [t_fresh_weight]), and the canary rebuilds through
+    {!Csspgo_core.Driver.Plan.make_with_profile}. Per-generation speedup is
+    measured against a no-PGO build of the same source; profile quality
+    against an instrumentation-PGO truth run when [t_overlap] is set. *)
+
+type config = {
+  t_generations : int;  (** releases simulated, ≥ 1 (generation 0 first) *)
+  t_edits : int;  (** drift edits applied per release *)
+  t_drift_seed : int64;
+  t_skew : int;  (** old generations still in flight alongside the canary *)
+  t_cohort : int;  (** instances per in-flight version *)
+  t_carry_weight : int64;  (** weight of the forward-matched history *)
+  t_fresh_weight : int64;  (** weight of the new fleet window *)
+  t_overlap : bool;  (** run the instr-PGO truth build for block overlap *)
+  t_fleet : Sim.config;  (** collection-window knobs (shape, duty, shards) *)
+}
+
+val default : config
+(** 3 generations, 2 edits, skew 1, cohort 2, carry:fresh = 1:3,
+    overlap on, {!Sim.default} window. *)
+
+type generation = {
+  g_id : int;
+  g_source : string;  (** this release's (drifted) MiniC source *)
+  g_fleet : Sim.outcome;  (** the collection window on this release *)
+  g_carry : Csspgo_core.Stale_match.report option;
+      (** forward-matching of the carried profile; [None] at generation 0 *)
+  g_profile : Csspgo_profile.Text_io.profile;
+      (** the carried profile the release built with *)
+  g_outcome : Csspgo_core.Driver.outcome;  (** the PGO rebuild *)
+  g_nopgo : Csspgo_core.Driver.eval;  (** no-PGO baseline, same source *)
+  g_speedup : float;  (** no-PGO cycles / PGO cycles *)
+  g_overlap : float option;  (** vs instr-PGO truth ([t_overlap] only) *)
+}
+
+val run :
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  config ->
+  Csspgo_core.Driver.workload ->
+  generation list
+(** Generation 0 first. Deterministic for equal inputs, independent of
+    [t_fleet.f_jobs]. *)

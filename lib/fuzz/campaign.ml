@@ -24,6 +24,7 @@ module O = Csspgo_orchestrator
 module S = Csspgo_support
 module P = Csspgo_profile
 module D = Core.Driver
+module Fl = Csspgo_fleet
 
 (* --- plans ---------------------------------------------------------- *)
 
@@ -86,6 +87,7 @@ type site =
   | Stream of D.variant
   | Stale of { sl_variant : D.variant option; sl_drift_seed : int64; sl_edits : int }
   | Format of string  (** which leg of the format oracle family *)
+  | Fleet of string  (** which leg of the fleet merge oracle family *)
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -103,6 +105,7 @@ let site_to_string = function
         | None -> "probe-vs-dwarf recovery")
         s.sl_drift_seed s.sl_edits
   | Format leg -> "profile format (" ^ leg ^ ")"
+  | Fleet leg -> "fleet merge (" ^ leg ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -139,6 +142,13 @@ type config = {
           logs must round-trip through both forms, and an incremental
           (cache-warm) rebuild must produce the same binary as a clean
           one *)
+  cf_fleet_oracle : bool;
+      (** fleet merge oracle family: a sharded multi-instance fleet at
+          full duty must produce the profile a single instance serving the
+          whole stream would ([Fleet.Sim]), draining must be independent
+          of the job count, and [Profile.Merge] must satisfy its laws
+          (commutative, associative, weight-linear, identity-on-empty) on
+          real correlated profiles from two drifted binary versions *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -159,6 +169,7 @@ let default_config =
     cf_stale_oracle = true;
     cf_stale_edits = 3;
     cf_format_oracle = true;
+    cf_fleet_oracle = true;
     cf_inject = None;
   }
 
@@ -497,15 +508,20 @@ let check_format ?cache ~seed src args =
     stream_variants;
   let site = Format "sample-log round-trip" in
   guarded_build site (fun () ->
-      let _, samples, _ = D.profiling_run ~options:driver_options ~probes:true w in
+      (* Probed profiling build, training runs streamed straight into a
+         recording log (no boxed sample-list materialization). *)
+      let prog = F.Lower.compile w.D.w_source in
+      Core.Pseudo_probe.insert prog;
+      Opt.Pass.optimize ~config:driver_options.D.opt_profiling prog;
+      let bin = Cg.Emit.emit ~options:driver_options.D.emit_opts prog in
       let log = Vm.Sample_log.create () in
       List.iter
-        (fun (s : Vm.Machine.sample) ->
-          Vm.Sample_log.add log ~lbr:s.Vm.Machine.s_lbr
-            ~lbr_len:(Array.length s.Vm.Machine.s_lbr)
-            ~stack:s.Vm.Machine.s_stack
-            ~stack_len:(Array.length s.Vm.Machine.s_stack))
-        samples;
+        (fun (spec : D.run_spec) ->
+          ignore
+            (Vm.Machine.run ~pmu:(Some driver_options.D.pmu)
+               ~sink:(Vm.Sample_log.sink log) ~globals_init:spec.D.rs_globals
+               ~args:spec.D.rs_args bin ~entry:w.D.w_entry))
+        w.D.w_train;
       let txt = Vm.Sample_log.to_text log in
       (match Vm.Sample_log.of_text txt with
       | Ok log' when String.equal (Vm.Sample_log.to_text log') txt -> ()
@@ -544,6 +560,98 @@ let check_format ?cache ~seed src args =
         raise
           (Fail (Result_mismatch, site, "incremental rebuild differs from clean rebuild")))
 
+(* Fleet merge oracle family (Fleet.Sim / Profile.Merge):
+   - a 3-instance 2-shard fleet at duty 1.0 must reproduce the profile of
+     one instance serving the whole stream (contiguous partitioning +
+     deterministic drain order), and draining with 2 jobs must match 1;
+   - Profile.Merge's laws hold on real correlated profiles: the oracle
+     correlates two drifted binary versions and checks commutativity,
+     associativity, weight-linearity and identity-on-empty against
+     canonical text bytes, on both the context tries and their flattened
+     probe views. *)
+
+let fleet_config =
+  {
+    Fl.Sim.default with
+    Fl.Sim.f_options = driver_options;
+    f_shards = 2;
+    f_batch_requests = 3;
+  }
+
+let check_fleet ~seed src args =
+  let w = workload_of ~seed src args in
+  let version ?(id = 0) ~n source =
+    { Fl.Sim.v_id = id; v_source = source; v_weight = 1L; v_instances = n }
+  in
+  let ts (o : Fl.Sim.outcome) = P.Text_io.to_string o.Fl.Sim.fs_profile in
+  let site = Fleet "single-vs-sharded identity" in
+  guarded_build site (fun () ->
+      let single = Fl.Sim.run fleet_config ~workload:w ~versions:[ version ~n:1 src ] in
+      let fleet = Fl.Sim.run fleet_config ~workload:w ~versions:[ version ~n:3 src ] in
+      if not (String.equal (ts single) (ts fleet)) then
+        raise
+          (Fail
+             ( Result_mismatch,
+               site,
+               "3-instance fleet profile differs from single-instance baseline" ));
+      let fleet2 =
+        Fl.Sim.run
+          { fleet_config with Fl.Sim.f_jobs = 2 }
+          ~workload:w
+          ~versions:[ version ~n:3 src ]
+      in
+      if not (String.equal (ts fleet) (ts fleet2)) then
+        raise (Fail (Result_mismatch, site, "-j 2 drain differs from -j 1")));
+  let site = Fleet "merge laws" in
+  guarded_build site (fun () ->
+      let d = W.Drift.apply ~seed:(drift_seed_of seed) ~edits:2 src in
+      let out =
+        Fl.Sim.run fleet_config ~workload:w
+          ~versions:
+            [ version ~id:0 ~n:2 src; version ~id:1 ~n:2 d.W.Drift.dr_source ]
+      in
+      let p0, p1 =
+        match out.Fl.Sim.fs_per_version with
+        | [ a; b ] -> (a.Fl.Sim.pv_profile, b.Fl.Sim.pv_profile)
+        | _ -> raise (Fail (Result_mismatch, site, "expected two versions"))
+      in
+      let laws kind name p0 p1 =
+        let fail leg =
+          raise (Fail (Result_mismatch, site, name ^ ": merge not " ^ leg))
+        in
+        let wtd l = P.Text_io.to_string (P.Merge.weighted ~kind l) in
+        let merge2 a b = P.Merge.weighted ~kind [ (1L, a); (1L, b) ] in
+        (* a distinct third profile for associativity *)
+        let p2 = P.Merge.weighted ~kind [ (2L, p0) ] in
+        if not (String.equal (wtd [ (1L, p0); (1L, p1) ]) (wtd [ (1L, p1); (1L, p0) ]))
+        then fail "commutative";
+        if
+          not
+            (String.equal
+               (P.Text_io.to_string (merge2 (merge2 p0 p1) p2))
+               (P.Text_io.to_string (merge2 p0 (merge2 p1 p2))))
+        then fail "associative";
+        if
+          not
+            (String.equal
+               (wtd [ (3L, p0) ])
+               (wtd [ (1L, p0); (1L, p0); (1L, p0) ]))
+        then fail "weight-linear";
+        if
+          not
+            (String.equal
+               (P.Text_io.to_string (merge2 p0 (P.Merge.empty kind)))
+               (P.Text_io.to_string p0))
+        then fail "identity-on-empty"
+      in
+      laws P.Text_io.Ctx "ctx" p0 p1;
+      let flatten p =
+        match p with
+        | P.Text_io.Ctx_prof trie -> P.Text_io.Probe_prof (P.Merge.flatten_ctx trie)
+        | _ -> raise (Fail (Result_mismatch, site, "fleet profile not a ctx trie"))
+      in
+      laws P.Text_io.Probe "flat" (flatten p0) (flatten p1))
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -580,6 +688,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         (* The whole family replays: minimization only needs "same kind". *)
         check_stale ?hooks ?cache cfg ~seed src args
     | Some (Format _) -> check_format ?cache ~seed src args
+    | Some (Fleet _) -> check_fleet ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -601,7 +710,8 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
           List.iter (fun v -> check_stream v ~seed src) stream_variants;
         if cfg.cf_stale_oracle && cfg.cf_stale_edits > 0 then
           check_stale ?hooks ?cache cfg ~seed src args;
-        if cfg.cf_format_oracle then check_format ?cache ~seed src args);
+        if cfg.cf_format_oracle then check_format ?cache ~seed src args;
+        if cfg.cf_fleet_oracle then check_fleet ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -643,12 +753,13 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
     (if cfg.cf_stale_oracle then "" else " --no-stale-oracle")
     (if cfg.cf_format_oracle then "" else " --no-format-oracle")
+    (if cfg.cf_fleet_oracle then "" else " --no-fleet-oracle")
     (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
      else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""

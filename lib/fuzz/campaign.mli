@@ -3,7 +3,7 @@
     Each seed deterministically yields one random MiniC program
     ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
     randomly permuted pass pipelines, and (optionally) all five
-    [Core.Driver] PGO variants. Four oracle families guard the paper's
+    [Core.Driver] PGO variants. Seven oracle families guard the paper's
     central claim — that probes, context-sensitive profiles and aggressive
     optimization never perturb semantics or profile quality:
 
@@ -24,7 +24,14 @@
       binary must compute the drifted program's own -O0 result, and the
       probe matcher's count recovery must never fall below the DWARF
       matcher's. Failure sites carry the edit-script seed and length, so
-      every counterexample replays from the CLI in one command.
+      every counterexample replays from the CLI in one command;
+    - {b profile formats}: every pipeline profile dump survives
+      text → binary → text byte-identically, sample logs round-trip
+      through both forms, and cache-warm rebuilds reproduce clean builds;
+    - {b fleet merging}: a sharded multi-instance fleet at full duty
+      reproduces the single-instance profile byte-for-byte, draining is
+      job-count independent, and [Profile.Merge] satisfies its algebraic
+      laws on real correlated profiles from two drifted binary versions.
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -66,6 +73,11 @@ type site =
       (** binary/text profile format oracle family ([Profile.Binary_io],
           [Vm.Sample_log], incremental-vs-clean rebuilds); the string
           names the failing leg *)
+  | Fleet of string
+      (** fleet merge oracle family ([Fleet.Sim], [Profile.Merge]): merge
+          laws on real correlated profiles, sharded-fleet-vs-single-instance
+          byte identity, jobs-independent drain; the string names the
+          failing leg *)
 
 val site_to_string : site -> string
 
@@ -92,6 +104,7 @@ type config = {
   cf_stale_oracle : bool;
   cf_stale_edits : int;
   cf_format_oracle : bool;
+  cf_fleet_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

@@ -105,3 +105,23 @@ let map ?metrics ?trace ~jobs f xs =
          | Some (Error e) -> raise e
          | None -> assert false)
   end
+
+let rec tree_reduce ?metrics ?trace ~jobs f xs =
+  match xs with
+  | [] -> None
+  | [ x ] -> Some x
+  | _ ->
+      (* Pair up adjacent elements; an odd tail passes through untouched.
+         Each round is one [map], so pair merges run in parallel while the
+         tree shape (and thus the result) stays jobs-independent. *)
+      let rec pairs = function
+        | a :: b :: tl -> (a, Some b) :: pairs tl
+        | [ a ] -> [ (a, None) ]
+        | [] -> []
+      in
+      let merged =
+        map ?metrics ?trace ~jobs
+          (function a, Some b -> f a b | a, None -> a)
+          (pairs xs)
+      in
+      tree_reduce ?metrics ?trace ~jobs f merged

@@ -29,3 +29,19 @@ val map :
     [domain-N] track per worker with a [task-i] span per task — but only on
     wall-clock traces: worker assignment is schedule-dependent, so
     deterministic (fixed-clock) traces omit scheduler tracks entirely. *)
+
+val tree_reduce :
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  jobs:int ->
+  ('a -> 'a -> 'a) ->
+  'a list ->
+  'a option
+(** [tree_reduce ~jobs f xs] combines [xs] pairwise in rounds — round one
+    merges elements (0,1), (2,3), ..., each round via {!map} — until one
+    value remains; [None] on the empty list. The reduction tree is a pure
+    function of [List.length xs], and {!map} places results by input
+    index, so the result is identical whatever [jobs] is, even for a
+    non-commutative [f] (operands keep list order). An associative [f]
+    makes the result equal to a left fold; the fleet merge reduction runs
+    log-concatenation and profile merging through this. *)

@@ -250,14 +250,3 @@ let decode s =
       with Wire.Error e -> Error e)
 
 let is_binary s = Wire.sniff ~magic s
-
-let read_any s =
-  if is_binary s then
-    match decode s with
-    | Ok p -> Ok p
-    | Error e -> Error (Wire.error_to_string e)
-  else
-    match Text_io.of_string s with
-    | p -> Ok p
-    | exception Text_io.Parse_error (msg, line) ->
-        Error (Printf.sprintf "text parse error at line %d: %s" line msg)

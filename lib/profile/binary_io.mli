@@ -31,8 +31,5 @@ val decode : string -> (Text_io.profile, Csspgo_support.Wire.error) result
 
 val is_binary : string -> bool
 (** Format sniffing: does the data start with {!magic}? Text profiles never
-    do ([#], [function] or [context] lead). *)
-
-val read_any : string -> (Text_io.profile, string) result
-(** Auto-detect: binary blobs go through {!decode}, anything else through
-    {!Text_io.of_string}; either failure mode becomes a message. *)
+    do ([#], [function] or [context] lead). Auto-detecting reads live in
+    {!Io}, the form-dispatching facade. *)

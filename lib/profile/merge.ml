@@ -1,0 +1,158 @@
+module Ir = Csspgo_ir
+module PP = Probe_profile
+module LP = Line_profile
+module CP = Ctx_profile
+
+let check_weight w =
+  if Int64.compare w 0L < 0 then invalid_arg "Merge: negative weight"
+
+let scale w c = Int64.mul w c
+
+(* Names merge by minimum non-empty string — a commutative, associative,
+   idempotent resolution, so merge order can never change the serialized
+   name. Entries absent from the source stay absent (the writers' hex-guid
+   default then reproduces the source bytes). *)
+let better_name cur cand =
+  if String.equal cand "" then cur
+  else if String.equal cur "" then cand
+  else if String.compare cand cur < 0 then cand
+  else cur
+
+let resolve_name names guid cand =
+  if not (String.equal cand "") then
+    match Ir.Guid.Tbl.find_opt names guid with
+    | None -> Ir.Guid.Tbl.replace names guid cand
+    | Some cur ->
+        let b = better_name cur cand in
+        if not (String.equal b cur) then Ir.Guid.Tbl.replace names guid b
+
+(* Checksums merge by unsigned max: 0 (absent) never beats a real checksum,
+   and max is the commutative/associative tie-break when two non-zero
+   checksums meet (possible only for unmatched cross-version merges —
+   stale matching stamps the target checksum before profiles get here). *)
+let merge_checksum ~into:d s =
+  if Int64.unsigned_compare s d > 0 then s else d
+
+(* Weighted accumulation of a probe-shaped fentry (shared with ctx nodes).
+   [add_probe] maintains [fe_total], so totals stay the sum of entries. *)
+let merge_fentry ~into:(d : PP.fentry) ~weight (s : PP.fentry) =
+  Hashtbl.iter (fun id c -> PP.add_probe d id (scale weight c)) s.PP.fe_probes;
+  Hashtbl.iter
+    (fun site tbl ->
+      Hashtbl.iter (fun callee c -> PP.add_call d site callee (scale weight c)) tbl)
+    s.PP.fe_calls;
+  d.PP.fe_head <- Int64.add d.PP.fe_head (scale weight s.PP.fe_head);
+  d.PP.fe_checksum <- merge_checksum ~into:d.PP.fe_checksum s.PP.fe_checksum
+
+let probe_fentry_of (t : PP.t) guid =
+  match Ir.Guid.Tbl.find_opt t.PP.funcs guid with
+  | Some fe -> fe
+  | None ->
+      let fe =
+        {
+          PP.fe_total = 0L;
+          fe_head = 0L;
+          fe_probes = Hashtbl.create 16;
+          fe_calls = Hashtbl.create 4;
+          fe_checksum = 0L;
+        }
+      in
+      Ir.Guid.Tbl.replace t.PP.funcs guid fe;
+      fe
+
+let probe ~into ~weight (src : PP.t) =
+  check_weight weight;
+  if not (Int64.equal weight 0L) then
+    Ir.Guid.Tbl.iter
+      (fun guid fe ->
+        let d = probe_fentry_of into guid in
+        (match Ir.Guid.Tbl.find_opt src.PP.names guid with
+        | Some n -> resolve_name into.PP.names guid n
+        | None -> ());
+        merge_fentry ~into:d ~weight fe)
+      src.PP.funcs
+
+let line_fentry_of (t : LP.t) guid =
+  match Ir.Guid.Tbl.find_opt t.LP.funcs guid with
+  | Some fe -> fe
+  | None ->
+      let fe =
+        {
+          LP.fe_total = 0L;
+          fe_head = 0L;
+          fe_lines = Hashtbl.create 16;
+          fe_calls = Hashtbl.create 4;
+        }
+      in
+      Ir.Guid.Tbl.replace t.LP.funcs guid fe;
+      fe
+
+let line ~into ~weight (src : LP.t) =
+  check_weight weight;
+  if not (Int64.equal weight 0L) then
+    Ir.Guid.Tbl.iter
+      (fun guid fe ->
+        let d = line_fentry_of into guid in
+        (match Ir.Guid.Tbl.find_opt src.LP.names guid with
+        | Some n -> resolve_name into.LP.names guid n
+        | None -> ());
+        Hashtbl.iter (fun key c -> LP.add_line d key (scale weight c)) fe.LP.fe_lines;
+        Hashtbl.iter
+          (fun key tbl ->
+            Hashtbl.iter (fun callee c -> LP.add_call d key callee (scale weight c)) tbl)
+          fe.LP.fe_calls;
+        d.LP.fe_head <- Int64.add d.LP.fe_head (scale weight fe.LP.fe_head))
+      src.LP.funcs
+
+(* Trie unification: walk the source trie and find-or-create the same
+   (callsite, callee) chain in the destination via [Ctx_profile.attach] —
+   the O(1) step primitive — accumulating each node's fentry on the way. *)
+let rec merge_ctx_node t ~dst ~weight (s : CP.node) =
+  merge_fentry ~into:dst.CP.n_prof ~weight s.CP.n_prof;
+  if s.CP.n_inlined then dst.CP.n_inlined <- true;
+  dst.CP.n_name <- better_name dst.CP.n_name s.CP.n_name;
+  Hashtbl.iter
+    (fun ((site, guid) : CP.frame_key) child ->
+      let c = CP.attach t ~parent:(Some dst) ~site guid ~name:child.CP.n_name in
+      merge_ctx_node t ~dst:c ~weight child)
+    s.CP.n_children
+
+let ctx ~into ~weight (src : CP.t) =
+  check_weight weight;
+  if not (Int64.equal weight 0L) then
+    Ir.Guid.Tbl.iter
+      (fun guid root ->
+        let dst = CP.attach into ~parent:None ~site:0 guid ~name:root.CP.n_name in
+        merge_ctx_node into ~dst ~weight root)
+      src.CP.roots
+
+let into ~into:dst ~weight src =
+  match (dst, src) with
+  | Text_io.Probe_prof d, Text_io.Probe_prof s -> probe ~into:d ~weight s
+  | Text_io.Line_prof d, Text_io.Line_prof s -> line ~into:d ~weight s
+  | Text_io.Ctx_prof d, Text_io.Ctx_prof s -> ctx ~into:d ~weight s
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Merge.into: cannot merge a %s profile into a %s profile"
+           (Text_io.kind_name (Text_io.kind_of src))
+           (Text_io.kind_name (Text_io.kind_of dst)))
+
+let empty = function
+  | Text_io.Line -> Text_io.Line_prof (LP.create ())
+  | Text_io.Probe -> Text_io.Probe_prof (PP.create ())
+  | Text_io.Ctx -> Text_io.Ctx_prof (CP.create ())
+
+let weighted ~kind srcs =
+  let acc = empty kind in
+  List.iter (fun (weight, src) -> into ~into:acc ~weight src) srcs;
+  acc
+
+let copy p = weighted ~kind:(Text_io.kind_of p) [ (1L, p) ]
+
+let flatten_ctx trie =
+  let flat = PP.create () in
+  CP.iter_nodes trie (fun _ node ->
+      let fe = probe_fentry_of flat node.CP.n_func in
+      resolve_name flat.PP.names node.CP.n_func node.CP.n_name;
+      merge_fentry ~into:fe ~weight:1L node.CP.n_prof);
+  flat

@@ -67,10 +67,6 @@ let write_line fmt (t : LP.t) =
              Format.fprintf fmt " callline %d.%d %Lx %Ld@." l d g c))
     (List.sort Ir.Guid.compare guids)
 
-let to_string writer t = Format.asprintf "%a" writer t
-let probe_to_string t = to_string write_probe t
-let ctx_to_string t = to_string write_ctx t
-let line_to_string t = to_string write_line t
 
 (* ------------------------------------------------------------------ *)
 (* Readers.                                                            *)
@@ -269,8 +265,3 @@ let total_samples = function
   | Line_prof t -> LP.total_samples t
   | Probe_prof t -> PP.total_samples t
   | Ctx_prof t -> CP.total_samples t
-
-(* Per-kind aliases, kept for one release. *)
-let read_probe = read_probe_impl
-let read_ctx = read_ctx_impl
-let read_line = read_line_impl

@@ -63,21 +63,3 @@ val of_string : ?kind:kind -> string -> profile
     {!Parse_error}. *)
 
 val total_samples : profile -> int64
-
-(** {1 Per-kind entry points}
-
-    Aliases of the unified interface, kept for one release.
-    @deprecated Use {!write} / {!read} / {!to_string} / {!of_string}. *)
-
-val write_probe : Format.formatter -> Probe_profile.t -> unit
-val read_probe : string -> Probe_profile.t
-
-val write_ctx : Format.formatter -> Ctx_profile.t -> unit
-val read_ctx : string -> Ctx_profile.t
-
-val write_line : Format.formatter -> Line_profile.t -> unit
-val read_line : string -> Line_profile.t
-
-val probe_to_string : Probe_profile.t -> string
-val ctx_to_string : Ctx_profile.t -> string
-val line_to_string : Line_profile.t -> string

@@ -75,6 +75,12 @@ let to_samples t =
         :: !out);
   List.rev !out
 
+let append ~into src =
+  ensure into src.len;
+  Array.blit src.data 0 into.data into.len src.len;
+  into.len <- into.len + src.len;
+  into.n <- into.n + src.n
+
 let n_samples t = t.n
 let words t = Array.length t.data + 4
 

@@ -29,6 +29,11 @@ val iter :
 val to_samples : t -> Machine.sample list
 (** Materialize as the historical boxed sample list (compat / bench). *)
 
+val append : into:t -> t -> unit
+(** Concatenate [src]'s record stream onto [into] (one arena blit; [src]
+    is untouched). Replaying the result is replaying [into] then [src] —
+    the fleet collector's per-version log reassembly primitive. *)
+
 val n_samples : t -> int
 
 val words : t -> int

@@ -69,15 +69,15 @@ let test_sniffing () =
   Alcotest.(check bool) "binary sniffs binary" true (B.is_binary b);
   Alcotest.(check bool) "text does not sniff binary" false
     (B.is_binary (P.Text_io.to_string p));
-  (match B.read_any b with
+  (match P.Io.read b with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail ("read_any binary: " ^ e));
+  | Error e -> Alcotest.fail ("Io.read binary: " ^ e));
   let t = PP.create () in
   let fe = PP.get_or_add t (g "f") ~name:"f" in
   PP.add_probe fe 1 5L;
-  match B.read_any (P.Text_io.probe_to_string t) with
-  | Ok p -> Alcotest.(check int64) "read_any text" 5L (P.Text_io.total_samples p)
-  | Error e -> Alcotest.fail ("read_any text: " ^ e)
+  match P.Io.read (P.Text_io.to_string (P.Text_io.Probe_prof t)) with
+  | Ok p -> Alcotest.(check int64) "Io.read text" 5L (P.Text_io.total_samples p)
+  | Error e -> Alcotest.fail ("Io.read text: " ^ e)
 
 (* --- version handling ------------------------------------------------- *)
 
@@ -381,7 +381,7 @@ let suite =
     [
       Alcotest.test_case "empty profiles round-trip" `Quick test_empty_profiles;
       Alcotest.test_case "zero and max-int counters" `Quick test_extreme_counters;
-      Alcotest.test_case "format sniffing and read_any" `Quick test_sniffing;
+      Alcotest.test_case "format sniffing and Io.read" `Quick test_sniffing;
       Alcotest.test_case "future versions rejected" `Quick test_version_rejection;
       Alcotest.test_case "v1 blobs keep decoding" `Quick test_v1_compat;
       Alcotest.test_case "corruption: bit flips" `Quick test_bit_flips;

@@ -313,7 +313,23 @@ let test_size_extract () =
 
 let test_preinliner_marks_hot_chain () =
   let w = W.Suite.adretriever in
-  let pbin, samples, _ = D.profiling_run ~probes:true w in
+  let pbin, samples =
+    (* probed profiling build sampled over the training inputs *)
+    let options = D.default_options in
+    let prog = F.Lower.compile w.D.w_source in
+    Core.Pseudo_probe.insert prog;
+    Opt.Pass.optimize ~config:options.D.opt_profiling prog;
+    let bin = Cg.Emit.emit ~options:options.D.emit_opts prog in
+    let log = Vm.Sample_log.create () in
+    List.iter
+      (fun (spec : D.run_spec) ->
+        ignore
+          (Vm.Machine.run ~pmu:(Some options.D.pmu)
+             ~sink:(Vm.Sample_log.sink log) ~globals_init:spec.D.rs_globals
+             ~args:spec.D.rs_args bin ~entry:w.D.w_entry))
+      w.D.w_train;
+    (bin, Vm.Sample_log.to_samples log)
+  in
   let refp =
     let p = F.Lower.compile w.D.w_source in
     Core.Pseudo_probe.insert p;

@@ -8,6 +8,7 @@ let () =
       Test_codegen.suite;
       Test_vm.suite;
       Test_profile.suite;
+      Test_merge.suite;
       Test_binary_io.suite;
       Test_inference.suite;
       Test_profgen.suite;
@@ -18,5 +19,6 @@ let () =
       Test_fuzz.suite;
       Test_stale.suite;
       Test_incremental.suite;
+      Test_fleet.suite;
       Test_obs.suite;
     ]

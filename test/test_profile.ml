@@ -7,6 +7,28 @@ module CP = P.Ctx_profile
 
 let g name = Ir.Guid.of_name name
 
+(* Per-shape wrappers over the unified [Text_io] surface: serialization
+   always goes through [to_string]/[read]; these just wrap/unwrap the
+   shape constructors for the round-trip tests below. *)
+let probe_to_string t = P.Text_io.to_string (P.Text_io.Probe_prof t)
+let line_to_string t = P.Text_io.to_string (P.Text_io.Line_prof t)
+let ctx_to_string t = P.Text_io.to_string (P.Text_io.Ctx_prof t)
+
+let read_probe s =
+  match P.Text_io.read P.Text_io.Probe s with
+  | P.Text_io.Probe_prof t -> t
+  | _ -> assert false
+
+let read_line s =
+  match P.Text_io.read P.Text_io.Line s with
+  | P.Text_io.Line_prof t -> t
+  | _ -> assert false
+
+let read_ctx s =
+  match P.Text_io.read P.Text_io.Ctx s with
+  | P.Text_io.Ctx_prof t -> t
+  | _ -> assert false
+
 let test_line_profile_max () =
   let t = LP.create () in
   let fe = LP.get_or_add t (g "f") ~name:"f" in
@@ -109,8 +131,8 @@ let test_probe_roundtrip () =
   PP.add_probe fe 1 100L;
   PP.add_probe fe 3 7L;
   PP.add_call fe 2 (g "callee") 55L;
-  let s = P.Text_io.probe_to_string t in
-  let t2 = P.Text_io.read_probe s in
+  let s = probe_to_string t in
+  let t2 = read_probe s in
   let fe2 = Option.get (PP.get t2 (g "f")) in
   Alcotest.(check int64) "head" 12L fe2.PP.fe_head;
   Alcotest.(check int64) "checksum" 0xDEADL fe2.PP.fe_checksum;
@@ -119,7 +141,7 @@ let test_probe_roundtrip () =
   Alcotest.(check (list (pair int64 int64))) "calls" [ (g "callee", 55L) ]
     (PP.call_counts fe2 2);
   (* stable: serializing again yields identical text *)
-  Alcotest.(check string) "canonical" s (P.Text_io.probe_to_string t2)
+  Alcotest.(check string) "canonical" s (probe_to_string t2)
 
 let test_ctx_roundtrip () =
   let t = mk_trie () in
@@ -130,8 +152,8 @@ let test_ctx_roundtrip () =
       n.CP.n_prof.PP.fe_head <- 9L
   | None -> Alcotest.fail "bar context missing");
   let s = CP.total_samples t in
-  let text = P.Text_io.ctx_to_string t in
-  let t2 = P.Text_io.read_ctx text in
+  let text = ctx_to_string t in
+  let t2 = read_ctx text in
   Alcotest.(check int64) "samples preserved" s (CP.total_samples t2);
   Alcotest.(check int) "node count preserved" (CP.n_nodes t) (CP.n_nodes t2);
   (match CP.find_node t2 ~leaf:(g "bar") (fun ctx -> List.length ctx = 2) with
@@ -139,7 +161,7 @@ let test_ctx_roundtrip () =
       Alcotest.(check bool) "inline mark preserved" true n.CP.n_inlined;
       Alcotest.(check int64) "head preserved" 9L n.CP.n_prof.PP.fe_head
   | None -> Alcotest.fail "bar context lost");
-  Alcotest.(check string) "canonical" text (P.Text_io.ctx_to_string t2)
+  Alcotest.(check string) "canonical" text (ctx_to_string t2)
 
 let test_line_roundtrip () =
   let t = LP.create () in
@@ -148,16 +170,16 @@ let test_line_roundtrip () =
   LP.set_line_max fe (2, 0) 40L;
   LP.set_line_max fe (3, 1) 7L;
   LP.add_call fe (2, 0) (g "callee") 33L;
-  let text = P.Text_io.line_to_string t in
-  let t2 = P.Text_io.read_line text in
+  let text = line_to_string t in
+  let t2 = read_line text in
   let fe2 = Option.get (LP.get t2 (g "f")) in
   Alcotest.(check int64) "line 2.0" 40L (LP.line_count fe2 (2, 0));
   Alcotest.(check int64) "line 3.1" 7L (LP.line_count fe2 (3, 1));
   Alcotest.(check int64) "head" 4L fe2.LP.fe_head;
-  Alcotest.(check string) "canonical" text (P.Text_io.line_to_string t2)
+  Alcotest.(check string) "canonical" text (line_to_string t2)
 
 let test_text_io_errors () =
-  let fails s = match P.Text_io.read_probe s with
+  let fails s = match read_probe s with
     | exception P.Text_io.Parse_error _ -> true
     | _ -> false
   in
@@ -215,7 +237,7 @@ let prop_probe_roundtrip =
       let t = PP.create () in
       let fe = PP.get_or_add t (g "f") ~name:"f" in
       List.iter (fun (id, c) -> PP.add_probe fe id (Int64.of_int c)) pairs;
-      let t2 = P.Text_io.read_probe (P.Text_io.probe_to_string t) in
+      let t2 = read_probe (probe_to_string t) in
       PP.total_samples t2 = PP.total_samples t)
 
 (* Generator-driven round-trips over whole profiles: build a random
@@ -251,8 +273,8 @@ let prop_probe_profile_roundtrip =
               PP.add_call fe site (g (fname callee)) (Int64.of_int c))
             calls)
         specs;
-      let s = P.Text_io.probe_to_string t in
-      String.equal s (P.Text_io.probe_to_string (P.Text_io.read_probe s)))
+      let s = probe_to_string t in
+      String.equal s (probe_to_string (read_probe s)))
 
 let prop_line_profile_roundtrip =
   QCheck.Test.make ~name:"line profiles round-trip (multi-function)" ~count:200
@@ -271,8 +293,8 @@ let prop_line_profile_roundtrip =
               LP.add_call fe (l, l mod 3) (g (fname callee)) (Int64.of_int c))
             calls)
         specs;
-      let s = P.Text_io.line_to_string t in
-      String.equal s (P.Text_io.line_to_string (P.Text_io.read_line s)))
+      let s = line_to_string t in
+      String.equal s (line_to_string (read_line s)))
 
 let ctx_spec_gen =
   (* one context: a root function, a chain of (callsite, callee) frames,
@@ -315,8 +337,8 @@ let prop_ctx_profile_roundtrip =
       (match trim with
       | Some threshold -> ignore (CP.trim_cold t ~threshold:(Int64.of_int threshold))
       | None -> ());
-      let s = P.Text_io.ctx_to_string t in
-      String.equal s (P.Text_io.ctx_to_string (P.Text_io.read_ctx s)))
+      let s = ctx_to_string t in
+      String.equal s (ctx_to_string (read_ctx s)))
 
 let prop_merge_fentry_conserves =
   QCheck.Test.make ~name:"merge_fentry conserves probe totals" ~count:100
