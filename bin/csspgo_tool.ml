@@ -114,7 +114,11 @@ let variant_arg =
 let jobs_arg =
   Arg.(
     value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Execute over N domains (work-stealing)")
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute over N domains (work-stealing). Where there is only one \
+           unit of outer work, N moves inward: sharded parallel correlation \
+           over the sample log's chunks, byte-identical to serial at any N")
 
 let cache_dir_arg =
   Arg.(
@@ -276,9 +280,14 @@ let pgo_cmd =
     end
     else begin
       (* The single-variant path rides the same run_plans wiring so --trace
-         and --metrics observe it identically to --all. *)
+         and --metrics observe it identically to --all. With one plan there
+         is nothing to parallelize across, so -j moves inside the plan:
+         sharded correlation over the sample log's chunks. *)
       let o =
-        match O.Orchestrate.run_plans ?cache ?metrics ?trace ~jobs:1 [ plan variant ] with
+        match
+          O.Orchestrate.run_plans ?cache ?metrics ?trace ~stage_jobs:jobs
+            ~jobs:1 [ plan variant ]
+        with
         | [ o ] -> o
         | _ -> assert false
       in
@@ -581,24 +590,39 @@ let inspect_cmd =
   let run file funcs =
     let data = read_file file in
     if Vm.Sample_log.is_binary data then begin
-      match Vm.Sample_log.decode data with
-      | Ok log ->
-          Printf.printf "format      sample-log (binary)\n";
-          Printf.printf "samples     %d\n" (Vm.Sample_log.n_samples log);
-          Printf.printf "arena words %d\n" (Vm.Sample_log.words log);
-          (* The envelope was just validated by decode, so unframe cannot
-             fail here; per-section sizes show where the bytes go. *)
+      match Vm.Sample_log.decode_chunks data with
+      | Ok parts ->
+          let samples =
+            List.fold_left (fun acc l -> acc + Vm.Sample_log.n_samples l) 0 parts
+          in
+          let words =
+            List.fold_left (fun acc l -> acc + Vm.Sample_log.words l) 0 parts
+          in
+          (* decode_chunks just validated the envelope, so framing_version
+             cannot fail here. v1 is the whole-log framing; v2 frames one
+             self-delimited section per chunk so shards can decode and
+             correlate without ever concatenating the log. *)
+          let version =
+            match Vm.Sample_log.framing_version data with
+            | Ok v -> v
+            | Error _ -> assert false
+          in
+          Printf.printf "format      sample-log (binary, framing v%d)\n" version;
+          Printf.printf "samples     %d\n" samples;
+          Printf.printf "arena words %d\n" words;
+          Printf.printf "chunks      %d\n" (List.length parts);
           (match
              Csspgo_support.Wire.unframe ~magic:Vm.Sample_log.magic
                ~max_version:max_int data
            with
-          | Ok (version, sections) ->
-              Printf.printf "version     %d\n" version;
-              List.iter
-                (fun (tag, payload) ->
-                  Printf.printf "section     tag %d: %d bytes\n" tag
+          | Ok (_, sections) ->
+              List.iteri
+                (fun i ((tag, payload), chunk) ->
+                  Printf.printf "chunk       %d: tag %d, %d samples, %d bytes\n"
+                    i tag
+                    (Vm.Sample_log.n_samples chunk)
                     (String.length payload))
-                sections
+                (List.combine sections parts)
           | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e))
       | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
     end
@@ -626,7 +650,8 @@ let inspect_cmd =
     (Cmd.info "inspect"
        ~doc:
          "Show a profile's shape, sizes and per-function fingerprints (or a sample \
-          log's record counts); accepts both text and binary forms")
+          log's framing version and per-chunk record counts); accepts both text \
+          and binary forms")
     Term.(const run $ profile_file_arg $ funcs_flag)
 
 (* --- fleet ---------------------------------------------------------- *)
@@ -880,6 +905,14 @@ let fuzz_cmd =
             "Skip the fleet merge oracle family (sharded-fleet-vs-single \
              identity, merge laws on correlated profiles)")
   in
+  let no_parcorr_arg =
+    Arg.(
+      value & flag
+      & info [ "no-parcorr-oracle" ]
+          ~doc:
+            "Skip the parallel-correlation oracle family (sharded-vs-serial \
+             correlation byte identity per profile shape)")
+  in
   let fuzz_stale_edits_arg =
     Arg.(
       value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
@@ -898,8 +931,8 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      no_stale no_format no_fleet stale_edits max_failures inject jobs cache_dir
-      metrics_file =
+      no_stale no_format no_fleet no_parcorr stale_edits max_failures inject jobs
+      cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -913,6 +946,7 @@ let fuzz_cmd =
         cf_stale_oracle = not no_stale;
         cf_format_oracle = not no_format;
         cf_fleet_oracle = not no_fleet;
+        cf_parcorr_oracle = not no_parcorr;
         cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
@@ -957,8 +991,8 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
-      $ no_format_arg $ no_fleet_arg $ fuzz_stale_edits_arg $ max_failures_arg
-      $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
+      $ no_format_arg $ no_fleet_arg $ no_parcorr_arg $ fuzz_stale_edits_arg
+      $ max_failures_arg $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 

@@ -365,6 +365,7 @@ module Plan = struct
     stat : name:string -> int -> unit;
     span : 'a. name:string -> (unit -> 'a) -> 'a;
     metrics : Obs.Metrics.t;
+    jobs : int;
   }
 
   let default_hooks =
@@ -373,6 +374,7 @@ module Plan = struct
       stat = (fun ~name:_ _ -> ());
       span = (fun ~name:_ f -> f ());
       metrics = Obs.Metrics.null;
+      jobs = 1;
     }
 
   let stage_name = function
@@ -646,16 +648,30 @@ module Plan = struct
                     (* The tail-call table was built online during the
                        profiling run; reconstruction replays the compact
                        log against it (Algorithm 1 needs the complete table
-                       before the first sample is attributed). *)
+                       before the first sample is attributed). With
+                       [hooks.jobs > 1] the replay shards on chunk
+                       boundaries and reduces under the Merge laws — the
+                       sharded result is byte-identical to serial, so the
+                       memo key above deliberately excludes the job
+                       count. *)
                     let missing = if cc_missing_frames then po.pr_missing else None in
-                    let st =
-                      Ctx_reconstruct.start ~name_of ?missing ~checksum_of
-                        ~obs:hooks.metrics (Lazy.force index)
+                    let trie, stats =
+                      if hooks.jobs > 1 then
+                        Par_corr.reconstruct ~name_of ?missing ~checksum_of
+                          ~obs:hooks.metrics ~metrics:hooks.metrics
+                          ~jobs:hooks.jobs (Lazy.force index)
+                          (Par_corr.shards_of_log po.pr_log)
+                      else begin
+                        let st =
+                          Ctx_reconstruct.start ~name_of ?missing ~checksum_of
+                            ~obs:hooks.metrics (Lazy.force index)
+                        in
+                        Vm.Sample_log.iter po.pr_log
+                          (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                            Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+                        Ctx_reconstruct.finish st
+                      end
                     in
-                    Vm.Sample_log.iter po.pr_log
-                      (fun ~lbr ~lbr_len ~stack ~stack_len ->
-                        Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
-                    let trie, stats = Ctx_reconstruct.finish st in
                     if Int64.compare cc_trim_threshold 0L > 0 then
                       ignore (P.Ctx_profile.trim_cold trie ~threshold:cc_trim_threshold);
                     built := Some trie;

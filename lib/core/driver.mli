@@ -195,6 +195,7 @@ module Plan : sig
     stat : name:string -> int -> unit;
     span : 'a. name:string -> (unit -> 'a) -> 'a;
     metrics : Csspgo_obs.Metrics.t;
+    jobs : int;
   }
   (** [memo] is the memoization hook threaded through {!run}. [kind] names
       the stage family (["ref-info"], ["profile-run"], ["correlate"],
@@ -220,10 +221,18 @@ module Plan : sig
       [dwarf-corr.*], [ctx.*], [missing-frame.*]). {!Csspgo_obs.Metrics.null}
       disables them. Note that memoized stages skip their thunk on a cache
       hit, so registry counts depend on cache warmth; only the [stat]
-      counters above are warmth-independent. *)
+      counters above are warmth-independent.
+
+      [jobs] is the intra-stage parallelism knob: a [Correlate] stage with
+      [jobs > 1] runs context reconstruction through the sharded
+      correlator ({!Par_corr}) on up to [jobs] domains. The result is
+      byte-identical to serial at any [jobs] — which is why [jobs] is
+      {e not} part of any memo key: a cache entry written at one job count
+      is valid at every other. *)
 
   val default_hooks : hooks
-  (** Runs every thunk directly — no caching; drops stats; null metrics. *)
+  (** Runs every thunk directly — no caching; drops stats; null metrics;
+      [jobs = 1] (serial stages). *)
 
   val stage_name : stage -> string
   (** Stable lower-case stage label: ["compile"], ["instrument"],

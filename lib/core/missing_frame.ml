@@ -62,6 +62,38 @@ let build (b : Mach.binary) samples =
 
 let n_edges t = t.n_edges
 
+(* Edge-table union, the sharded correlator's reduction step: per-shard
+   builders see only their shard's LBR stream, so their edge sets may each
+   miss edges the other saw. Per-function lists concatenate left-then-
+   unseen-right, which can order edges differently than one builder fed
+   the whole stream — harmless, because [resolve] enumerates *all* acyclic
+   paths and succeeds only on uniqueness, so its verdict depends on the
+   edge *set* only. The union of the shard sets is exactly the serial set
+   (an edge is recorded iff some sample's LBR carries its pair). *)
+let union a b =
+  let edges = Ir.Guid.Tbl.create (max 16 (Ir.Guid.Tbl.length a.edges)) in
+  let n = ref 0 in
+  Ir.Guid.Tbl.iter
+    (fun g es ->
+      Ir.Guid.Tbl.replace edges g es;
+      n := !n + List.length es)
+    a.edges;
+  Ir.Guid.Tbl.iter
+    (fun g es ->
+      let cur = Option.value (Ir.Guid.Tbl.find_opt edges g) ~default:[] in
+      let fresh =
+        List.filter
+          (fun (addr, tgt) ->
+            not (List.exists (fun (a', t') -> a' = addr && Ir.Guid.equal t' tgt) cur))
+          es
+      in
+      if fresh <> [] then begin
+        Ir.Guid.Tbl.replace edges g (cur @ fresh);
+        n := !n + List.length fresh
+      end)
+    b.edges;
+  { edges; n_edges = !n }
+
 let max_depth = 8
 
 let resolve t ~from_func ~to_func =

@@ -34,6 +34,15 @@ val build : Csspgo_codegen.Mach.binary -> Csspgo_vm.Machine.sample list -> t
 
 val n_edges : t -> int
 
+val union : t -> t -> t
+(** Merge two edge tables (inputs untouched). The union of per-shard
+    tables equals the table one builder fed the whole stream would hold,
+    as an edge {e set}; per-function edge-list order may differ, which
+    cannot change any {!resolve} verdict — resolution enumerates all
+    acyclic paths and succeeds only on uniqueness, an order-independent
+    property. This is the sharded correlator's reduction for the
+    tail-call graph. *)
+
 val resolve :
   t -> from_func:Csspgo_ir.Guid.t -> to_func:Csspgo_ir.Guid.t -> int list option
 (** The unique chain of tail-call instruction addresses leading from

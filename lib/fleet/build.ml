@@ -105,6 +105,53 @@ let correlate ?obs ~(options : D.options) ~shape b log =
       in
       (P.Text_io.Ctx_prof trie, Some flat)
 
+(* The sharded form of [correlate]: the log arrives as the collector's
+   decoded chunk list and is never concatenated. Chunks group into shards
+   ([Par_corr.plan], a pure function of the chunk list), per-shard
+   streaming correlators run on up to [jobs] domains, and the reductions
+   are exact (counter addition / edge-set union / Merge laws at equal
+   weight), so the result is byte-identical to [correlate] on the
+   concatenated log at any [jobs]. DWARF line correlation is not additive
+   (line counts max over instructions sharing a line), so only its
+   aggregation parallelizes; [correlate_agg] then runs once on the merged
+   aggregate — the exact serial computation. *)
+let correlate_chunks ?obs ?metrics ?trace ?shard_target ~jobs
+    ~(options : D.options) ~shape b chunks =
+  let name_of g = Ir.Guid.Tbl.find_opt b.vb_names g in
+  let checksum_of g =
+    Option.value (Ir.Guid.Tbl.find_opt b.vb_checksums g) ~default:0L
+  in
+  let index = Pg.Bindex.create b.vb_bin in
+  let shards = Core.Par_corr.plan ?target:shard_target chunks in
+  let agg = Core.Par_corr.aggregate ?obs ?metrics ?trace ~jobs shards in
+  match shape with
+  | Lines ->
+      let lp = Pg.Dwarf_corr.correlate_agg ~name_of ~index ?obs b.vb_bin agg in
+      (P.Text_io.Line_prof lp, None)
+  | Probes ->
+      let pp =
+        Core.Probe_corr.correlate_agg ~name_of ~index ~checksum_of ?obs
+          b.vb_bin agg
+      in
+      (P.Text_io.Probe_prof pp, None)
+  | Ctx ->
+      let missing =
+        if options.D.use_missing_frame_inference then
+          Some (Core.Par_corr.missing ?obs ?metrics ?trace ~jobs index shards)
+        else None
+      in
+      let trie, _stats =
+        Core.Par_corr.reconstruct ~name_of ?missing ~checksum_of ?obs ?metrics
+          ?trace ~jobs index shards
+      in
+      if Int64.compare options.D.trim_threshold 0L > 0 then
+        ignore (P.Ctx_profile.trim_cold trie ~threshold:options.D.trim_threshold);
+      let flat =
+        Core.Probe_corr.correlate_agg ~name_of ~index ~checksum_of ?obs
+          b.vb_bin agg
+      in
+      (P.Text_io.Ctx_prof trie, Some flat)
+
 let match_onto ?obs ~target p =
   match p with
   | P.Text_io.Line_prof lp ->

@@ -47,6 +47,27 @@ val correlate :
     flat (context-merged) probe profile rides along as the quality
     baseline; other shapes return [None]. *)
 
+val correlate_chunks :
+  ?obs:Csspgo_obs.Metrics.t ->
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  ?shard_target:int ->
+  jobs:int ->
+  options:Csspgo_core.Driver.options ->
+  shape:shape ->
+  built ->
+  Csspgo_vm.Sample_log.t list ->
+  Csspgo_profile.Text_io.profile * Csspgo_profile.Probe_profile.t option
+(** Sharded {!correlate} over a decoded chunk list (the
+    [Collector.drain_chunks] shape) — the concatenated log is never
+    materialized. Byte-identical to [correlate] on the concatenation at
+    any [jobs]: chunk grouping is a pure function of the chunk list, and
+    every per-shard reduction is exact ({!Csspgo_core.Par_corr}). [obs]
+    takes the correlator counters, [metrics]/[trace] the scheduler's.
+    [shard_target] overrides [Par_corr.plan]'s samples-per-shard target —
+    tests and oracles shrink it to force multi-shard merges on logs far
+    smaller than production windows. *)
+
 val match_onto :
   ?obs:Csspgo_obs.Metrics.t ->
   target:Csspgo_ir.Program.t ->

@@ -4,18 +4,22 @@ module S = Csspgo_orchestrator.Scheduler
 
 type t = {
   c_shards : Instance.batch list ref array;  (** newest-first per shard *)
+  c_lossy : bool;
   c_batches : Obs.Metrics.counter;
   c_bytes : Obs.Metrics.counter;
   c_samples : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
 }
 
-let create ?(obs = Obs.Metrics.null) ~shards () =
+let create ?(obs = Obs.Metrics.null) ?(lossy = false) ~shards () =
   if shards <= 0 then invalid_arg "Collector.create: shards must be positive";
   {
     c_shards = Array.init shards (fun _ -> ref []);
+    c_lossy = lossy;
     c_batches = Obs.Metrics.counter obs "collector.batches";
     c_bytes = Obs.Metrics.counter obs "collector.bytes";
     c_samples = Obs.Metrics.counter obs "collector.samples";
+    c_dropped = Obs.Metrics.counter obs "collector.dropped-blobs";
   }
 
 let shards t = Array.length t.c_shards
@@ -35,25 +39,33 @@ type merged = {
   m_bytes : int;
 }
 
-let decode (b : Instance.batch) =
-  match Vm.Sample_log.decode b.Instance.b_blob with
-  | Ok log -> (b, log)
+type chunks = {
+  k_version : int;
+  k_chunks : Vm.Sample_log.t list;
+  k_batches : int;
+  k_samples : int;
+  k_bytes : int;
+}
+
+(* A corrupt blob always lands in the [collector.dropped-blobs] counter;
+   a lossy collector then skips it, a strict one (the default) raises as
+   before. *)
+let decode t (b : Instance.batch) =
+  match Vm.Sample_log.decode_chunks b.Instance.b_blob with
+  | Ok parts -> Some (b, parts)
   | Error e ->
-      failwith
-        (Printf.sprintf "collector: corrupt batch from instance %d seq %d: %s"
-           b.Instance.b_instance b.Instance.b_seq
-           (Csspgo_support.Wire.error_to_string e))
+      Obs.Metrics.incr t.c_dropped;
+      if t.c_lossy then None
+      else
+        failwith
+          (Printf.sprintf "collector: corrupt batch from instance %d seq %d: %s"
+             b.Instance.b_instance b.Instance.b_seq
+             (Csspgo_support.Wire.error_to_string e))
 
-(* Fresh-log combine: [append ~into] mutates, and tree_reduce may reuse a
-   node's operand as another node's input on the serial path, so every
-   merge allocates its own arena. *)
-let concat a b =
-  let log = Vm.Sample_log.create () in
-  Vm.Sample_log.append ~into:log a;
-  Vm.Sample_log.append ~into:log b;
-  log
-
-let drain ?metrics ?trace ~jobs t =
+(* Gather every shard (emptied) in deterministic (version, instance, seq)
+   order, parallel-decode each blob to its chunk list — no concatenation —
+   and group by version. The shared front half of both drains. *)
+let drain_decoded ?metrics ?trace ~jobs t =
   let all =
     Array.fold_left (fun acc shard -> List.rev_append !shard acc) [] t.c_shards
   in
@@ -69,21 +81,40 @@ let drain ?metrics ?trace ~jobs t =
         | c -> c)
       all
   in
-  (* Shard decode is the parallel stage; the batch order is already fixed,
+  (* Blob decode is the parallel stage; the batch order is already fixed,
      so map's index-placement keeps (version, instance, seq) order. *)
-  let decoded = S.map ?metrics ?trace ~jobs decode ordered in
+  let decoded =
+    S.map ?metrics ?trace ~jobs (decode t) ordered |> List.filter_map Fun.id
+  in
   let by_version = Hashtbl.create 8 in
   List.iter
-    (fun ((b : Instance.batch), log) ->
+    (fun ((b : Instance.batch), parts) ->
       let v = b.Instance.b_version in
       let prev = try Hashtbl.find by_version v with Not_found -> [] in
-      Hashtbl.replace by_version v ((b, log) :: prev))
+      Hashtbl.replace by_version v ((b, parts) :: prev))
     decoded;
   Hashtbl.fold (fun v _ acc -> v :: acc) by_version []
   |> List.sort compare
-  |> List.map (fun v ->
-         let batches = List.rev (Hashtbl.find by_version v) in
-         let logs = List.map snd batches in
+  |> List.map (fun v -> (v, List.rev (Hashtbl.find by_version v)))
+
+let batch_bytes batches =
+  List.fold_left
+    (fun acc ((b : Instance.batch), _) -> acc + String.length b.Instance.b_blob)
+    0 batches
+
+(* Fresh-log combine: [append ~into] mutates, and tree_reduce may reuse a
+   node's operand as another node's input on the serial path, so every
+   merge allocates its own arena. *)
+let concat a b =
+  let log = Vm.Sample_log.create () in
+  Vm.Sample_log.append ~into:log a;
+  Vm.Sample_log.append ~into:log b;
+  log
+
+let drain ?metrics ?trace ~jobs t =
+  drain_decoded ?metrics ?trace ~jobs t
+  |> List.map (fun (v, batches) ->
+         let logs = List.concat_map snd batches in
          let log =
            match S.tree_reduce ?metrics ?trace ~jobs concat logs with
            | Some log -> log
@@ -94,9 +125,18 @@ let drain ?metrics ?trace ~jobs t =
            m_log = log;
            m_batches = List.length batches;
            m_samples = Vm.Sample_log.n_samples log;
-           m_bytes =
-             List.fold_left
-               (fun acc ((b : Instance.batch), _) ->
-                 acc + String.length b.Instance.b_blob)
-               0 batches;
+           m_bytes = batch_bytes batches;
+         })
+
+let drain_chunks ?metrics ?trace ~jobs t =
+  drain_decoded ?metrics ?trace ~jobs t
+  |> List.map (fun (v, batches) ->
+         let parts = List.concat_map snd batches in
+         {
+           k_version = v;
+           k_chunks = parts;
+           k_batches = List.length batches;
+           k_samples =
+             List.fold_left (fun acc l -> acc + Vm.Sample_log.n_samples l) 0 parts;
+           k_bytes = batch_bytes batches;
          })

@@ -1,7 +1,10 @@
 (** The sharded sample collector: fleet instances {!ingest} CSLG-framed
-    batches into shards (routed by instance id), and a {!drain} at the end
-    of the collection window decodes every shard in parallel and reassembles
-    one merged sample log per binary version.
+    batches into shards (routed by instance id), and a drain at the end
+    of the collection window decodes every shard in parallel — either
+    reassembling one merged sample log per binary version ({!drain}) or,
+    for the fused decode-and-correlate path, handing back each version's
+    decoded chunk list untouched ({!drain_chunks}), so the concatenated
+    log is never materialized.
 
     Drain ordering is deterministic and independent of both arrival order
     and [jobs]: batches sort by (version, instance, seq) — the collection
@@ -14,15 +17,20 @@
 
 type t
 
-val create : ?obs:Csspgo_obs.Metrics.t -> shards:int -> unit -> t
+val create :
+  ?obs:Csspgo_obs.Metrics.t -> ?lossy:bool -> shards:int -> unit -> t
 (** [shards] must be positive. [obs] receives [collector.batches],
-    [collector.bytes] and [collector.samples] counters as batches arrive. *)
+    [collector.bytes] and [collector.samples] counters as batches arrive,
+    plus [collector.dropped-blobs] for every undecodable blob seen at
+    drain time. With [lossy] (default [false]) a corrupt blob is counted
+    and skipped instead of failing the drain — continuous-profiling
+    ingest should degrade to losing one batch, not losing the window. *)
 
 val shards : t -> int
 
 val ingest : t -> Instance.batch -> unit
 (** Route a batch to shard [b_instance mod shards]. Cheap: the CSLG blob is
-    stored undecoded; decoding is deferred to {!drain}. *)
+    stored undecoded; decoding is deferred to drain time. *)
 
 type merged = {
   m_version : int;
@@ -38,6 +46,29 @@ val drain :
   jobs:int ->
   t ->
   merged list
-(** Decode and reassemble, [merged] sorted by version. Raises [Failure] on
-    a corrupt blob (naming the offending instance/seq). The collector is
-    emptied; a second drain returns []. *)
+(** Decode and reassemble, [merged] sorted by version. On a corrupt blob:
+    counted in [collector.dropped-blobs], then skipped when the collector
+    is lossy, else [Failure] naming the offending instance/seq. The
+    collector is emptied; a second drain returns []. *)
+
+type chunks = {
+  k_version : int;
+  k_chunks : Csspgo_vm.Sample_log.t list;
+      (** every decoded CSLG chunk, batch (version, instance, seq) order,
+          chunks in frame order within a batch *)
+  k_batches : int;
+  k_samples : int;
+  k_bytes : int;
+}
+
+val drain_chunks :
+  ?metrics:Csspgo_obs.Metrics.t ->
+  ?trace:Csspgo_obs.Trace.t ->
+  jobs:int ->
+  t ->
+  chunks list
+(** The fused-correlation drain: same gathering, ordering, corrupt-blob
+    and emptying behavior as {!drain}, but each version keeps its decoded
+    chunk partition (concatenating [k_chunks] in order would reproduce
+    [m_log] exactly). Feed the chunks to [Build.correlate_chunks] /
+    [Par_corr] and the per-version log never exists in one arena. *)

@@ -167,24 +167,33 @@ let run ?(metrics = Obs.Metrics.null) ?trace cfg ~(workload : D.workload)
   List.iter
     (fun (_report, batches) -> List.iter (Collector.ingest collector) batches)
     served;
+  (* The fused drain: each version keeps its decoded chunk partition, so
+     the concatenated per-version log is never materialized between the
+     wire and the correlators. *)
   let merged =
-    span "fleet-drain" (fun () -> Collector.drain ~metrics ?trace ~jobs collector)
+    span "fleet-drain" (fun () ->
+        Collector.drain_chunks ~metrics ?trace ~jobs collector)
   in
   let merged_of = Hashtbl.create 8 in
-  List.iter (fun (m : Collector.merged) -> Hashtbl.replace merged_of m.Collector.m_version m) merged;
-  (* Phase 4: per-version correlation on the version's own build. *)
+  List.iter
+    (fun (m : Collector.chunks) ->
+      Hashtbl.replace merged_of m.Collector.k_version m)
+    merged;
+  (* Phase 4: per-version correlation on the version's own build. The
+     parallelism lives *inside* each correlation (sharded chunk replay),
+     where the samples are, rather than across the handful of versions. *)
   let profiles =
     span "fleet-correlate" (fun () ->
-        S.map ~metrics ?trace ~jobs
+        List.map
           (fun v ->
             let b = Hashtbl.find built_of v.v_id in
-            let log =
+            let chunks =
               match Hashtbl.find_opt merged_of v.v_id with
-              | Some m -> m.Collector.m_log
-              | None -> Vm.Sample_log.create ()
+              | Some m -> m.Collector.k_chunks
+              | None -> []
             in
-            Build.correlate ~obs:metrics ~options:cfg.f_options
-              ~shape:cfg.f_shape b log)
+            Build.correlate_chunks ~obs:metrics ~metrics ?trace ~jobs
+              ~options:cfg.f_options ~shape:cfg.f_shape b chunks)
           versions)
   in
   (* Phase 5: stale-route old versions onto the newest, then merge. *)

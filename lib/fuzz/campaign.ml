@@ -88,6 +88,8 @@ type site =
   | Stale of { sl_variant : D.variant option; sl_drift_seed : int64; sl_edits : int }
   | Format of string  (** which leg of the format oracle family *)
   | Fleet of string  (** which leg of the fleet merge oracle family *)
+  | Parcorr of string  (** which profile shape the parallel-correlation
+                           oracle was checking *)
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -106,6 +108,7 @@ let site_to_string = function
         s.sl_drift_seed s.sl_edits
   | Format leg -> "profile format (" ^ leg ^ ")"
   | Fleet leg -> "fleet merge (" ^ leg ^ ")"
+  | Parcorr shape -> "parallel correlation (" ^ shape ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -149,6 +152,14 @@ type config = {
           of the job count, and [Profile.Merge] must satisfy its laws
           (commutative, associative, weight-linear, identity-on-empty) on
           real correlated profiles from two drifted binary versions *)
+  cf_parcorr_oracle : bool;
+      (** parallel-correlation oracle family: sharded correlation over the
+          chunk-split sample log ([Fleet.Build.correlate_chunks] /
+          [Core.Par_corr]) must be byte-identical to the serial streaming
+          correlator on the whole log, for every profile shape and at
+          every job count — the determinism claim the fused fleet drain
+          rides on. A tiny shard target forces real multi-shard merges on
+          the fuzzer's short logs. *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -170,6 +181,7 @@ let default_config =
     cf_stale_edits = 3;
     cf_format_oracle = true;
     cf_fleet_oracle = true;
+    cf_parcorr_oracle = true;
     cf_inject = None;
   }
 
@@ -652,6 +664,63 @@ let check_fleet ~seed src args =
       in
       laws P.Text_io.Probe "flat" (flatten p0) (flatten p1))
 
+(* Parallel-correlation oracle family (Core.Par_corr / Fleet.Build):
+   correlate one training log twice per profile shape — serially over the
+   whole log, and sharded over its chunk-split form at several job counts
+   — and demand byte-identical canonical text (trie plus flat baseline for
+   Ctx). A tiny chunk size / shard target forces multiple shards even on
+   the fuzzer's short logs, so the exactness of every per-shard reduction
+   (counter addition, edge-set union, equal-weight Merge) is actually
+   exercised, not vacuously single-sharded. *)
+
+let parcorr_chunk = 16
+
+let check_parcorr ~seed src args =
+  let w = workload_of ~seed src args in
+  List.iter
+    (fun shape ->
+      let site = Parcorr (Fl.Build.shape_name shape) in
+      guarded_build site (fun () ->
+          let b =
+            Fl.Build.profiling_build ~options:driver_options ~shape ~source:src
+          in
+          let log = Vm.Sample_log.create () in
+          List.iter
+            (fun (spec : D.run_spec) ->
+              ignore
+                (Vm.Machine.run ~pmu:(Some driver_options.D.pmu)
+                   ~sink:(Vm.Sample_log.sink log)
+                   ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args
+                   b.Fl.Build.vb_bin ~entry:w.D.w_entry))
+            w.D.w_train;
+          let text (p, flat) =
+            P.Text_io.to_string p
+            ^
+            match flat with
+            | Some f -> P.Text_io.to_string (P.Text_io.Probe_prof f)
+            | None -> ""
+          in
+          let serial =
+            text (Fl.Build.correlate ~options:driver_options ~shape b log)
+          in
+          let chunks = Vm.Sample_log.split ~chunk:parcorr_chunk log in
+          List.iter
+            (fun jobs ->
+              let par =
+                text
+                  (Fl.Build.correlate_chunks ~shard_target:parcorr_chunk ~jobs
+                     ~options:driver_options ~shape b chunks)
+              in
+              if not (String.equal serial par) then
+                raise
+                  (Fail
+                     ( Result_mismatch,
+                       site,
+                       Printf.sprintf
+                         "-j %d sharded correlation differs from serial" jobs )))
+            [ 1; 2 ]))
+    [ Fl.Build.Lines; Fl.Build.Probes; Fl.Build.Ctx ]
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -689,6 +758,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         check_stale ?hooks ?cache cfg ~seed src args
     | Some (Format _) -> check_format ?cache ~seed src args
     | Some (Fleet _) -> check_fleet ~seed src args
+    | Some (Parcorr _) -> check_parcorr ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -711,7 +781,8 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         if cfg.cf_stale_oracle && cfg.cf_stale_edits > 0 then
           check_stale ?hooks ?cache cfg ~seed src args;
         if cfg.cf_format_oracle then check_format ?cache ~seed src args;
-        if cfg.cf_fleet_oracle then check_fleet ~seed src args);
+        if cfg.cf_fleet_oracle then check_fleet ~seed src args;
+        if cfg.cf_parcorr_oracle then check_parcorr ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -753,13 +824,14 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
     (if cfg.cf_stale_oracle then "" else " --no-stale-oracle")
     (if cfg.cf_format_oracle then "" else " --no-format-oracle")
     (if cfg.cf_fleet_oracle then "" else " --no-fleet-oracle")
+    (if cfg.cf_parcorr_oracle then "" else " --no-parcorr-oracle")
     (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
      else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""

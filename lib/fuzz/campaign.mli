@@ -3,7 +3,7 @@
     Each seed deterministically yields one random MiniC program
     ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
     randomly permuted pass pipelines, and (optionally) all five
-    [Core.Driver] PGO variants. Seven oracle families guard the paper's
+    [Core.Driver] PGO variants. Eight oracle families guard the paper's
     central claim — that probes, context-sensitive profiles and aggressive
     optimization never perturb semantics or profile quality:
 
@@ -31,7 +31,12 @@
     - {b fleet merging}: a sharded multi-instance fleet at full duty
       reproduces the single-instance profile byte-for-byte, draining is
       job-count independent, and [Profile.Merge] satisfies its algebraic
-      laws on real correlated profiles from two drifted binary versions.
+      laws on real correlated profiles from two drifted binary versions;
+    - {b parallel correlation}: sharded correlation over the chunk-split
+      sample log ([Fleet.Build.correlate_chunks] / [Core.Par_corr]) is
+      byte-identical to the serial streaming correlator, for every profile
+      shape and at several job counts, with a shard target small enough to
+      force real multi-shard merges.
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -78,6 +83,10 @@ type site =
           laws on real correlated profiles, sharded-fleet-vs-single-instance
           byte identity, jobs-independent drain; the string names the
           failing leg *)
+  | Parcorr of string
+      (** parallel-correlation oracle family ([Fleet.Build.correlate_chunks],
+          [Core.Par_corr]): sharded-vs-serial byte identity per profile
+          shape; the string names the shape *)
 
 val site_to_string : site -> string
 
@@ -105,6 +114,7 @@ type config = {
   cf_stale_edits : int;
   cf_format_oracle : bool;
   cf_fleet_oracle : bool;
+  cf_parcorr_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

@@ -45,7 +45,7 @@ let stat_hook ?metrics stats =
 let plan_label (p : D.Plan.t) =
   p.D.Plan.pl_workload.D.w_name ^ "/" ^ D.variant_name p.D.Plan.pl_variant
 
-let mk_hooks ?cache ?stats ?metrics ?track () =
+let mk_hooks ?cache ?stats ?metrics ?track ?(stage_jobs = 1) () =
   {
     D.Plan.memo =
       (fun ~kind ~key ~ser ~de f ->
@@ -59,11 +59,13 @@ let mk_hooks ?cache ?stats ?metrics ?track () =
         | Some tk -> Obs.Trace.with_span tk name f
         | None -> f ());
     metrics = Option.value metrics ~default:Obs.Metrics.null;
+    jobs = stage_jobs;
   }
 
-let hooks ?stats ?metrics ?track cache = mk_hooks ~cache ?stats ?metrics ?track ()
+let hooks ?stats ?metrics ?track ?stage_jobs cache =
+  mk_hooks ~cache ?stats ?metrics ?track ?stage_jobs ()
 
-let run_plans ?cache ?stats ?metrics ?trace ~jobs plans =
+let run_plans ?cache ?stats ?metrics ?trace ?stage_jobs ~jobs plans =
   (* Tracks are registered serially here, in plan order, with the plan
      index as tid — an identity independent of which domain later runs the
      plan. That (plus per-track clock cursors) is what makes fixed-clock
@@ -76,7 +78,7 @@ let run_plans ?cache ?stats ?metrics ?trace ~jobs plans =
   in
   Scheduler.map ?metrics ?trace ~jobs
     (fun (plan, track) ->
-      let hooks = mk_hooks ?cache ?stats ?metrics ?track () in
+      let hooks = mk_hooks ?cache ?stats ?metrics ?track ?stage_jobs () in
       match track with
       | Some tk ->
           Obs.Trace.with_span tk (plan_label plan) (fun () -> D.Plan.run ~hooks plan)

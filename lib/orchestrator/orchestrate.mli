@@ -34,6 +34,7 @@ val hooks :
   ?stats:stats ->
   ?metrics:Csspgo_obs.Metrics.t ->
   ?track:Csspgo_obs.Trace.track ->
+  ?stage_jobs:int ->
   Cache.t ->
   Csspgo_core.Driver.Plan.hooks
 (** Memoization hooks backed by [cache]: stage values round-trip through the
@@ -42,17 +43,23 @@ val hooks :
     there (cache hits included); with [?metrics], the same counters also
     land in the registry under a [plan.] prefix and the registry is handed
     to the VM/correlator instruments; with [?track], every stage runs under
-    a span on that track. *)
+    a span on that track. [?stage_jobs] (default 1) is handed to the plan
+    as [hooks.jobs] — intra-stage parallelism for the sharded correlator,
+    byte-identical to serial at any level. *)
 
 val run_plans :
   ?cache:Cache.t ->
   ?stats:stats ->
   ?metrics:Csspgo_obs.Metrics.t ->
   ?trace:Csspgo_obs.Trace.t ->
+  ?stage_jobs:int ->
   jobs:int ->
   Csspgo_core.Driver.Plan.t list ->
   Csspgo_core.Driver.outcome list
-(** Execute plans on up to [jobs] domains; results in input order. With
+(** Execute plans on up to [jobs] domains ([?stage_jobs] additionally
+    parallelizes inside each plan's Correlate stage — use it when running
+    a single plan, where plan-level parallelism has nothing to chew on;
+    results are byte-identical either way). Results in input order. With
     [?trace], each plan gets its own track (tid = plan index, name =
     {!plan_label}), registered serially before scheduling, carrying one
     whole-plan span plus one span per stage; on a fixed-clock trace the

@@ -14,6 +14,8 @@ let length = Hashtbl.length
 let iter f t = Hashtbl.iter (fun k r -> f k !r) t
 let fold f t acc = Hashtbl.fold (fun k r acc -> f k !r acc) t acc
 
+let merge_into ~into src = iter (fun k v -> bump into k v) src
+
 let to_hashtbl t =
   let out = Hashtbl.create (Hashtbl.length t) in
   Hashtbl.iter (fun k r -> Hashtbl.replace out k !r) t;

@@ -24,6 +24,13 @@ val length : 'k t -> int
 val iter : ('k -> int64 -> unit) -> 'k t -> unit
 val fold : ('k -> int64 -> 'acc -> 'acc) -> 'k t -> 'acc -> 'acc
 
+val merge_into : into:'k t -> 'k t -> unit
+(** Add every count in the source table into [into] (the source is
+    untouched). Counter addition is commutative and associative, so
+    per-shard tables merged in any order hold exactly the totals a single
+    table fed the union of the streams would — the exactness argument the
+    sharded correlator's aggregate merge rides on. *)
+
 val to_hashtbl : 'k t -> ('k, int64) Hashtbl.t
 (** Snapshot as a plain hashtable (for consumers that want one). *)
 

@@ -99,6 +99,69 @@ module Dec = struct
     let s = String.sub t.buf t.pos n in
     t.pos <- t.pos + n;
     s
+
+  let msb_mask = 0x8080808080808080L
+
+  (* Bulk decode of [n] varints into [a.(0 .. n-1)]. Varint streams here
+     (sample-log arenas) are dominated by runs of small values, so the hot
+     path loads 8 bytes at once: a word with no continuation bit set is 8
+     complete single-byte varints. A word that does carry continuation
+     bits still yields one varint decoded straight out of the register —
+     no per-byte bounds checks or cursor stores. Only varints spilling
+     past the loaded word (or the buffer tail) take the byte-at-a-time
+     path, so error behavior is identical to [varint] per element. *)
+  let varint_into t a n =
+    if n < 0 || n > Array.length a then
+      invalid_arg "Wire.Dec.varint_into: count out of range";
+    let i = ref 0 in
+    while !i < n do
+      if !i + 8 <= n && t.pos + 8 <= t.limit then begin
+        let w = String.get_int64_le t.buf t.pos in
+        let byte_at k = Int64.to_int (Int64.shift_right_logical w (8 * k)) land 0xff in
+        if Int64.equal (Int64.logand w msb_mask) 0L then begin
+          let i0 = !i in
+          a.(i0) <- byte_at 0;
+          a.(i0 + 1) <- byte_at 1;
+          a.(i0 + 2) <- byte_at 2;
+          a.(i0 + 3) <- byte_at 3;
+          a.(i0 + 4) <- byte_at 4;
+          a.(i0 + 5) <- byte_at 5;
+          a.(i0 + 6) <- byte_at 6;
+          a.(i0 + 7) <- byte_at 7;
+          t.pos <- t.pos + 8;
+          i := i0 + 8
+        end
+        else begin
+          (* First terminator byte (continuation bit clear) within the
+             word; -1 when the varint continues past it. *)
+          let rec term k =
+            if k >= 8 then -1
+            else if byte_at k land 0x80 = 0 then k
+            else term (k + 1)
+          in
+          match term 0 with
+          | -1 ->
+              (* >= 9 encoded bytes: the general path handles the int64
+                 tail and the longer-than-10-bytes check. *)
+              a.(!i) <- varint t;
+              incr i
+          | last ->
+              (* At most 8 groups of 7 bits = 56 bits: always fits the
+                 native int, no overflow check needed. *)
+              let v = ref 0 in
+              for k = last downto 0 do
+                v := (!v lsl 7) lor (byte_at k land 0x7f)
+              done;
+              a.(!i) <- !v;
+              t.pos <- t.pos + last + 1;
+              incr i
+        end
+      end
+      else begin
+        a.(!i) <- varint t;
+        incr i
+      end
+    done
 end
 
 let digest ~tag payload =

@@ -61,6 +61,17 @@ module Dec : sig
   val varint64 : t -> int64
   val varint : t -> int
   val string : t -> string
+
+  val varint_into : t -> int array -> int -> unit
+  (** [varint_into t a n] decodes [n] varints into [a.(0 .. n-1)] — the
+      bulk form of {!varint} the sample-log decoder runs on. Runs of
+      single-byte varints decode 8 at a time from one 64-bit load, and
+      multi-byte varints that terminate within a loaded word decode
+      without per-byte cursor traffic; element-wise results and error
+      behavior are identical to [n] calls of {!varint}.
+      @raise Invalid_argument when [n] is negative or exceeds [a]'s
+      length. *)
+
   val at_end : t -> bool
   val remaining : t -> int
 end

@@ -95,8 +95,20 @@ let compact t =
 module Wire = Csspgo_support.Wire
 
 let magic = "CSLG"
-let version = 1
+let version = 2
 let tag_log = 1
+let chunk_samples = 4096
+
+(* Advance [p] past [count] whole records of [data]. All chunk/shard
+   boundaries come from this walk, so a boundary can never divide a
+   sample. *)
+let walk_records data p count =
+  for _ = 1 to count do
+    let ln = data.(!p) in
+    p := !p + 1 + (2 * ln);
+    let sn = data.(!p) in
+    p := !p + 1 + sn
+  done
 
 let to_text t =
   let buf = Buffer.create (16 * t.n) in
@@ -195,63 +207,134 @@ let of_text s =
                   else Ok (rebuild !records)))
       | _ -> malformed "missing samplelog header")
 
-let encode t =
-  let e = Wire.Enc.create () in
-  Wire.Enc.varint e t.n;
-  Wire.Enc.varint e t.len;
-  for i = 0 to t.len - 1 do
-    Wire.Enc.varint e t.data.(i)
-  done;
-  Wire.frame ~magic ~version [ (tag_log, Wire.Enc.contents e) ]
+(* v2 framing: one envelope section per chunk of [chunk] samples, each
+   section varint-packed exactly like the single v1 section (sample count,
+   arena length, arena words). The envelope already gives every section
+   its own FNV trailer and length prefix, so chunks are self-delimited and
+   independently decodable — the shard unit for parallel correlation. An
+   empty log frames one empty chunk so every blob has at least one
+   section. *)
+let encode ?(chunk = chunk_samples) t =
+  if chunk <= 0 then invalid_arg "Sample_log.encode: chunk must be positive";
+  let sections = ref [] in
+  let p = ref 0 in
+  let remaining = ref t.n in
+  let emit n0 start stop =
+    let e = Wire.Enc.create () in
+    Wire.Enc.varint e n0;
+    Wire.Enc.varint e (stop - start);
+    for i = start to stop - 1 do
+      Wire.Enc.varint e t.data.(i)
+    done;
+    sections := (tag_log, Wire.Enc.contents e) :: !sections
+  in
+  if t.n = 0 then emit 0 0 0
+  else
+    while !remaining > 0 do
+      let n0 = min chunk !remaining in
+      let start = !p in
+      walk_records t.data p n0;
+      emit n0 start !p;
+      remaining := !remaining - n0
+    done;
+  Wire.frame ~magic ~version (List.rev !sections)
 
-let decode s =
+(* One varint-packed chunk payload -> a log. Framing is already validated
+   by the envelope; this checks the declared record structure walks the
+   declared arena exactly (a well-digested section can still carry an
+   inconsistent record stream). *)
+let decode_section payload =
+  let d = Wire.Dec.of_string payload in
+  let n = Wire.Dec.varint d in
+  let len = Wire.Dec.varint d in
+  if n < 0 || len < 0 then raise (Wire.Error (Wire.Malformed "negative log size"));
+  let data = Array.make (max len 1) 0 in
+  Wire.Dec.varint_into d data len;
+  let data = if len = 0 then [||] else data in
+  if not (Wire.Dec.at_end d) then
+    raise (Wire.Error (Wire.Malformed "trailing bytes in log section"));
+  let overrun () =
+    raise (Wire.Error (Wire.Malformed "record stream overruns arena"))
+  in
+  let p = ref 0 in
+  for _ = 1 to n do
+    if !p >= len then overrun ();
+    let ln = data.(!p) in
+    if ln < 0 || ln > len then raise (Wire.Error (Wire.Malformed "bad LBR length"));
+    p := !p + 1 + (2 * ln);
+    if !p >= len then overrun ();
+    let sn = data.(!p) in
+    if sn < 0 || sn > len then
+      raise (Wire.Error (Wire.Malformed "bad stack length"));
+    p := !p + 1 + sn
+  done;
+  if !p <> len then
+    raise (Wire.Error (Wire.Malformed "record stream does not cover arena"));
+  { data; len; n }
+
+(* Decode every section of a blob as a chunk, version-dispatched: v1 blobs
+   must carry exactly one log section, v2 blobs one section per chunk. *)
+let decode_sections s =
   match Wire.unframe ~magic ~max_version:version s with
   | Error e -> Error e
-  | Ok (_version, sections) -> (
+  | Ok (v, sections) -> (
       try
-        match sections with
-        | [ (tag, payload) ] when tag = tag_log ->
-            let d = Wire.Dec.of_string payload in
-            let n = Wire.Dec.varint d in
-            let len = Wire.Dec.varint d in
-            if n < 0 || len < 0 then
-              raise (Wire.Error (Wire.Malformed "negative log size"));
-            let data = Array.make (max len 1) 0 in
-            for i = 0 to len - 1 do
-              data.(i) <- Wire.Dec.varint d
-            done;
-            let data = if len = 0 then [||] else Array.sub data 0 len in
-            if not (Wire.Dec.at_end d) then
-              raise (Wire.Error (Wire.Malformed "trailing bytes in log section"));
-            (* Framing is valid; now check the record structure walks the
-               arena exactly (a well-digested blob can still declare an
-               inconsistent record stream). *)
-            let overrun () =
-              raise (Wire.Error (Wire.Malformed "record stream overruns arena"))
-            in
-            let p = ref 0 in
-            for _ = 1 to n do
-              if !p >= len then overrun ();
-              let ln = data.(!p) in
-              if ln < 0 || ln > len then
-                raise (Wire.Error (Wire.Malformed "bad LBR length"));
-              p := !p + 1 + (2 * ln);
-              if !p >= len then overrun ();
-              let sn = data.(!p) in
-              if sn < 0 || sn > len then
-                raise (Wire.Error (Wire.Malformed "bad stack length"));
-              p := !p + 1 + sn
-            done;
-            if !p <> len then
-              raise (Wire.Error (Wire.Malformed "record stream does not cover arena"));
-            Ok { data; len; n }
-        | [ (tag, _) ] ->
-            Error (Wire.Malformed (Printf.sprintf "unknown section tag %d" tag))
-        | _ ->
+        let parts =
+          List.map
+            (fun (tag, payload) ->
+              if tag <> tag_log then
+                raise
+                  (Wire.Error
+                     (Wire.Malformed (Printf.sprintf "unknown section tag %d" tag)));
+              decode_section payload)
+            sections
+        in
+        match (v, parts) with
+        | _, [] -> Error (Wire.Malformed "no log sections")
+        | 1, [ part ] -> Ok [ part ]
+        | 1, _ ->
             Error
               (Wire.Malformed
                  (Printf.sprintf "expected exactly one log section, got %d"
-                    (List.length sections)))
+                    (List.length parts)))
+        | _, parts -> Ok parts
       with Wire.Error e -> Error e)
+
+let concat_parts = function
+  | [ t ] -> t
+  | parts ->
+      let len = List.fold_left (fun acc t -> acc + t.len) 0 parts in
+      let n = List.fold_left (fun acc t -> acc + t.n) 0 parts in
+      let data = if len = 0 then [||] else Array.make len 0 in
+      let p = ref 0 in
+      List.iter
+        (fun t ->
+          Array.blit t.data 0 data !p t.len;
+          p := !p + t.len)
+        parts;
+      { data; len; n }
+
+let decode s = Result.map concat_parts (decode_sections s)
+
+let decode_chunks s = decode_sections s
+
+let framing_version s =
+  Result.map fst (Wire.unframe ~magic ~max_version:version s)
+
+let split ?(chunk = chunk_samples) t =
+  if chunk <= 0 then invalid_arg "Sample_log.split: chunk must be positive";
+  let out = ref [] in
+  let p = ref 0 in
+  let remaining = ref t.n in
+  while !remaining > 0 do
+    let n0 = min chunk !remaining in
+    let start = !p in
+    walk_records t.data p n0;
+    out :=
+      { data = Array.sub t.data start (!p - start); len = !p - start; n = n0 }
+      :: !out;
+    remaining := !remaining - n0
+  done;
+  List.rev !out
 
 let is_binary s = Wire.sniff ~magic s

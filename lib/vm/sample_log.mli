@@ -48,14 +48,20 @@ val compact : t -> unit
     form is the debuggable golden format: a [samplelog] header, then one
     line per sample ([lbr_len src tgt ... stack_len addr ...], ints
     space-separated). The binary form is a digest-framed
-    {!Csspgo_support.Wire} envelope (magic ["CSLG"], version 1, one
-    varint-packed section) — compact and validated before decoding, so
-    corrupt blobs fail with a typed error. Both round-trip exactly:
-    [of_text (to_text t)] and [decode (encode t)] reproduce the log
-    byte-for-byte under re-serialization. *)
+    {!Csspgo_support.Wire} envelope (magic ["CSLG"]): version 2 frames one
+    varint-packed section per chunk of {!chunk_samples} whole samples, so
+    every chunk is self-delimited, carries its own FNV trailer, and
+    decodes independently — the shard unit for parallel correlation.
+    Version 1 blobs (one section for the whole log) still decode. Both
+    forms round-trip exactly: [of_text (to_text t)] and
+    [decode (encode t)] reproduce the log byte-for-byte under
+    re-serialization. *)
 
 val magic : string
 (** ["CSLG"], the binary blob prefix. *)
+
+val chunk_samples : int
+(** Default samples per v2 chunk (and per {!split} shard). *)
 
 val to_text : t -> string
 
@@ -63,9 +69,33 @@ val of_text : string -> (t, Csspgo_support.Wire.error) result
 (** Parse the text form; structural problems come back as
     [Error (Malformed _)]. *)
 
-val encode : t -> string
+val encode : ?chunk:int -> t -> string
+(** v2 blob, one section per [chunk] (default {!chunk_samples}) samples;
+    chunk boundaries walk whole records, never dividing a sample. An
+    empty log frames a single empty chunk.
+    @raise Invalid_argument when [chunk] is not positive. *)
 
 val decode : string -> (t, Csspgo_support.Wire.error) result
+(** Decode a v1 or v2 blob into one log (chunks concatenated in frame
+    order). Every section's record stream is validated against its
+    declared arena before any data is returned. *)
+
+val decode_chunks : string -> (t list, Csspgo_support.Wire.error) result
+(** Like {!decode} but keeps the chunk partition: one log per section, in
+    frame order — the fused drain-and-correlate path feeds these straight
+    into shards without ever materializing the concatenated log. A v1
+    blob yields a single chunk. *)
+
+val framing_version : string -> (int, Csspgo_support.Wire.error) result
+(** The blob's frame version (1 or 2), without decoding any payload. *)
+
+val split : ?chunk:int -> t -> t list
+(** Partition into sub-logs of [chunk] (default {!chunk_samples}) samples
+    each (the last one short); [[]] for an empty log. Boundaries walk
+    whole records — exactly {!encode}'s chunking — so appending the parts
+    in order reproduces the log, and the partition is a pure function of
+    the log's contents (never of a job count).
+    @raise Invalid_argument when [chunk] is not positive. *)
 
 val is_binary : string -> bool
 (** Does the data start with {!magic}? *)

@@ -20,5 +20,6 @@ let () =
       Test_stale.suite;
       Test_incremental.suite;
       Test_fleet.suite;
+      Test_parcorr.suite;
       Test_obs.suite;
     ]

@@ -85,6 +85,7 @@ let recording_hooks tbl mutex =
     stat = (fun ~name:_ _ -> ());
     span = (fun ~name:_ f -> f ());
     metrics = Csspgo_obs.Metrics.null;
+    jobs = 1;
   }
 
 let test_plan_identity_across_jobs () =
