@@ -3,7 +3,7 @@
    next to the paper's reference values.
 
    Usage: main.exe
-     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|fleet|corr|all]
+     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|fleet|corr|health|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -339,7 +339,7 @@ let stale () =
         (String.concat ", "
            (List.mapi (fun di _ -> Printf.sprintf "%.4f" (mean di vi)) distances)))
     variants;
-  bpf "}\n}\n";
+  bpf "},\n  \"cores\": %d\n}\n" (Domain.recommended_domain_count ());
   let oc = open_out "BENCH_stale.json" in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -814,10 +814,12 @@ let pipeline () =
       \  \"live_words_materialized_half\": %d,\n\
       \  \"live_words_materialized_full\": %d,\n\
       \  \"live_words_streaming_half\": %d,\n\
-      \  \"live_words_streaming_full\": %d\n\
+      \  \"live_words_streaming_full\": %d,\n\
+      \  \"cores\": %d\n\
        }\n"
       period n (Vm.Sample_log.words log) ns_mat ns_str (rate ns_mat) (rate ns_str)
       speedup mat_half mat_full str_half str_full
+      (Domain.recommended_domain_count ())
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
@@ -1050,9 +1052,9 @@ let format_bench () =
     ns_log_parse ns_log_decode (ns_log_parse /. ns_log_decode);
   bpf "  \"incremental\": {\"workload\": \"clangish\", \"cold_s\": %.4f, \"warm_s\": %.4f,\n"
     t_cold t_warm;
-  bpf "    \"drifted_s\": %.4f, \"delta_s\": %.4f, \"delta_recompiled\": %d, \"delta_reused\": %d}\n"
+  bpf "    \"drifted_s\": %.4f, \"delta_s\": %.4f, \"delta_recompiled\": %d, \"delta_reused\": %d},\n"
     t_a t_delta n_rec n_reu;
-  bpf "}\n";
+  bpf "  \"cores\": %d\n}\n" (Domain.recommended_domain_count ());
   let oc = open_out "BENCH_format.json" in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -1265,7 +1267,7 @@ let fleet_bench () =
         | None -> "null")
         (if i = List.length gens - 1 then "" else ","))
     gens;
-  bpf "  ]\n}\n";
+  bpf "  ],\n  \"cores\": %d\n}\n" (Domain.recommended_domain_count ());
   let oc = open_out "BENCH_fleet.json" in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -1478,6 +1480,152 @@ let corr_bench () =
       speedup4 cores
 
 (* ------------------------------------------------------------------ *)
+(* Health — windowed telemetry: the per-window close cost against the   *)
+(* collection window it closes (target < 1%), and the drift alarm: an   *)
+(* injected mid-train edit spike must trip exactly one crit alert.      *)
+
+let health_bench () =
+  sep "Health — windowed telemetry overhead and the drift alarm";
+  let module Fl = Csspgo_fleet in
+  let module Obs = Csspgo_obs in
+  let open Bechamel in
+  let estimate name f =
+    let test = Test.make ~name (Staged.stage f) in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+    let results =
+      Benchmark.all cfg [ instance ]
+        (Test.make_grouped ~name:"health" ~fmt:"%s/%s" [ test ])
+    in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ o ->
+        match Analyze.OLS.estimates o with Some [ e ] -> est := e | _ -> ())
+      ols;
+    !est
+  in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let w = W.Suite.adfinder in
+  let fleet_cfg = { Fl.Sim.default with Fl.Sim.f_request_copies = 2 } in
+  let versions =
+    [ { Fl.Sim.v_id = 0; v_source = w.D.w_source; v_weight = 1L; v_instances = 4 } ]
+  in
+  (* One real collection window populates the registry the close cost is
+     measured against. *)
+  let metrics = Obs.Metrics.create () in
+  let t_window =
+    time_best (fun () -> Fl.Sim.run ~metrics fleet_cfg ~workload:w ~versions)
+  in
+  (* The health layer's marginal cost per window is one registry snapshot,
+     one series record and one health observe; the overhead claim is that
+     ratio, not a wall-clock difference two runs of the window itself would
+     bury in noise. *)
+  let series = Obs.Series.create () in
+  let obs_tracker = Obs.Health.create () in
+  let ns_close =
+    estimate "window-close" (fun () ->
+        let snap = Obs.Metrics.snapshot metrics in
+        ignore (Obs.Series.record series snap);
+        ignore (Obs.Health.observe obs_tracker snap))
+  in
+  let ns_window = t_window *. 1e9 in
+  let overhead_pct = 100.0 *. ns_close /. ns_window in
+  pf "collection window (adfinder, 4 instances):   %8.2f ms\n" (t_window *. 1e3);
+  pf "window close (snapshot + series + health):   %8.2f us  (%.4f%% of the window)\n"
+    (ns_close /. 1e3) overhead_pct;
+  (* End-to-end cross-check: whole windows with and without the layer. *)
+  let t_plain =
+    time_best (fun () ->
+        Fl.Sim.run ~metrics:(Obs.Metrics.create ()) fleet_cfg ~workload:w ~versions)
+  in
+  let t_obs =
+    time_best (fun () ->
+        let m = Obs.Metrics.create () in
+        let s = Obs.Series.create () in
+        let h = Obs.Health.create () in
+        Fl.Sim.run ~metrics:m ~series:s ~health:h fleet_cfg ~workload:w ~versions)
+  in
+  pf "end-to-end: metrics only %.2f ms | + series + health %.2f ms  (%+.2f%%)\n"
+    (t_plain *. 1e3) (t_obs *. 1e3)
+    (100. *. (t_obs /. t_plain -. 1.));
+  (* Drift alarm: a 4-generation train drifting 2 edits per release, with a
+     4-edit spike injected at the transition into generation 2. The EWMA
+     detector must flag the spike window — and only the spike window — as a
+     crit regression. *)
+  let train_cfg =
+    {
+      Fl.Train.default with
+      Fl.Train.t_generations = 4;
+      t_edits = 2;
+      t_edit_schedule = [ 2; 4 ];
+      t_skew = 1;
+      t_cohort = 2;
+      t_overlap = false;
+      t_fleet = { Fl.Sim.default with Fl.Sim.f_request_copies = 2 };
+    }
+  in
+  let tracker = Obs.Health.create () in
+  let gens = Fl.Train.run ~health:tracker train_cfg w in
+  let rep = Obs.Health.report tracker in
+  pf "drift alarm (4 generations, spike 4 edits into gen 2):\n";
+  print_string (Obs.Health.report_to_text rep);
+  let crit_alerts =
+    List.filter
+      (fun (a : Obs.Health.alert) -> a.Obs.Health.al_level = Obs.Health.Crit)
+      rep.Obs.Health.hp_alerts
+  in
+  let n_windows = List.length rep.Obs.Health.hp_windows in
+  let cores = Domain.recommended_domain_count () in
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n  \"workload\": \"adfinder\",\n";
+  bpf "  \"window_ms\": %.3f,\n  \"close_us\": %.3f,\n" (t_window *. 1e3)
+    (ns_close /. 1e3);
+  bpf "  \"overhead_pct\": %.4f,\n" overhead_pct;
+  bpf "  \"end_to_end\": {\"plain_ms\": %.3f, \"telemetry_ms\": %.3f},\n"
+    (t_plain *. 1e3) (t_obs *. 1e3);
+  bpf "  \"windows\": %d,\n  \"crit_alerts\": %d,\n" n_windows
+    (List.length crit_alerts);
+  (match crit_alerts with
+  | [ a ] ->
+      bpf "  \"alert_window\": %d,\n  \"alert_indicator\": \"%s\",\n"
+        a.Obs.Health.al_window a.Obs.Health.al_indicator
+  | _ -> ());
+  bpf "  \"cores\": %d\n}\n" cores;
+  let oc = open_out "BENCH_health.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote BENCH_health.json\n";
+  ignore gens;
+  if overhead_pct >= 1.0 then
+    failwith
+      (Printf.sprintf "health: window-close overhead %.4f%% above 1%% target"
+         overhead_pct);
+  (match crit_alerts with
+  | [ a ] when a.Obs.Health.al_window = 2 -> ()
+  | [ a ] ->
+      failwith
+        (Printf.sprintf "health: crit alert on window %d, expected the spike window 2"
+           a.Obs.Health.al_window)
+  | l ->
+      failwith
+        (Printf.sprintf "health: %d crit alerts, expected exactly 1 (the spike)"
+           (List.length l)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1499,6 +1647,7 @@ let () =
   | "format" -> format_bench ()
   | "fleet" -> fleet_bench ()
   | "corr" -> corr_bench ()
+  | "health" -> health_bench ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -1515,7 +1664,8 @@ let () =
       obs_overhead ();
       format_bench ();
       fleet_bench ();
-      corr_bench ()
+      corr_bench ();
+      health_bench ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

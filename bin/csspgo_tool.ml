@@ -616,12 +616,25 @@ let inspect_cmd =
                ~max_version:max_int data
            with
           | Ok (_, sections) ->
+              (* The digest shown is recomputed from the payload — unframe
+                 already verified it against the trailer, so this line is
+                 what a corrupted-but-decodable section would contradict. *)
+              let payload_bytes =
+                List.fold_left
+                  (fun acc (_, payload) -> acc + String.length payload)
+                  0 sections
+              in
+              Printf.printf "overhead    %d bytes of %d (envelope)\n"
+                (String.length data - payload_bytes)
+                (String.length data);
               List.iteri
                 (fun i ((tag, payload), chunk) ->
-                  Printf.printf "chunk       %d: tag %d, %d samples, %d bytes\n"
+                  Printf.printf
+                    "chunk       %d: tag %d, %d samples, %d bytes, fnv %016Lx\n"
                     i tag
                     (Vm.Sample_log.n_samples chunk)
-                    (String.length payload))
+                    (String.length payload)
+                    (Csspgo_support.Wire.section_digest ~tag payload))
                 (List.combine sections parts)
           | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e))
       | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
@@ -642,6 +655,27 @@ let inspect_cmd =
         (String.length (P.Binary_io.encode p));
       Printf.printf "functions   %d\n" (List.length fps);
       Printf.printf "fingerprint %Lx\n" (P.Fingerprint.merged p);
+      (if P.Binary_io.is_binary data then
+         match
+           Csspgo_support.Wire.unframe ~magic:P.Binary_io.magic
+             ~max_version:max_int data
+         with
+         | Ok (_, sections) ->
+             let payload_bytes =
+               List.fold_left
+                 (fun acc (_, payload) -> acc + String.length payload)
+                 0 sections
+             in
+             Printf.printf "overhead    %d bytes of %d (envelope)\n"
+               (String.length data - payload_bytes)
+               (String.length data);
+             List.iteri
+               (fun i (tag, payload) ->
+                 Printf.printf "section     %d: tag %d, %d bytes, fnv %016Lx\n"
+                   i tag (String.length payload)
+                   (Csspgo_support.Wire.section_digest ~tag payload))
+               sections
+         | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e));
       if funcs then
         List.iter (fun (g, d) -> Printf.printf "  %Lx %Lx\n" g d) fps
     end
@@ -694,7 +728,15 @@ let fleet_cmd =
       & info [ "check" ]
           ~doc:"Re-parse the emitted JSON and assert its schema invariants")
   in
-  let run name instances shards duty versions generations jobs json check =
+  let health_flag =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Track one profile-health window per generation and print the \
+             scored report after the train summary")
+  in
+  let run name instances shards duty versions generations jobs json check health =
     let w = Option.get (W.Suite.find name) in
     if versions < 1 then die "--versions must be at least 1";
     if generations < 1 then die "--generations must be at least 1";
@@ -717,7 +759,8 @@ let fleet_cmd =
           };
       }
     in
-    let gens = Fl.Train.run cfg w in
+    let tracker = if health then Some (Obs.Health.create ()) else None in
+    let gens = Fl.Train.run ?health:tracker cfg w in
     let opt_float = function Some f -> Printf.sprintf "%.3f" f | None -> "-" in
     List.iter
       (fun (g : Fl.Train.generation) ->
@@ -806,7 +849,10 @@ let fleet_cmd =
           | _ -> expect "samples not a non-negative integer")
         train;
       print_endline "fleet check ok"
-    end
+    end;
+    Option.iter
+      (fun t -> print_string (Obs.Health.report_to_text (Obs.Health.report t)))
+      tracker
   in
   Cmd.v
     (Cmd.info "fleet"
@@ -816,7 +862,185 @@ let fleet_cmd =
           release rebuilds with the carried profile")
     Term.(
       const run $ workload_arg $ instances_arg $ shards_arg $ duty_arg
-      $ versions_arg $ generations_arg $ jobs_arg $ json_arg $ check_flag)
+      $ versions_arg $ generations_arg $ jobs_arg $ json_arg $ check_flag
+      $ health_flag)
+
+(* --- health --------------------------------------------------------- *)
+
+let health_cmd =
+  let generations_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "generations" ] ~docv:"G"
+          ~doc:"Release-train length (one health window per generation)")
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "instances" ] ~docv:"N"
+          ~doc:"Total fleet instances, split across in-flight versions")
+  in
+  let versions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "versions" ] ~docv:"K" ~doc:"Binary versions in flight per window")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Collector shards")
+  in
+  let duty_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duty" ] ~docv:"P" ~doc:"Per-request sampling probability")
+  in
+  let edits_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "edits" ] ~docv:"E" ~doc:"Drift edits per release transition")
+  in
+  let spike_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "spike" ] ~docv:"G:E"
+          ~doc:
+            "Inject a drift of E edits at the transition into generation G \
+             (other transitions keep --edits) — the mid-train anomaly the \
+             EWMA detector should flag")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as canonical JSON instead of text")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:"Write the final metrics snapshot as OpenMetrics exposition")
+  in
+  let openmetrics_series_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "openmetrics-series" ] ~docv:"FILE"
+          ~doc:
+            "Write the windowed series (one timestamped point per generation \
+             on the fixed clock) as OpenMetrics exposition")
+  in
+  let run name generations instances versions shards duty edits spike jobs json
+      openmetrics openmetrics_series =
+    let w = Option.get (W.Suite.find name) in
+    if versions < 1 then die "--versions must be at least 1";
+    if generations < 1 then die "--generations must be at least 1";
+    if instances < versions then die "--instances must be at least --versions";
+    let schedule =
+      match spike with
+      | None -> []
+      | Some (g, e) ->
+          if g < 1 || g >= generations then
+            die "--spike generation must be in 1..%d" (generations - 1);
+          List.init g (fun i -> if i = g - 1 then e else edits)
+    in
+    let cfg =
+      {
+        Fl.Train.default with
+        Fl.Train.t_generations = generations;
+        t_edits = edits;
+        t_edit_schedule = schedule;
+        t_skew = versions - 1;
+        t_cohort = max 1 (instances / versions);
+        (* The health verdict needs no instr-PGO truth run; window-over-window
+           overlap comes from the fleet profiles themselves. *)
+        t_overlap = false;
+        t_fleet =
+          {
+            Fl.Sim.default with
+            Fl.Sim.f_shards = shards;
+            f_duty = duty;
+            f_jobs = jobs;
+            f_request_copies = max 1 (instances / versions);
+          };
+      }
+    in
+    let metrics = Obs.Metrics.create () in
+    let series = Obs.Series.create () in
+    let tracker = Obs.Health.create () in
+    let gens = Fl.Train.run ~metrics ~series ~health:tracker cfg w in
+    ignore gens;
+    let rep = Obs.Health.report tracker in
+    (* The canonical JSON must reparse whether or not it is printed. *)
+    let doc = Obs.Json.to_string (Obs.Health.report_to_json rep) in
+    ignore (Obs.Json.parse_exn doc);
+    if json then print_endline doc
+    else print_string (Obs.Health.report_to_text rep);
+    Option.iter
+      (fun path -> write_out path (Obs.Export.snapshot (Obs.Metrics.snapshot metrics)))
+      openmetrics;
+    Option.iter
+      (fun path -> write_out path (Obs.Export.series series))
+      openmetrics_series
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a fixed-clock release train and score one profile-health window \
+          per generation: drop rate, correlation hit rate, inferred-frame \
+          share, stale recovery, window-over-window overlap, and EWMA anomaly \
+          alerts. Output is byte-identical at any -j.")
+    Term.(
+      const run $ workload_arg $ generations_arg $ instances_arg $ versions_arg
+      $ shards_arg $ duty_arg $ edits_arg $ spike_arg $ jobs_arg $ json_flag
+      $ openmetrics_arg $ openmetrics_series_arg)
+
+(* --- bench-check ---------------------------------------------------- *)
+
+(* Schema guard for the committed BENCH_*.json artifacts: every file must
+   be valid JSON recording the host core count, and the known experiments
+   must carry their headline fields — a bench refactor that silently stops
+   writing a field fails here, not in a reader months later. *)
+let bench_check_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"BENCH_*.json files to validate")
+  in
+  let required = function
+    | "BENCH_pipeline.json" ->
+        [ "workload"; "n_samples"; "speedup"; "streaming_samples_per_sec" ]
+    | "BENCH_stale.json" -> [ "distances"; "workloads"; "aggregate_overlap" ]
+    | "BENCH_format.json" -> [ "workload"; "profiles"; "sample_log"; "incremental" ]
+    | "BENCH_fleet.json" ->
+        [ "workload"; "fleet_sizes"; "duty_sweep"; "skew_sweep"; "train" ]
+    | "BENCH_corr.json" -> [ "workload"; "n_samples"; "decode"; "correlate" ]
+    | "BENCH_health.json" -> [ "workload"; "overhead_pct"; "windows"; "crit_alerts" ]
+    | _ -> []
+  in
+  let run files =
+    List.iter
+      (fun path ->
+        let doc =
+          match Obs.Json.parse (read_file path) with
+          | Ok d -> d
+          | Error msg -> die "%s: %s" path msg
+        in
+        (match Obs.Json.member "cores" doc with
+        | Some (Obs.Json.Int n) when n >= 1 -> ()
+        | Some _ -> die "%s: \"cores\" must be a positive integer" path
+        | None -> die "%s: missing \"cores\" (host core count)" path);
+        List.iter
+          (fun k ->
+            if Obs.Json.member k doc = None then
+              die "%s: missing field %S" path k)
+          (required (Filename.basename path));
+        Printf.printf "%s: ok\n" (Filename.basename path))
+      files
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Validate committed BENCH_*.json artifacts: parseable JSON, a \
+          recorded host core count, and the per-experiment headline fields")
+    Term.(const run $ files_arg)
 
 (* --- fuzz ---------------------------------------------------------- *)
 
@@ -913,6 +1137,15 @@ let fuzz_cmd =
             "Skip the parallel-correlation oracle family (sharded-vs-serial \
              correlation byte identity per profile shape)")
   in
+  let no_health_arg =
+    Arg.(
+      value & flag
+      & info [ "no-health-oracle" ]
+          ~doc:
+            "Skip the health telemetry oracle family (jobs-independent \
+             report/series byte identity, series merge laws, OpenMetrics \
+             trailer)")
+  in
   let fuzz_stale_edits_arg =
     Arg.(
       value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
@@ -931,8 +1164,8 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      no_stale no_format no_fleet no_parcorr stale_edits max_failures inject jobs
-      cache_dir metrics_file =
+      no_stale no_format no_fleet no_parcorr no_health stale_edits max_failures
+      inject jobs cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -947,6 +1180,7 @@ let fuzz_cmd =
         cf_format_oracle = not no_format;
         cf_fleet_oracle = not no_fleet;
         cf_parcorr_oracle = not no_parcorr;
+        cf_health_oracle = not no_health;
         cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
@@ -991,8 +1225,9 @@ let fuzz_cmd =
     Term.(
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
-      $ no_format_arg $ no_fleet_arg $ no_parcorr_arg $ fuzz_stale_edits_arg
-      $ max_failures_arg $ inject_arg $ jobs_arg $ cache_dir_arg $ metrics_arg)
+      $ no_format_arg $ no_fleet_arg $ no_parcorr_arg $ no_health_arg
+      $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
+      $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
 
@@ -1028,5 +1263,6 @@ let () =
        (Cmd.group info
           [
             compile_cmd; run_cmd; pgo_cmd; stale_cmd; report_cmd; probes_cmd;
-            contexts_cmd; convert_cmd; inspect_cmd; fleet_cmd; fuzz_cmd; cache_cmd;
+            contexts_cmd; convert_cmd; inspect_cmd; fleet_cmd; health_cmd;
+            bench_check_cmd; fuzz_cmd; cache_cmd;
           ]))

@@ -35,6 +35,56 @@ let block_overlap ~(truth : Ir.Program.t) (cand : Ir.Program.t) =
     cand;
   if !total_weight <= 0.0 then 0.0 else !acc /. !total_weight
 
+(* Flatten a profile into a (key, count) table for distribution overlap.
+   Keys are (guid, a, b): probe profiles use (guid, probe, 0) body counts,
+   line profiles (guid, line, disc); context tries flatten to their
+   context-merged probe view first. *)
+let profile_counts (p : Csspgo_profile.Text_io.profile) =
+  let module P = Csspgo_profile in
+  let tbl : (Ir.Guid.t * int * int, int64) Hashtbl.t = Hashtbl.create 64 in
+  let add key c =
+    if Int64.compare c 0L > 0 then
+      let prev = try Hashtbl.find tbl key with Not_found -> 0L in
+      Hashtbl.replace tbl key (Int64.add prev c)
+  in
+  let probe (pp : P.Probe_profile.t) =
+    Ir.Guid.Tbl.iter
+      (fun guid fe ->
+        Hashtbl.iter
+          (fun id c -> add (guid, id, 0) c)
+          fe.P.Probe_profile.fe_probes)
+      pp.P.Probe_profile.funcs
+  in
+  (match p with
+  | P.Text_io.Probe_prof pp -> probe pp
+  | P.Text_io.Ctx_prof cp -> probe (P.Merge.flatten_ctx cp)
+  | P.Text_io.Line_prof lp ->
+      Ir.Guid.Tbl.iter
+        (fun guid fe ->
+          Hashtbl.iter
+            (fun (line, disc) c -> add (guid, line, disc) c)
+            fe.P.Line_profile.fe_lines)
+        lp.P.Line_profile.funcs);
+  tbl
+
+let profile_overlap a b =
+  let module P = Csspgo_profile in
+  if P.Text_io.kind_of a <> P.Text_io.kind_of b then
+    invalid_arg "Quality.profile_overlap: profile kinds differ";
+  let ta = profile_counts a and tb = profile_counts b in
+  let total t = Hashtbl.fold (fun _ c acc -> Int64.to_float c +. acc) t 0.0 in
+  let sa = total ta and sb = total tb in
+  if sa <= 0.0 && sb <= 0.0 then 1.0
+  else if sa <= 0.0 || sb <= 0.0 then 0.0
+  else
+    Hashtbl.fold
+      (fun key ca acc ->
+        match Hashtbl.find_opt tb key with
+        | None -> acc
+        | Some cb ->
+            acc +. min (Int64.to_float ca /. sa) (Int64.to_float cb /. sb))
+      ta 0.0
+
 type recovery = { rec_stale : float; rec_fresh : float; rec_ratio : float }
 
 let recovery ~truth ~fresh stale =

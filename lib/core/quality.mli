@@ -17,6 +17,19 @@ val block_overlap : truth:Csspgo_ir.Program.t -> Csspgo_ir.Program.t -> float
     pair carries counts on both sides ("no data", matching the
     {!func_overlap} [None] convention). *)
 
+val profile_overlap :
+  Csspgo_profile.Text_io.profile -> Csspgo_profile.Text_io.profile -> float
+(** Distribution overlap of two same-kind profiles, without IR: each side
+    flattens to (function, location) body counts — probe ids for probe
+    profiles, (line, discriminator) for line profiles, the context-merged
+    flat view for tries — normalized per side, summing [min] over shared
+    keys. In [0, 1]. Both sides empty (no counts) is [1.0] — no data, no
+    change; exactly one side empty is [0.0]. The window-over-window
+    fidelity signal the fleet health layer feeds to
+    [Obs.Health.observe ~overlap]: drift between consecutive windows
+    shifts or renames keys, and the lost mass is exactly the dip.
+    @raise Invalid_argument when the kinds differ. *)
+
 type recovery = {
   rec_stale : float;  (** overlap of the stale-matched profile vs truth *)
   rec_fresh : float;  (** overlap of the fresh N+1 profile vs truth *)

@@ -102,8 +102,8 @@ let validate cfg versions =
         invalid_arg "Sim.run: negative version weight")
     versions
 
-let run ?(metrics = Obs.Metrics.null) ?trace cfg ~(workload : D.workload)
-    ~versions =
+let run ?(metrics = Obs.Metrics.null) ?trace ?series ?health
+    cfg ~(workload : D.workload) ~versions =
   validate cfg versions;
   let versions = List.sort (fun a b -> compare a.v_id b.v_id) versions in
   let span name f =
@@ -284,6 +284,13 @@ let run ?(metrics = Obs.Metrics.null) ?trace cfg ~(workload : D.workload)
   c "fleet.sampled" (sum (fun pv -> pv.pv_sampled));
   c "fleet.samples" (sum (fun pv -> pv.pv_samples));
   c "fleet.batches" (sum (fun pv -> pv.pv_batches));
+  (* One telemetry window per collection window: the cumulative snapshot
+     closes both the series window and the health window. *)
+  (if series <> None || health <> None then begin
+     let snap = Obs.Metrics.snapshot metrics in
+     Option.iter (fun s -> ignore (Obs.Series.record s snap)) series;
+     Option.iter (fun h -> ignore (Obs.Health.observe h snap)) health
+   end);
   {
     fs_profile;
     fs_flat;

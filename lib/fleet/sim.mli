@@ -68,6 +68,8 @@ type outcome = {
 val run :
   ?metrics:Csspgo_obs.Metrics.t ->
   ?trace:Csspgo_obs.Trace.t ->
+  ?series:Csspgo_obs.Series.t ->
+  ?health:Csspgo_obs.Health.tracker ->
   config ->
   workload:Csspgo_core.Driver.workload ->
   versions:version list ->
@@ -76,4 +78,8 @@ val run :
     Deterministic: equal inputs yield a byte-identical [fs_profile]
     whatever [f_jobs] is. Emits [fleet.*] counters to [metrics] and
     per-phase spans (tid 0, ["fleet-build"], ["fleet-serve"],
-    ["fleet-drain"], ["fleet-correlate"], ["fleet-merge"]) to [trace]. *)
+    ["fleet-drain"], ["fleet-correlate"], ["fleet-merge"]) to [trace].
+    A collection window is a telemetry window: when [series] or [health]
+    is given, the run closes exactly one {!Csspgo_obs.Series} window /
+    {!Csspgo_obs.Health} window from [metrics]'s cumulative snapshot at
+    the end (pass a live [metrics], or the windows observe nothing). *)

@@ -2,11 +2,13 @@ module P = Csspgo_profile
 module Core = Csspgo_core
 module D = Core.Driver
 module W = Csspgo_workloads
+module Obs = Csspgo_obs
 module Fnv = Csspgo_support.Fnv
 
 type config = {
   t_generations : int;
   t_edits : int;
+  t_edit_schedule : int list;
   t_drift_seed : int64;
   t_skew : int;
   t_cohort : int;
@@ -20,6 +22,7 @@ let default =
   {
     t_generations = 3;
     t_edits = 2;
+    t_edit_schedule = [];
     t_drift_seed = 7L;
     t_skew = 1;
     t_cohort = 2;
@@ -39,25 +42,46 @@ type generation = {
   g_nopgo : D.eval;
   g_speedup : float;
   g_overlap : float option;
+  g_health : Obs.Health.window_report option;
 }
 
-let run ?metrics ?trace cfg (w : D.workload) =
+let edits_for cfg g =
+  match List.nth_opt cfg.t_edit_schedule (g - 1) with
+  | Some e -> e
+  | None -> cfg.t_edits
+
+let run ?metrics ?trace ?series ?health cfg (w : D.workload) =
   if cfg.t_generations < 1 then
     invalid_arg "Train.run: t_generations must be at least 1";
   if cfg.t_skew < 0 then invalid_arg "Train.run: negative t_skew";
+  List.iter
+    (fun e -> if e < 0 then invalid_arg "Train.run: negative scheduled edits")
+    cfg.t_edit_schedule;
+  (* Health windows need counters to observe: if the caller asked for
+     telemetry windows without a registry, give the fleet a private one. *)
+  let metrics =
+    match (metrics, series, health) with
+    | Some m, _, _ -> Some m
+    | None, None, None -> None
+    | None, _, _ -> Some (Obs.Metrics.create ())
+  in
   let options = cfg.t_fleet.Sim.f_options in
   (* Drift chain: each release drifts from its predecessor, so edits
-     compound down the train the way real source history does. *)
+     compound down the train the way real source history does. The edit
+     schedule overrides the uniform count per transition — entry [g-1]
+     is the drift applied between generation g-1 and g (a mid-train
+     spike is one large entry). *)
   let sources = Array.make cfg.t_generations w.D.w_source in
   for g = 1 to cfg.t_generations - 1 do
     sources.(g) <-
       (W.Drift.apply
          ~seed:(Fnv.int cfg.t_drift_seed g)
-         ~edits:cfg.t_edits sources.(g - 1))
+         ~edits:(edits_for cfg g) sources.(g - 1))
         .W.Drift.dr_source
   done;
   let kind = Build.kind_of_shape cfg.t_fleet.Sim.f_shape in
   let carried = ref None in
+  let prev_window = ref None in
   List.init cfg.t_generations (fun g ->
       let source = sources.(g) in
       let gen_w = { w with D.w_source = source } in
@@ -104,6 +128,23 @@ let run ?metrics ?trace cfg (w : D.workload) =
             (profile, flat, Some rep)
       in
       carried := Some (profile, flat);
+      (* One health/series window per generation, carrying the
+         window-over-window overlap of the fresh fleet profiles — the
+         merge-dilution/drift signal thresholds can't see in counters. *)
+      let wov =
+        match !prev_window with
+        | None -> None
+        | Some prev -> Some (Core.Quality.profile_overlap prev fleet.Sim.fs_profile)
+      in
+      prev_window := Some fleet.Sim.fs_profile;
+      let g_health =
+        match (series, health, metrics) with
+        | None, None, _ | _, _, None -> None
+        | _ ->
+            let snap = Obs.Metrics.snapshot (Option.get metrics) in
+            Option.iter (fun s -> ignore (Obs.Series.record s snap)) series;
+            Option.map (fun h -> Obs.Health.observe ?overlap:wov h snap) health
+      in
       let plan = D.Plan.make_with_profile ~options ~profile ?flat gen_w in
       let outcome = D.Plan.run plan in
       let nopgo = (D.run_variant ~options D.Nopgo gen_w).D.o_eval in
@@ -127,4 +168,5 @@ let run ?metrics ?trace cfg (w : D.workload) =
         g_nopgo = nopgo;
         g_speedup = speedup;
         g_overlap = overlap;
+        g_health;
       })

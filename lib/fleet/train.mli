@@ -16,6 +16,12 @@
 type config = {
   t_generations : int;  (** releases simulated, ≥ 1 (generation 0 first) *)
   t_edits : int;  (** drift edits applied per release *)
+  t_edit_schedule : int list;
+      (** per-transition override of [t_edits]: entry [g-1] is the edit
+          count between generations [g-1] and [g]; missing entries fall
+          back to [t_edits]. [[]] (the default) = uniform drift. A
+          mid-train drift injection is one large entry — the anomaly the
+          health layer's EWMA detector must flag. *)
   t_drift_seed : int64;
   t_skew : int;  (** old generations still in flight alongside the canary *)
   t_cohort : int;  (** instances per in-flight version *)
@@ -41,13 +47,26 @@ type generation = {
   g_nopgo : Csspgo_core.Driver.eval;  (** no-PGO baseline, same source *)
   g_speedup : float;  (** no-PGO cycles / PGO cycles *)
   g_overlap : float option;  (** vs instr-PGO truth ([t_overlap] only) *)
+  g_health : Csspgo_obs.Health.window_report option;
+      (** this generation's health window (when [?health] was given) *)
 }
 
 val run :
   ?metrics:Csspgo_obs.Metrics.t ->
   ?trace:Csspgo_obs.Trace.t ->
+  ?series:Csspgo_obs.Series.t ->
+  ?health:Csspgo_obs.Health.tracker ->
   config ->
   Csspgo_core.Driver.workload ->
   generation list
 (** Generation 0 first. Deterministic for equal inputs, independent of
-    [t_fleet.f_jobs]. *)
+    [t_fleet.f_jobs].
+
+    When [series] or [health] is given, each generation closes one
+    telemetry window from the cumulative metrics snapshot (a private live
+    registry is created if [metrics] was not supplied), and the health
+    window carries the window-over-window
+    {!Csspgo_core.Quality.profile_overlap} of consecutive fresh fleet
+    profiles — generation 0 has no predecessor, so its overlap indicator
+    reports no data. On a fixed-clock setup the resulting report is
+    byte-identical at any [t_fleet.f_jobs]. *)

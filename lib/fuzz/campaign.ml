@@ -25,6 +25,7 @@ module S = Csspgo_support
 module P = Csspgo_profile
 module D = Core.Driver
 module Fl = Csspgo_fleet
+module Obs = Csspgo_obs
 
 (* --- plans ---------------------------------------------------------- *)
 
@@ -90,6 +91,7 @@ type site =
   | Fleet of string  (** which leg of the fleet merge oracle family *)
   | Parcorr of string  (** which profile shape the parallel-correlation
                            oracle was checking *)
+  | Health of string  (** which leg of the health telemetry oracle family *)
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -109,6 +111,7 @@ let site_to_string = function
   | Format leg -> "profile format (" ^ leg ^ ")"
   | Fleet leg -> "fleet merge (" ^ leg ^ ")"
   | Parcorr shape -> "parallel correlation (" ^ shape ^ ")"
+  | Health leg -> "health telemetry (" ^ leg ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -160,6 +163,14 @@ type config = {
           every job count — the determinism claim the fused fleet drain
           rides on. A tiny shard target forces real multi-shard merges on
           the fuzzer's short logs. *)
+  cf_health_oracle : bool;
+      (** health telemetry oracle family: a health-instrumented fleet
+          window (fresh registry, fixed clock) must close to byte-identical
+          canonical report and series JSON at -j 1 and -j 2, both
+          documents must reparse as fixed points of the strict Json
+          parser, [Obs.Series.merge] must satisfy its laws (commutative,
+          associative, identity-on-empty) on really-recorded windows, and
+          the OpenMetrics exposition must render with its [# EOF] trailer *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -182,6 +193,7 @@ let default_config =
     cf_format_oracle = true;
     cf_fleet_oracle = true;
     cf_parcorr_oracle = true;
+    cf_health_oracle = true;
     cf_inject = None;
   }
 
@@ -721,6 +733,93 @@ let check_parcorr ~seed src args =
             [ 1; 2 ]))
     [ Fl.Build.Lines; Fl.Build.Probes; Fl.Build.Ctx ]
 
+(* Health telemetry oracle family (Obs.Series / Obs.Health / Obs.Export):
+   - a health-instrumented fleet window (fresh registry per run, fixed
+     clock) must close to byte-identical canonical report and series JSON
+     at -j 1 and -j 2 — the determinism claim the fleet health reports
+     ride on;
+   - both canonical documents must reparse through the strict Json parser
+     as print/parse fixed points;
+   - [Obs.Series.merge]'s laws (commutative, associative,
+     identity-on-empty) hold on the really-recorded windows, compared as
+     canonical JSON bytes;
+   - the OpenMetrics exposition renders without crashing and carries the
+     spec's terminating "# EOF" line. *)
+
+let check_health ~seed src args =
+  let w = workload_of ~seed src args in
+  let version n =
+    { Fl.Sim.v_id = 0; v_source = src; v_weight = 1L; v_instances = n }
+  in
+  let window jobs =
+    let metrics = Obs.Metrics.create () in
+    let series = Obs.Series.create () in
+    let tracker = Obs.Health.create () in
+    let (_ : Fl.Sim.outcome) =
+      Fl.Sim.run ~metrics ~series ~health:tracker
+        { fleet_config with Fl.Sim.f_jobs = jobs }
+        ~workload:w ~versions:[ version 2 ]
+    in
+    (series, tracker)
+  in
+  let sj s = Obs.Json.to_string (Obs.Series.to_json s) in
+  let site = Health "report determinism" in
+  let s1, s2 =
+    guarded_build site (fun () ->
+        let s1, t1 = window 1 in
+        let s2, t2 = window 2 in
+        let rj t =
+          Obs.Json.to_string (Obs.Health.report_to_json (Obs.Health.report t))
+        in
+        if not (String.equal (rj t1) (rj t2)) then
+          raise
+            (Fail (Result_mismatch, site, "-j 2 health report differs from -j 1"));
+        if not (String.equal (sj s1) (sj s2)) then
+          raise (Fail (Result_mismatch, site, "-j 2 series differs from -j 1"));
+        List.iter
+          (fun (tag, txt) ->
+            match Obs.Json.parse txt with
+            | Ok j when String.equal (Obs.Json.to_string j) txt -> ()
+            | Ok _ ->
+                raise
+                  (Fail
+                     ( Result_mismatch,
+                       site,
+                       tag ^ ": canonical JSON not a print/parse fixed point" ))
+            | Error e -> raise (Fail (Crash, site, tag ^ ": " ^ e)))
+          [ ("report", rj t1); ("series", sj s1) ];
+        (s1, s2))
+  in
+  let site = Health "series merge laws" in
+  guarded_build site (fun () ->
+      let fail leg = raise (Fail (Result_mismatch, site, "merge not " ^ leg)) in
+      let m = Obs.Series.merge in
+      if not (String.equal (sj (m s1 s2)) (sj (m s2 s1))) then fail "commutative";
+      (* a third operand with doubled deltas, so association is not vacuous *)
+      let s3 = m s1 s2 in
+      if not (String.equal (sj (m (m s1 s2) s3)) (sj (m s1 (m s2 s3)))) then
+        fail "associative";
+      if not (String.equal (sj (m s1 (Obs.Series.create ()))) (sj s1)) then
+        fail "identity-on-empty");
+  let site = Health "openmetrics exposition" in
+  guarded_build site (fun () ->
+      let metrics = Obs.Metrics.create () in
+      let series = Obs.Series.create () in
+      let (_ : Fl.Sim.outcome) =
+        Fl.Sim.run ~metrics ~series fleet_config ~workload:w
+          ~versions:[ version 1 ]
+      in
+      let check tag txt =
+        let eof = "# EOF\n" in
+        let n = String.length txt and k = String.length eof in
+        if n < k || not (String.equal (String.sub txt (n - k) k) eof) then
+          raise
+            (Fail
+               (Result_mismatch, site, tag ^ ": exposition missing # EOF trailer"))
+      in
+      check "snapshot" (Obs.Export.snapshot (Obs.Metrics.snapshot metrics));
+      check "series" (Obs.Export.series series))
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -759,6 +858,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
     | Some (Format _) -> check_format ?cache ~seed src args
     | Some (Fleet _) -> check_fleet ~seed src args
     | Some (Parcorr _) -> check_parcorr ~seed src args
+    | Some (Health _) -> check_health ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -782,7 +882,8 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
           check_stale ?hooks ?cache cfg ~seed src args;
         if cfg.cf_format_oracle then check_format ?cache ~seed src args;
         if cfg.cf_fleet_oracle then check_fleet ~seed src args;
-        if cfg.cf_parcorr_oracle then check_parcorr ~seed src args);
+        if cfg.cf_parcorr_oracle then check_parcorr ~seed src args;
+        if cfg.cf_health_oracle then check_health ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -824,7 +925,7 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
@@ -832,6 +933,7 @@ let repro_command cfg ~seed =
     (if cfg.cf_format_oracle then "" else " --no-format-oracle")
     (if cfg.cf_fleet_oracle then "" else " --no-fleet-oracle")
     (if cfg.cf_parcorr_oracle then "" else " --no-parcorr-oracle")
+    (if cfg.cf_health_oracle then "" else " --no-health-oracle")
     (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
      else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""

@@ -3,7 +3,7 @@
     Each seed deterministically yields one random MiniC program
     ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
     randomly permuted pass pipelines, and (optionally) all five
-    [Core.Driver] PGO variants. Eight oracle families guard the paper's
+    [Core.Driver] PGO variants. Nine oracle families guard the paper's
     central claim — that probes, context-sensitive profiles and aggressive
     optimization never perturb semantics or profile quality:
 
@@ -36,7 +36,15 @@
       sample log ([Fleet.Build.correlate_chunks] / [Core.Par_corr]) is
       byte-identical to the serial streaming correlator, for every profile
       shape and at several job counts, with a shard target small enough to
-      force real multi-shard merges.
+      force real multi-shard merges;
+    - {b health telemetry}: a health-instrumented fleet window
+      ([Obs.Series] / [Obs.Health], fresh registry, fixed clock) closes to
+      byte-identical canonical report and series JSON at -j 1 and -j 2,
+      both documents reparse as print/parse fixed points of the strict
+      [Obs.Json] parser, [Obs.Series.merge] satisfies its laws
+      (commutative, associative, identity-on-empty) on really-recorded
+      windows, and the OpenMetrics exposition ([Obs.Export]) renders with
+      its [# EOF] trailer.
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -87,6 +95,11 @@ type site =
       (** parallel-correlation oracle family ([Fleet.Build.correlate_chunks],
           [Core.Par_corr]): sharded-vs-serial byte identity per profile
           shape; the string names the shape *)
+  | Health of string
+      (** health telemetry oracle family ([Obs.Series], [Obs.Health],
+          [Obs.Export]): jobs-independent report/series byte identity,
+          print/parse fixed points, series merge laws, OpenMetrics
+          trailer; the string names the failing leg *)
 
 val site_to_string : site -> string
 
@@ -115,6 +128,7 @@ type config = {
   cf_format_oracle : bool;
   cf_fleet_oracle : bool;
   cf_parcorr_oracle : bool;
+  cf_health_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

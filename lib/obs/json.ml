@@ -96,11 +96,19 @@ let parse_exn s =
   in
   let hex4 () =
     if !pos + 4 > n then fail !pos "truncated \\u escape";
-    let h = String.sub s !pos 4 in
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail !pos "invalid \\u escape"
+    in
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 4) lor digit s.[!pos + i]
+    done;
     pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some v -> v
-    | None -> fail (!pos - 4) "invalid \\u escape"
+    !v
   in
   let parse_string () =
     expect '"';
@@ -123,15 +131,42 @@ let parse_exn s =
            | 't' -> Buffer.add_char buf '\t'; advance ()
            | 'u' ->
                advance ();
+               let start = !pos - 2 in
                let cp = hex4 () in
-               (* UTF-8 encode the BMP code point (surrogates kept raw). *)
+               (* Surrogates must come as a high/low pair encoding one
+                  supplementary code point; anything lone is an error, not
+                  raw bytes. *)
+               let cp =
+                 if cp >= 0xd800 && cp <= 0xdbff then begin
+                   if
+                     !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo >= 0xdc00 && lo <= 0xdfff then
+                       0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+                     else fail start "unpaired \\u surrogate"
+                   end
+                   else fail start "unpaired \\u surrogate"
+                 end
+                 else if cp >= 0xdc00 && cp <= 0xdfff then
+                   fail start "lone low \\u surrogate"
+                 else cp
+               in
+               (* UTF-8 encode the code point. *)
                if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
                else if cp < 0x800 then begin
                  Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
                  Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
                end
-               else begin
+               else if cp < 0x10000 then begin
                  Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+                 Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+                 Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
                  Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
                  Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
                end
@@ -160,7 +195,12 @@ let parse_exn s =
     | Some v -> Int v
     | None -> (
         match float_of_string_opt tok with
-        | Some f -> Float f
+        (* Overlong numbers (exponents or digit runs past the double
+           range) overflow to infinity, which has no JSON spelling and
+           would break canonical reprinting — reject, never round-trip
+           silently through null. *)
+        | Some f when Float.is_finite f -> Float f
+        | Some _ -> fail start ("number out of range " ^ tok)
         | None -> fail start ("invalid number " ^ tok))
   in
   let rec parse_value () =

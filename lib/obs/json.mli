@@ -27,8 +27,12 @@ exception Parse_error of string
 
 val parse_exn : string -> t
 (** Strict parse of a complete JSON document (rejects trailing bytes).
-    Numbers without [.]/[e] parse as [Int], others as [Float]; [\uXXXX]
-    escapes decode to UTF-8. @raise Parse_error on malformed input. *)
+    Numbers without [.]/[e] parse as [Int], others as [Float]; numbers
+    that overflow the double range (overlong digit runs, huge exponents)
+    are rejected rather than silently becoming infinities that cannot
+    reprint. [\uXXXX] escapes decode to UTF-8; surrogates must form a
+    proper high/low pair (lone surrogates are rejected).
+    @raise Parse_error on malformed input. *)
 
 val parse : string -> (t, string) result
 

@@ -111,10 +111,13 @@ let rec max_update a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then max_update a v
 
+(* Negative observations clamp to the resting value 0: a max-gauge's
+   shards rest at 0, so merging could never surface a negative value
+   anyway — clamping keeps the contract explicit instead of accidental. *)
 let observe_gauge g v =
   match g with
   | G_noop -> ()
-  | G_live slots -> max_update slots.(shard_of slots) v
+  | G_live slots -> if v > 0 then max_update slots.(shard_of slots) v
 
 (* Bucket 0 holds v <= 0; bucket k >= 1 holds 2^(k-1) <= v < 2^k. *)
 let bucket_of v =

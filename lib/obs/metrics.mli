@@ -41,7 +41,9 @@ val gauge : t -> string -> gauge
 
 val observe_gauge : gauge -> int -> unit
 (** Retains the maximum observed value (per shard; merged at snapshot).
-    Values are expected non-negative; the resting value is 0. *)
+    The resting value is 0 and negative observations are clamped to it
+    (i.e. ignored), so a snapshot never reports below 0 and the shard
+    merge is a pure max over [{0} ∪ observations]. *)
 
 type histogram
 

@@ -167,6 +167,8 @@ end
 let digest ~tag payload =
   Fnv.string (Fnv.int Fnv.init tag) payload
 
+let section_digest = digest
+
 let add_digest buf d =
   for i = 0 to 7 do
     Buffer.add_char buf

@@ -89,3 +89,9 @@ val unframe :
 
 val sniff : magic:string -> string -> bool
 (** Cheap format detection: does the blob start with [magic]? *)
+
+val section_digest : tag:int -> string -> int64
+(** The FNV-1a digest {!frame} writes (and {!unframe} checks) for a
+    section: seeded with the tag, then the payload bytes. Exposed so
+    inspection tooling can display the per-section digests of a blob it
+    just unframed without re-deriving the trailer layout. *)

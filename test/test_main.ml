@@ -22,4 +22,5 @@ let () =
       Test_fleet.suite;
       Test_parcorr.suite;
       Test_obs.suite;
+      Test_health.suite;
     ]

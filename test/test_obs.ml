@@ -66,6 +66,36 @@ let test_json_rejects () =
       | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
 
+let test_json_error_paths () =
+  let rejects tag s =
+    (match J.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%s: parse accepted %S" tag s));
+    match J.parse_exn s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%s: parse_exn accepted %S" tag s)
+  in
+  (* lone \u surrogates: a high with no low, a low on its own, a high
+     followed by something other than a low-surrogate escape *)
+  rejects "lone high surrogate" {|"\ud800"|};
+  rejects "lone low surrogate" {|"\udc00"|};
+  rejects "high surrogate then text" {|"\ud800zz"|};
+  rejects "high surrogate then non-surrogate escape" {|"\ud800\u0041"|};
+  (* overlong numbers that overflow the double range must not become
+     unprintable infinities *)
+  rejects "huge exponent" "1e999";
+  rejects "negative huge exponent" "-1e999";
+  rejects "overlong digit run" ("1" ^ String.make 400 '0');
+  (* trailing garbage after a complete document *)
+  rejects "trailing word" "{} x";
+  rejects "trailing number" "1 2";
+  rejects "trailing bracket" "[1]]";
+  (* a proper surrogate pair still decodes to 4-byte UTF-8 *)
+  match J.parse_exn {|"\ud83d\ude00"|} with
+  | J.String s ->
+      Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair did not parse as a string"
+
 let test_json_member () =
   let v = J.parse_exn {|{"a": 1, "b": [2, 3]}|} in
   Alcotest.(check bool) "member a" true (J.member "a" v = Some (J.Int 1));
@@ -133,6 +163,24 @@ let test_gauge_max_merge () =
   Alcotest.(check (option int))
     "gauge merges by max" (Some 40)
     (M.find_gauge (M.snapshot m) "depth")
+
+(* The gauge contract: resting value 0, negative observations clamped to
+   it (ignored), so a snapshot is the pure max over {0} and the positive
+   observations — wherever in the domain schedule they landed. *)
+let prop_gauge_clamp_merge =
+  QCheck.Test.make ~name:"gauge max-merge ignores negatives, rests at 0"
+    ~count:100
+    QCheck.(pair (small_list int) (small_list int))
+    (fun (xs, ys) ->
+      let m = M.create () in
+      let g = M.gauge m "q" in
+      let d = Domain.spawn (fun () -> List.iter (M.observe_gauge g) ys) in
+      List.iter (M.observe_gauge g) xs;
+      Domain.join d;
+      let expect =
+        List.fold_left (fun acc v -> if v > acc then v else acc) 0 (xs @ ys)
+      in
+      M.find_gauge (M.snapshot m) "q" = Some expect)
 
 let test_histogram_buckets () =
   Alcotest.(check int) "bucket 0 lower bound" 0 (M.bucket_lo 0);
@@ -295,12 +343,14 @@ let suite =
       Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
       Alcotest.test_case "json float edge cases" `Quick test_json_floats;
       Alcotest.test_case "json rejects malformed" `Quick test_json_rejects;
+      Alcotest.test_case "json typed parse errors" `Quick test_json_error_paths;
       Alcotest.test_case "json member access" `Quick test_json_member;
       Alcotest.test_case "fixed clock ticks" `Quick test_fixed_clock;
       Alcotest.test_case "null registry is inert" `Quick test_null_registry;
       Alcotest.test_case "counter sums across domains" `Quick
         test_counter_multi_domain;
       Alcotest.test_case "gauge merges by max" `Quick test_gauge_max_merge;
+      QCheck_alcotest.to_alcotest prop_gauge_clamp_merge;
       Alcotest.test_case "histogram log2 buckets" `Quick test_histogram_buckets;
       Alcotest.test_case "instrument find-or-register" `Quick
         test_same_name_same_instrument;
