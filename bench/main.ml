@@ -3,7 +3,7 @@
    next to the paper's reference values.
 
    Usage: main.exe
-     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|fleet|corr|health|all]
+     [fig6|fig7|fig8|fig9|table1|client|drift|stale|ablation|orch|micro|pipeline|format|fleet|corr|health|labels|all]
    Default: all. *)
 
 module F = Csspgo_frontend
@@ -1626,6 +1626,130 @@ let health_bench () =
            (List.length l)))
 
 (* ------------------------------------------------------------------ *)
+(* Labels: blended vs label-sliced PGO on multi-tenant mixes. The paper
+   never measures this — its pipeline blends every sample into one
+   profile — so the question is what per-tenant specialization buys as
+   the traffic skews away from the minority tenant, and whether a
+   drifting (diurnal) mix changes the answer. Each mix is served through
+   the full tenancy loop: labeled fleet serving, v3 log reassembly,
+   per-label sliced correlation, then a specialized and a blended build
+   per tenant scored against that tenant's own instrumentation ground
+   truth. *)
+
+let labels_bench () =
+  sep "Labels — blended vs label-sliced PGO across tenant skew and drift";
+  let module Fl = Csspgo_fleet in
+  let requests = 16 in
+  let cfg = { Fl.Tenancy.default with Fl.Tenancy.ty_jobs = 2 } in
+  let run ~tag ~diurnal (w_maj, w_min) =
+    let tenants =
+      [
+        {
+          W.Mix.t_name = "adretriever";
+          t_workload = W.Suite.adretriever;
+          t_weight = w_maj;
+        };
+        { W.Mix.t_name = "adfinder"; t_workload = W.Suite.adfinder; t_weight = w_min };
+      ]
+    in
+    let mix = W.Mix.make ~seed:7L ~requests ~diurnal_period:diurnal tenants in
+    let co = Fl.Tenancy.collect cfg mix in
+    let sp = Fl.Tenancy.specialize cfg mix co in
+    let cmp = Fl.Tenancy.quality cfg mix co sp in
+    pf "%-10s %-10s %5s %7s %8s %8s %12s %12s %12s\n" tag "tenant" "reqs"
+      "share" "sliced" "blended" "cyc-sliced" "cyc-blended" "cyc-nopgo";
+    List.iter
+      (fun (c : Fl.Tenancy.comparison) ->
+        let reqs =
+          match List.assoc_opt c.Fl.Tenancy.cp_tenant mix.W.Mix.mx_counts with
+          | Some n -> n
+          | None -> 0
+        in
+        pf "%-10s %-10s %5d %6.1f%% %8s %8.4f %12s %12Ld %12Ld\n" "" c.Fl.Tenancy.cp_tenant
+          reqs
+          (100. *. c.Fl.Tenancy.cp_share)
+          (if Float.is_nan c.Fl.Tenancy.cp_sliced_overlap then "-"
+           else Printf.sprintf "%.4f" c.Fl.Tenancy.cp_sliced_overlap)
+          c.Fl.Tenancy.cp_blended_overlap
+          (if c.Fl.Tenancy.cp_sliced_cycles < 0L then "-"
+           else Printf.sprintf "%Ld" c.Fl.Tenancy.cp_sliced_cycles)
+          c.Fl.Tenancy.cp_blended_cycles c.Fl.Tenancy.cp_nopgo_cycles)
+      cmp;
+    (mix, cmp)
+  in
+  let skews = [ ("1:1", (1, 1)); ("3:1", (3, 1)); ("9:1", (9, 1)) ] in
+  let skew_results =
+    List.map (fun (tag, wts) -> (tag, wts, run ~tag ~diurnal:0 wts)) skews
+  in
+  (* One drifting mix: same 3:1 base weights, but a triangle-wave diurnal
+     curve rotates which tenant dominates across the stream. *)
+  let drift_period = 8 in
+  let drift_tag = Printf.sprintf "3:1/d%d" drift_period in
+  let drift_result = run ~tag:drift_tag ~diurnal:drift_period (3, 1) in
+  let cores = Domain.recommended_domain_count () in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let bpf_rows (mix : W.Mix.t) cmp =
+    bpf "    \"per_tenant\": [\n";
+    List.iteri
+      (fun i (c : Fl.Tenancy.comparison) ->
+        let reqs =
+          match List.assoc_opt c.Fl.Tenancy.cp_tenant mix.W.Mix.mx_counts with
+          | Some n -> n
+          | None -> 0
+        in
+        bpf "      {\"tenant\": \"%s\", \"requests\": %d, \"share\": %.4f, "
+          c.Fl.Tenancy.cp_tenant reqs c.Fl.Tenancy.cp_share;
+        (if Float.is_nan c.Fl.Tenancy.cp_sliced_overlap then
+           bpf "\"sliced_overlap\": null, "
+         else bpf "\"sliced_overlap\": %.4f, " c.Fl.Tenancy.cp_sliced_overlap);
+        bpf "\"blended_overlap\": %.4f, " c.Fl.Tenancy.cp_blended_overlap;
+        (if c.Fl.Tenancy.cp_sliced_cycles < 0L then bpf "\"sliced_cycles\": null, "
+         else bpf "\"sliced_cycles\": %Ld, " c.Fl.Tenancy.cp_sliced_cycles);
+        bpf "\"blended_cycles\": %Ld, \"nopgo_cycles\": %Ld}%s\n"
+          c.Fl.Tenancy.cp_blended_cycles c.Fl.Tenancy.cp_nopgo_cycles
+          (if i = List.length cmp - 1 then "" else ","))
+      cmp;
+    bpf "    ]\n"
+  in
+  bpf "{\n  \"tenants\": [\"adretriever\", \"adfinder\"],\n";
+  bpf "  \"requests\": %d,\n" requests;
+  bpf "  \"skew_levels\": [\n";
+  List.iteri
+    (fun i (tag, (w_maj, w_min), (mix, cmp)) ->
+      bpf "   {\"skew\": \"%s\", \"weights\": [%d, %d],\n" tag w_maj w_min;
+      bpf_rows mix cmp;
+      bpf "   }%s\n" (if i = List.length skew_results - 1 then "" else ","))
+    skew_results;
+  bpf "  ],\n";
+  bpf "  \"drift\": {\"skew\": \"3:1\", \"diurnal_period\": %d,\n" drift_period;
+  (let mix, cmp = drift_result in
+   bpf_rows mix cmp);
+  bpf "  },\n";
+  bpf "  \"cores\": %d\n}\n" cores;
+  let oc = open_out "BENCH_labels.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  pf "wrote BENCH_labels.json\n";
+  (* The headline claim: on the most-skewed mix, the minority tenant's
+     own slice must annotate its code at least as faithfully as the
+     majority-dominated blend. *)
+  let _, _, (_, most_skewed) = List.nth skew_results (List.length skew_results - 1) in
+  List.iter
+    (fun (c : Fl.Tenancy.comparison) ->
+      if
+        c.Fl.Tenancy.cp_tenant = "adfinder"
+        && (not (Float.is_nan c.Fl.Tenancy.cp_sliced_overlap))
+        && c.Fl.Tenancy.cp_sliced_overlap < c.Fl.Tenancy.cp_blended_overlap
+      then
+        failwith
+          (Printf.sprintf
+             "labels: minority tenant sliced overlap %.4f below blended %.4f on the \
+              most-skewed mix"
+             c.Fl.Tenancy.cp_sliced_overlap c.Fl.Tenancy.cp_blended_overlap))
+    most_skewed
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1648,6 +1772,7 @@ let () =
   | "fleet" -> fleet_bench ()
   | "corr" -> corr_bench ()
   | "health" -> health_bench ()
+  | "labels" -> labels_bench ()
   | "all" ->
       fig6 ();
       fig7 ();
@@ -1665,7 +1790,8 @@ let () =
       format_bench ();
       fleet_bench ();
       corr_bench ();
-      health_bench ()
+      health_bench ();
+      labels_bench ()
   | other ->
       pf "unknown experiment %S\n" other;
       exit 1);

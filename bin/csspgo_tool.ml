@@ -611,6 +611,18 @@ let inspect_cmd =
           Printf.printf "samples     %d\n" samples;
           Printf.printf "arena words %d\n" words;
           Printf.printf "chunks      %d\n" (List.length parts);
+          let distinct =
+            List.fold_left
+              (fun acc l ->
+                List.fold_left
+                  (fun acc ls ->
+                    if List.exists (Csspgo_support.Label_set.equal ls) acc then acc
+                    else ls :: acc)
+                  acc (Vm.Sample_log.labels l))
+              [] parts
+          in
+          if List.exists Vm.Sample_log.is_labeled parts then
+            Printf.printf "labels      %d distinct sets\n" (List.length distinct);
           (match
              Csspgo_support.Wire.unframe ~magic:Vm.Sample_log.magic
                ~max_version:max_int data
@@ -627,6 +639,13 @@ let inspect_cmd =
               Printf.printf "overhead    %d bytes of %d (envelope)\n"
                 (String.length data - payload_bytes)
                 (String.length data);
+              (* v3 blobs carry one trailing label section alongside the
+                 record chunks; only the latter pair up with decoded parts. *)
+              let chunk_sections, label_sections =
+                List.partition
+                  (fun (tag, _) -> tag = Vm.Sample_log.tag_log)
+                  sections
+              in
               List.iteri
                 (fun i ((tag, payload), chunk) ->
                   Printf.printf
@@ -635,7 +654,14 @@ let inspect_cmd =
                     (Vm.Sample_log.n_samples chunk)
                     (String.length payload)
                     (Csspgo_support.Wire.section_digest ~tag payload))
-                (List.combine sections parts)
+                (List.combine chunk_sections parts);
+              List.iter
+                (fun (tag, payload) ->
+                  Printf.printf
+                    "labels      tag %d, %d distinct sets, %d bytes, fnv %016Lx\n"
+                    tag (List.length distinct) (String.length payload)
+                    (Csspgo_support.Wire.section_digest ~tag payload))
+                label_sections
           | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e))
       | Error e -> die "%s: %s" file (Csspgo_support.Wire.error_to_string e)
     end
@@ -992,6 +1018,166 @@ let health_cmd =
       $ shards_arg $ duty_arg $ edits_arg $ spike_arg $ jobs_arg $ json_flag
       $ openmetrics_arg $ openmetrics_series_arg)
 
+(* --- labels --------------------------------------------------------- *)
+
+let labels_cmd =
+  let tenants_arg =
+    Arg.(
+      value
+      & pos_all (pair ~sep:':' string int) []
+      & info [] ~docv:"WORKLOAD:WEIGHT"
+          ~doc:
+            "Tenant mix: suite workload name and integer traffic weight, one \
+             pair per tenant (e.g. adfinder:3 haas:1)")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "requests" ] ~docv:"N" ~doc:"Labeled requests in the served stream")
+  in
+  let diurnal_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "diurnal" ] ~docv:"P"
+          ~doc:
+            "Modulate tenant weights with a phase-shifted triangle wave of \
+             period P requests (0 disables the drift)")
+  in
+  let instances_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "instances" ] ~docv:"N" ~doc:"Serving instances")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Collector shards")
+  in
+  let duty_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duty" ] ~docv:"P" ~doc:"Per-request sampling probability")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 7L
+      & info [ "seed" ] ~docv:"S" ~doc:"Traffic-mix draw seed")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the comparison as canonical JSON instead of text")
+  in
+  let run tenants requests diurnal instances shards duty seed jobs json =
+    if tenants = [] then
+      die "labels: name at least one tenant as WORKLOAD:WEIGHT (e.g. adfinder:3)";
+    let tenants =
+      List.map
+        (fun (name, weight) ->
+          match W.Suite.find name with
+          | Some w -> { W.Mix.t_name = name; t_workload = w; t_weight = weight }
+          | None -> die "unknown workload %s (see `csspgo_tool list`)" name)
+        tenants
+    in
+    let mix = W.Mix.make ~seed ~requests ~diurnal_period:diurnal tenants in
+    let cfg =
+      {
+        Fl.Tenancy.default with
+        Fl.Tenancy.ty_instances = instances;
+        ty_shards = shards;
+        ty_duty = duty;
+        ty_jobs = jobs;
+      }
+    in
+    let collected = Fl.Tenancy.collect cfg mix in
+    let specialized = Fl.Tenancy.specialize cfg mix collected in
+    let comparisons = Fl.Tenancy.quality cfg mix collected specialized in
+    let count_of name =
+      match List.assoc_opt name mix.W.Mix.mx_counts with Some n -> n | None -> 0
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("mix", Obs.Json.String mix.W.Mix.mx_workload.D.w_name);
+          ("requests", Obs.Json.Int collected.Fl.Tenancy.co_requests);
+          ("sampled", Obs.Json.Int collected.Fl.Tenancy.co_sampled);
+          ("samples", Obs.Json.Int collected.Fl.Tenancy.co_samples);
+          ("batches", Obs.Json.Int collected.Fl.Tenancy.co_batches);
+          ( "labels",
+            Obs.Json.Int
+              (Csspgo_profile.Labels.n_slices
+                 collected.Fl.Tenancy.co_labeled.Fl.Build.lc_slices) );
+          ( "tenants",
+            Obs.Json.List
+              (List.map
+                 (fun (c : Fl.Tenancy.comparison) ->
+                   Obs.Json.Obj
+                     [
+                       ("tenant", Obs.Json.String c.Fl.Tenancy.cp_tenant);
+                       ("requests", Obs.Json.Int (count_of c.Fl.Tenancy.cp_tenant));
+                       ( "samples",
+                         Obs.Json.Int (Int64.to_int c.Fl.Tenancy.cp_weight) );
+                       ("share", Obs.Json.Float c.Fl.Tenancy.cp_share);
+                       ( "sliced_overlap",
+                         if Float.is_nan c.Fl.Tenancy.cp_sliced_overlap then
+                           Obs.Json.Null
+                         else Obs.Json.Float c.Fl.Tenancy.cp_sliced_overlap );
+                       ( "blended_overlap",
+                         Obs.Json.Float c.Fl.Tenancy.cp_blended_overlap );
+                       ( "sliced_cycles",
+                         if Int64.compare c.Fl.Tenancy.cp_sliced_cycles 0L < 0
+                         then Obs.Json.Null
+                         else
+                           Obs.Json.Int
+                             (Int64.to_int c.Fl.Tenancy.cp_sliced_cycles) );
+                       ( "blended_cycles",
+                         Obs.Json.Int
+                           (Int64.to_int c.Fl.Tenancy.cp_blended_cycles) );
+                       ( "nopgo_cycles",
+                         Obs.Json.Int (Int64.to_int c.Fl.Tenancy.cp_nopgo_cycles)
+                       );
+                     ])
+                 comparisons) );
+        ]
+    in
+    let text = Obs.Json.to_string doc in
+    (* The canonical JSON must reparse whether or not it is printed. *)
+    ignore (Obs.Json.parse_exn text);
+    if json then print_endline text
+    else begin
+      Printf.printf "mix      %s\n" mix.W.Mix.mx_workload.D.w_name;
+      Printf.printf "stream   %d requests, %d sampled, %d samples, %d label sets\n"
+        collected.Fl.Tenancy.co_requests collected.Fl.Tenancy.co_sampled
+        collected.Fl.Tenancy.co_samples
+        (Csspgo_profile.Labels.n_slices
+           collected.Fl.Tenancy.co_labeled.Fl.Build.lc_slices);
+      List.iter
+        (fun (c : Fl.Tenancy.comparison) ->
+          Printf.printf
+            "tenant   %-12s req %3d  samples %6Ld (%.1f%%)  overlap sliced %s \
+             blended %.3f  cycles sliced %Ld blended %Ld nopgo %Ld\n"
+            c.Fl.Tenancy.cp_tenant
+            (count_of c.Fl.Tenancy.cp_tenant)
+            c.Fl.Tenancy.cp_weight
+            (100.0 *. c.Fl.Tenancy.cp_share)
+            (if Float.is_nan c.Fl.Tenancy.cp_sliced_overlap then "-"
+             else Printf.sprintf "%.3f" c.Fl.Tenancy.cp_sliced_overlap)
+            c.Fl.Tenancy.cp_blended_overlap c.Fl.Tenancy.cp_sliced_cycles
+            c.Fl.Tenancy.cp_blended_cycles c.Fl.Tenancy.cp_nopgo_cycles)
+        comparisons
+    end
+  in
+  Cmd.v
+    (Cmd.info "labels"
+       ~doc:
+         "Serve a weighted multi-tenant workload mix with request-scoped \
+          profile labels, slice the correlated profile per tenant, and \
+          compare per-tenant specialized builds against the blended build \
+          (overlap vs instrumentation ground truth, cycles vs no-PGO). \
+          Output is byte-identical at any -j.")
+    Term.(
+      const run $ tenants_arg $ requests_arg $ diurnal_arg $ instances_arg
+      $ shards_arg $ duty_arg $ seed_arg $ jobs_arg $ json_flag)
+
 (* --- bench-check ---------------------------------------------------- *)
 
 (* Schema guard for the committed BENCH_*.json artifacts: every file must
@@ -1013,6 +1199,7 @@ let bench_check_cmd =
         [ "workload"; "fleet_sizes"; "duty_sweep"; "skew_sweep"; "train" ]
     | "BENCH_corr.json" -> [ "workload"; "n_samples"; "decode"; "correlate" ]
     | "BENCH_health.json" -> [ "workload"; "overhead_pct"; "windows"; "crit_alerts" ]
+    | "BENCH_labels.json" -> [ "tenants"; "requests"; "skew_levels"; "drift" ]
     | _ -> []
   in
   let run files =
@@ -1025,7 +1212,11 @@ let bench_check_cmd =
         in
         (match Obs.Json.member "cores" doc with
         | Some (Obs.Json.Int n) when n >= 1 -> ()
-        | Some _ -> die "%s: \"cores\" must be a positive integer" path
+        | Some (Obs.Json.Int n) ->
+            die "%s: host core count must be > 0, got %d" path n
+        | Some j ->
+            die "%s: host core count must be > 0, got %s" path
+              (Obs.Json.to_string j)
         | None -> die "%s: missing \"cores\" (host core count)" path);
         List.iter
           (fun k ->
@@ -1146,6 +1337,15 @@ let fuzz_cmd =
              report/series byte identity, series merge laws, OpenMetrics \
              trailer)")
   in
+  let no_labels_arg =
+    Arg.(
+      value & flag
+      & info [ "no-label-oracle" ]
+          ~doc:
+            "Skip the request-label oracle family (label-sliced \
+             slice-then-merge blend identity per profile shape, implicit \
+             single slice for label-free logs, lossless v3 -> v2 downgrade)")
+  in
   let fuzz_stale_edits_arg =
     Arg.(
       value & opt int Fuzz.Campaign.default_config.Fuzz.Campaign.cf_stale_edits
@@ -1164,8 +1364,8 @@ let fuzz_cmd =
           ~doc:"Append a deliberately broken pass to every pipeline (harness self-test)")
   in
   let run (lo, hi) out plans n_funcs size floor no_variants no_minimize no_stream
-      no_stale no_format no_fleet no_parcorr no_health stale_edits max_failures
-      inject jobs cache_dir metrics_file =
+      no_stale no_format no_fleet no_parcorr no_health no_labels stale_edits
+      max_failures inject jobs cache_dir metrics_file =
     let cfg =
       {
         Fuzz.Campaign.default_config with
@@ -1181,6 +1381,7 @@ let fuzz_cmd =
         cf_fleet_oracle = not no_fleet;
         cf_parcorr_oracle = not no_parcorr;
         cf_health_oracle = not no_health;
+        cf_label_oracle = not no_labels;
         cf_stale_edits = stale_edits;
         cf_max_failures = max_failures;
         cf_inject = (if inject then Some Fuzz.Campaign.planted_bug else None);
@@ -1226,7 +1427,7 @@ let fuzz_cmd =
       const run $ seeds_arg $ out_arg $ plans_arg $ n_funcs_arg $ size_arg $ floor_arg
       $ no_variants_arg $ no_minimize_arg $ no_stream_arg $ no_stale_arg
       $ no_format_arg $ no_fleet_arg $ no_parcorr_arg $ no_health_arg
-      $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
+      $ no_labels_arg $ fuzz_stale_edits_arg $ max_failures_arg $ inject_arg $ jobs_arg
       $ cache_dir_arg $ metrics_arg)
 
 (* --- cache ---------------------------------------------------------- *)
@@ -1264,5 +1465,6 @@ let () =
           [
             compile_cmd; run_cmd; pgo_cmd; stale_cmd; report_cmd; probes_cmd;
             contexts_cmd; convert_cmd; inspect_cmd; fleet_cmd; health_cmd;
+            labels_cmd;
             bench_check_cmd; fuzz_cmd; cache_cmd;
           ]))

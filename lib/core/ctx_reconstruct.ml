@@ -43,7 +43,12 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of
   let node_for (path : (Ir.Guid.t * int) list) (leaf : Ir.Guid.t) =
     match path with
     | [] -> Some (P.Ctx_profile.base trie leaf ~name:(name_for leaf))
-    | _ ->
+    | (f0, _) :: _ ->
+        (* Resolve the root's name before [node_at] can get-or-create it
+           with the hex-guid placeholder: root naming must not depend on
+           whether a shallow or a deep sample reaches the root first, or
+           shard partitioning diverges from the serial trie. *)
+        ignore (P.Ctx_profile.base trie f0 ~name:(name_for f0));
         (* Convert [(f0,s0);(f1,s1);...] + leaf into node_at path format:
            each element ((parent, site), child, child_name). *)
         let rec pairs = function
@@ -256,7 +261,7 @@ let start ?(name_of = fun _ -> None) ?missing ~checksum_of
 
 let feed s ~lbr ~lbr_len ~stack ~stack_len = s.sm_feed ~lbr ~lbr_len ~stack ~stack_len
 let finish s = s.sm_finish ()
-let sink s = { Vm.Machine.on_sample = s.sm_feed }
+let sink s = { Vm.Machine.on_sample = s.sm_feed; on_labels = Vm.Machine.no_labels }
 
 let reconstruct ?name_of ?missing ~checksum_of (b : Mach.binary) samples =
   let st = start ?name_of ?missing ~checksum_of (Pg.Bindex.create b) in

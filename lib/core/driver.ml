@@ -556,6 +556,7 @@ module Plan = struct
                         | Some mb -> Missing_frame.feed mb ~lbr ~lbr_len
                         | None -> ());
                         Vm.Sample_log.add log ~lbr ~lbr_len ~stack ~stack_len);
+                    on_labels = Vm.Sample_log.set_label log;
                   }
                 in
                 let r =
@@ -1007,6 +1008,7 @@ let profile_pipeline_texts ?(options = default_options) ~streaming variant (w : 
                 Pg.Ranges.feed agg ~lbr ~lbr_len;
                 Missing_frame.feed mb ~lbr ~lbr_len;
                 Vm.Sample_log.add log ~lbr ~lbr_len ~stack ~stack_len);
+            on_labels = Vm.Sample_log.set_label log;
           }
         in
         (* debug_poison: the oracle also proves our own sinks never alias

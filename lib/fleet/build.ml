@@ -152,6 +152,123 @@ let correlate_chunks ?obs ?metrics ?trace ?shard_target ~jobs
       in
       (P.Text_io.Ctx_prof trie, Some flat)
 
+(* --- label-sliced correlation ----------------------------------------- *)
+
+module Sched = Csspgo_sched.Scheduler
+module Label_set = Csspgo_support.Label_set
+
+type labeled = {
+  lc_slices : P.Labels.t;
+  lc_blend : P.Text_io.profile;
+  lc_flat : P.Probe_profile.t option;
+}
+
+(* Slice a labeled log by label set and correlate every slice, plus the
+   blend of the whole stream. Correctness leans on the same partition
+   algebra as [Par_corr] — label slices are a whole-sample partition of
+   the log, just grouped by request instead of by position:
+
+   - the missing-frame table is built from the FULL log and shared by
+     every slice (path uniqueness needs the complete edge set; a slice
+     correlated against only its own edges could resolve gaps
+     differently);
+   - per-slice range aggregation sums to the full-log aggregate (counter
+     addition), so the line and probe blends correlate the merged
+     aggregate once — for lines this is mandatory, since per-line counts
+     max over instructions and are not additive at profile level;
+   - per-slice context tries (attribution is per-sample given the shared
+     table) merge at weight 1 into exactly the serial trie; slices stay
+     untrimmed — trimming is a global-heat decision — and only the blend
+     trims, at [options.trim_threshold].
+
+   The blend is therefore byte-identical to [correlate] on the same log,
+   at any [jobs] — oracle family 10 and the @labels battery hold this. *)
+let correlate_labeled ?obs ?(jobs = 1) ~(options : D.options) ~shape b log =
+  let name_of g = Ir.Guid.Tbl.find_opt b.vb_names g in
+  let checksum_of g =
+    Option.value (Ir.Guid.Tbl.find_opt b.vb_checksums g) ~default:0L
+  in
+  let index = Pg.Bindex.create b.vb_bin in
+  let agg_of l =
+    let agg = Pg.Ranges.create () in
+    Vm.Sample_log.iter l (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ ->
+        Pg.Ranges.feed agg ~lbr ~lbr_len);
+    agg
+  in
+  let missing =
+    if shape = Ctx && options.D.use_missing_frame_inference then begin
+      let mb = Core.Missing_frame.start ?obs (Pg.Bindex.create b.vb_bin) in
+      Vm.Sample_log.iter log (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ ->
+          Core.Missing_frame.feed mb ~lbr ~lbr_len);
+      Some (Core.Missing_frame.finish mb)
+    end
+    else None
+  in
+  let slice_tries = ref [] in
+  let per_slice =
+    Sched.map ~jobs
+      (fun (label, slog) ->
+        let agg = agg_of slog in
+        let profile =
+          match shape with
+          | Lines ->
+              P.Text_io.Line_prof
+                (Pg.Dwarf_corr.correlate_agg ~name_of ~index ?obs b.vb_bin agg)
+          | Probes ->
+              P.Text_io.Probe_prof
+                (Core.Probe_corr.correlate_agg ~name_of ~index ~checksum_of ?obs
+                   b.vb_bin agg)
+          | Ctx ->
+              let st =
+                Core.Ctx_reconstruct.start ~name_of ?missing ~checksum_of ?obs
+                  index
+              in
+              Vm.Sample_log.iter slog (fun ~lbr ~lbr_len ~stack ~stack_len ->
+                  Core.Ctx_reconstruct.feed st ~lbr ~lbr_len ~stack ~stack_len);
+              let trie, _stats = Core.Ctx_reconstruct.finish st in
+              P.Text_io.Ctx_prof trie
+        in
+        {
+          P.Labels.sl_label = label;
+          sl_weight = Int64.of_int (Vm.Sample_log.n_samples slog);
+          sl_profile = profile;
+        })
+      (Vm.Sample_log.slice_by_label log)
+  in
+  List.iter
+    (fun s ->
+      match s.P.Labels.sl_profile with
+      | P.Text_io.Ctx_prof trie -> slice_tries := trie :: !slice_tries
+      | _ -> ())
+    per_slice;
+  let full_agg = agg_of log in
+  let blend, flat =
+    match shape with
+    | Lines ->
+        ( P.Text_io.Line_prof
+            (Pg.Dwarf_corr.correlate_agg ~name_of ~index ?obs b.vb_bin full_agg),
+          None )
+    | Probes ->
+        ( P.Text_io.Probe_prof
+            (Core.Probe_corr.correlate_agg ~name_of ~index ~checksum_of ?obs
+               b.vb_bin full_agg),
+          None )
+    | Ctx ->
+        let trie = P.Ctx_profile.create () in
+        List.iter (fun t -> P.Merge.ctx ~into:trie ~weight:1L t) !slice_tries;
+        if Int64.compare options.D.trim_threshold 0L > 0 then
+          ignore (P.Ctx_profile.trim_cold trie ~threshold:options.D.trim_threshold);
+        ( P.Text_io.Ctx_prof trie,
+          Some
+            (Core.Probe_corr.correlate_agg ~name_of ~index ~checksum_of ?obs
+               b.vb_bin full_agg) )
+  in
+  {
+    lc_slices = P.Labels.make ~kind:(kind_of_shape shape) per_slice;
+    lc_blend = blend;
+    lc_flat = flat;
+  }
+
 let match_onto ?obs ~target p =
   match p with
   | P.Text_io.Line_prof lp ->

@@ -68,6 +68,36 @@ val correlate_chunks :
     tests and oracles shrink it to force multi-shard merges on logs far
     smaller than production windows. *)
 
+type labeled = {
+  lc_slices : Csspgo_profile.Labels.t;
+      (** one profile per distinct request label set, in first-appearance
+          order, weighted by observed sample count; [Ctx] slices untrimmed *)
+  lc_blend : Csspgo_profile.Text_io.profile;
+      (** byte-identical to {!correlate}'s profile on the same log *)
+  lc_flat : Csspgo_profile.Probe_profile.t option;
+      (** byte-identical to {!correlate}'s flat baseline ([Ctx] only) *)
+}
+
+val correlate_labeled :
+  ?obs:Csspgo_obs.Metrics.t ->
+  ?jobs:int ->
+  options:Csspgo_core.Driver.options ->
+  shape:shape ->
+  built ->
+  Csspgo_vm.Sample_log.t ->
+  labeled
+(** Label-sliced {!correlate}: partition the log by request label set
+    ({!Csspgo_vm.Sample_log.slice_by_label}), correlate every slice (on up
+    to [jobs] domains — slices are independent once the full-log
+    missing-frame table is built), and blend the whole stream. The
+    missing-frame table comes from the {e full} log and is shared by every
+    slice; line and probe blends correlate the merged range aggregate (per
+    line counts are not additive at profile level); the [Ctx] blend merges
+    the untrimmed slice tries at weight 1 and trims at
+    [options.trim_threshold]. The blend is byte-identical to {!correlate}
+    on the same log at any [jobs] (oracle family 10); an unlabeled log
+    yields the single implicit empty-label slice. *)
+
 val match_onto :
   ?obs:Csspgo_obs.Metrics.t ->
   target:Csspgo_ir.Program.t ->

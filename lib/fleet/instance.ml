@@ -27,7 +27,7 @@ type report = {
   ir_cycles : int64;
 }
 
-let serve cfg ~pmu ~bin ~entry ~requests ~ship =
+let serve_labeled cfg ~pmu ~bin ~entry ~requests ~ship =
   if cfg.ic_batch_requests <= 0 then
     invalid_arg "Instance.serve: ic_batch_requests must be positive";
   let rng = Rng.create cfg.ic_seed in
@@ -61,7 +61,7 @@ let serve cfg ~pmu ~bin ~entry ~requests ~ship =
     end
   in
   List.iter
-    (fun (spec : D.run_spec) ->
+    (fun ((spec : D.run_spec), labels) ->
       (* The gate draw happens for every request, sampled or not, so the
          duty stream stays aligned across batch-size choices. *)
       let sample_this = Rng.chance rng cfg.ic_duty in
@@ -69,7 +69,8 @@ let serve cfg ~pmu ~bin ~entry ~requests ~ship =
         Vm.Machine.run
           ~pmu:(if sample_this then Some pmu else None)
           ~sink:(Vm.Sample_log.sink !log)
-          ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin ~entry
+          ~labels ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args bin
+          ~entry
       in
       incr requests_n;
       if sample_this then begin
@@ -88,3 +89,9 @@ let serve cfg ~pmu ~bin ~entry ~requests ~ship =
     ir_samples = !samples;
     ir_cycles = !cycles;
   }
+
+let serve cfg ~pmu ~bin ~entry ~requests ~ship =
+  serve_labeled cfg ~pmu ~bin ~entry
+    ~requests:
+      (List.map (fun s -> (s, Csspgo_support.Label_set.empty)) requests)
+    ~ship

@@ -46,4 +46,20 @@ val serve :
     probability [ic_duty] (seeded by [ic_seed]); ship a batch after every
     [ic_batch_requests] requests and once more at the end. Empty batches
     (no samples collected) are not shipped, but [b_seq] still counts them
-    — sequence numbers order surviving batches, they are not dense. *)
+    — sequence numbers order surviving batches, they are not dense.
+    Equivalent to {!serve_labeled} with every request unlabeled. *)
+
+val serve_labeled :
+  config ->
+  pmu:Csspgo_vm.Machine.pmu ->
+  bin:Csspgo_codegen.Mach.binary ->
+  entry:string ->
+  requests:(Csspgo_core.Driver.run_spec * Csspgo_support.Label_set.t) list ->
+  ship:(batch -> unit) ->
+  report
+(** {!serve} with a request label set per request (tenant, endpoint, ...):
+    each request's samples are stamped with its set via the VM's label
+    channel, so shipped batches frame as CSLG v3 when any label is
+    non-empty — and stay byte-identical to the unlabeled format when all
+    are empty. The gate stream, batching, and sample payloads are
+    unaffected by labels. *)

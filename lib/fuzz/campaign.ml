@@ -92,6 +92,7 @@ type site =
   | Parcorr of string  (** which profile shape the parallel-correlation
                            oracle was checking *)
   | Health of string  (** which leg of the health telemetry oracle family *)
+  | Labels of string  (** which leg of the request-label oracle family *)
 
 let site_to_string = function
   | Reference -> "reference (-O0 baseline)"
@@ -112,6 +113,7 @@ let site_to_string = function
   | Fleet leg -> "fleet merge (" ^ leg ^ ")"
   | Parcorr shape -> "parallel correlation (" ^ shape ^ ")"
   | Health leg -> "health telemetry (" ^ leg ^ ")"
+  | Labels leg -> "request labels (" ^ leg ^ ")"
 
 type failure = {
   fl_seed : int64;
@@ -171,6 +173,16 @@ type config = {
           parser, [Obs.Series.merge] must satisfy its laws (commutative,
           associative, identity-on-empty) on really-recorded windows, and
           the OpenMetrics exposition must render with its [# EOF] trailer *)
+  cf_label_oracle : bool;
+      (** request-label oracle family: label the training stream with two
+          synthetic tenants and demand (1) slice-then-merge identity —
+          [Fleet.Build.correlate_labeled]'s blend is byte-identical to the
+          unlabeled serial correlator on the same log, for every profile
+          shape and job count, with slice weights matching the observed
+          per-label sample counts; (2) label-free logs decode as the
+          single implicit slice; (3) forcing v3 framing on an unlabeled
+          log downgrades losslessly — the decoded log re-encodes to the
+          plain v2 bytes *)
   cf_inject : (string * (Ir.Func.t -> unit)) option;
       (** deliberately broken extra pass appended to every plan pipeline —
           the harness's own mutation test *)
@@ -194,6 +206,7 @@ let default_config =
     cf_fleet_oracle = true;
     cf_parcorr_oracle = true;
     cf_health_oracle = true;
+    cf_label_oracle = true;
     cf_inject = None;
   }
 
@@ -820,6 +833,173 @@ let check_health ~seed src args =
       check "snapshot" (Obs.Export.snapshot (Obs.Metrics.snapshot metrics));
       check "series" (Obs.Export.series series))
 
+(* Request-label oracle family (Vm.Sample_log labels / Fleet.Build
+   .correlate_labeled / Profile.Labels): label the training runs with two
+   alternating synthetic tenants, then demand
+   - slice-then-merge identity: the label-sliced correlation's blend is
+     byte-identical to the serial unlabeled correlator on the same log,
+     per profile shape and at -j 1 and -j 2, slice weights equal the
+     observed per-label sample counts, and (probe shape, where counts are
+     additive with no trim in play) [Profile.Labels.blend] of the slices
+     reconstructs the blend;
+   - labeled blobs are encode/decode fixed points preserving the counts;
+   - label-free logs decode as the single implicit slice;
+   - forcing v3 framing on an unlabeled log downgrades losslessly: the
+     decoded log re-encodes to the plain v2 bytes. *)
+
+let check_labels ~seed src args =
+  let w = workload_of ~seed src args in
+  let tenant i =
+    S.Label_set.of_list
+      [ ("tenant", if i land 1 = 0 then "even" else "odd") ]
+  in
+  let record (b : Fl.Build.built) log =
+    List.iteri
+      (fun i (spec : D.run_spec) ->
+        ignore
+          (Vm.Machine.run ~pmu:(Some driver_options.D.pmu)
+             ~sink:(Vm.Sample_log.sink log) ~labels:(tenant i)
+             ~globals_init:spec.D.rs_globals ~args:spec.D.rs_args
+             b.Fl.Build.vb_bin ~entry:w.D.w_entry))
+      w.D.w_train
+  in
+  List.iter
+    (fun shape ->
+      let site = Labels (Fl.Build.shape_name shape) in
+      guarded_build site (fun () ->
+          let b =
+            Fl.Build.profiling_build ~options:driver_options ~shape ~source:src
+          in
+          let log = Vm.Sample_log.create () in
+          record b log;
+          let text (p, flat) =
+            P.Text_io.to_string p
+            ^
+            match flat with
+            | Some f -> P.Text_io.to_string (P.Text_io.Probe_prof f)
+            | None -> ""
+          in
+          let serial =
+            text (Fl.Build.correlate ~options:driver_options ~shape b log)
+          in
+          List.iter
+            (fun jobs ->
+              let lc =
+                Fl.Build.correlate_labeled ~jobs ~options:driver_options ~shape
+                  b log
+              in
+              if
+                not
+                  (String.equal serial
+                     (text (lc.Fl.Build.lc_blend, lc.Fl.Build.lc_flat)))
+              then
+                raise
+                  (Fail
+                     ( Result_mismatch,
+                       site,
+                       Printf.sprintf
+                         "-j %d label-sliced blend differs from unlabeled \
+                          serial correlation"
+                         jobs ));
+              let weights =
+                List.map
+                  (fun s ->
+                    (s.P.Labels.sl_label, Int64.to_int s.P.Labels.sl_weight))
+                  (P.Labels.slices lc.Fl.Build.lc_slices)
+              in
+              if weights <> Vm.Sample_log.label_counts log then
+                raise
+                  (Fail
+                     ( Result_mismatch,
+                       site,
+                       Printf.sprintf
+                         "-j %d slice weights differ from observed label \
+                          counts"
+                         jobs ));
+              match shape with
+              | Fl.Build.Probes ->
+                  if
+                    P.Labels.n_slices lc.Fl.Build.lc_slices > 0
+                    && not
+                         (String.equal
+                            (P.Text_io.to_string
+                               (P.Labels.blend lc.Fl.Build.lc_slices))
+                            (P.Text_io.to_string lc.Fl.Build.lc_blend))
+                  then
+                    raise
+                      (Fail
+                         ( Result_mismatch,
+                           site,
+                           "Labels.blend of probe slices differs from blend" ))
+              | Fl.Build.Lines | Fl.Build.Ctx -> ())
+            [ 1; 2 ]))
+    [ Fl.Build.Lines; Fl.Build.Probes; Fl.Build.Ctx ];
+  let site = Labels "v3 framing" in
+  guarded_build site (fun () ->
+      let b =
+        Fl.Build.profiling_build ~options:driver_options ~shape:Fl.Build.Probes
+          ~source:src
+      in
+      let log = Vm.Sample_log.create () in
+      record b log;
+      let counts = Vm.Sample_log.label_counts in
+      let blob = Vm.Sample_log.encode log in
+      (match Vm.Sample_log.decode blob with
+      | Error e ->
+          raise
+            (Fail
+               ( Crash,
+                 site,
+                 "labeled blob rejected: " ^ S.Wire.error_to_string e ))
+      | Ok back ->
+          if counts back <> counts log then
+            raise
+              (Fail
+                 (Result_mismatch, site, "decode does not preserve label counts"));
+          if not (String.equal (Vm.Sample_log.encode back) blob) then
+            raise
+              (Fail
+                 ( Result_mismatch,
+                   site,
+                   "labeled blob not an encode/decode fixed point" )));
+      let plain = Vm.Sample_log.unlabeled log in
+      let pblob = Vm.Sample_log.encode plain in
+      (match Vm.Sample_log.decode pblob with
+      | Error e ->
+          raise
+            (Fail
+               ( Crash,
+                 site,
+                 "unlabeled blob rejected: " ^ S.Wire.error_to_string e ))
+      | Ok back -> (
+          match counts back with
+          | [] when Vm.Sample_log.n_samples back = 0 -> ()
+          | [ (ls, n) ]
+            when S.Label_set.is_empty ls && n = Vm.Sample_log.n_samples back ->
+              ()
+          | _ ->
+              raise
+                (Fail
+                   ( Result_mismatch,
+                     site,
+                     "label-free log is not the single implicit slice" ))));
+      let forced = Vm.Sample_log.encode ~frame:`V3 plain in
+      match Vm.Sample_log.decode forced with
+      | Error e ->
+          raise
+            (Fail
+               ( Crash,
+                 site,
+                 "forced-v3 unlabeled blob rejected: "
+                 ^ S.Wire.error_to_string e ))
+      | Ok back ->
+          if not (String.equal (Vm.Sample_log.encode back) pblob) then
+            raise
+              (Fail
+                 ( Result_mismatch,
+                   site,
+                   "v3 -> v2 downgrade of an unlabeled log is not lossless" )))
+
 (* Classify one source. [only] restricts the check to a single failing site
    — the focused replay the minimizer drives; [reducing] makes sources that
    no longer parse uninteresting instead of crash reports. *)
@@ -859,6 +1039,7 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
     | Some (Fleet _) -> check_fleet ~seed src args
     | Some (Parcorr _) -> check_parcorr ~seed src args
     | Some (Health _) -> check_health ~seed src args
+    | Some (Labels _) -> check_labels ~seed src args
     | None ->
         let rng = plan_rng seed in
         for _ = 1 to cfg.cf_plans_per_seed do
@@ -883,7 +1064,8 @@ let classify ?(reducing = false) ?only ?on_overlap ?cache (cfg : config) ~seed s
         if cfg.cf_format_oracle then check_format ?cache ~seed src args;
         if cfg.cf_fleet_oracle then check_fleet ~seed src args;
         if cfg.cf_parcorr_oracle then check_parcorr ~seed src args;
-        if cfg.cf_health_oracle then check_health ~seed src args);
+        if cfg.cf_health_oracle then check_health ~seed src args;
+        if cfg.cf_label_oracle then check_labels ~seed src args);
     C_pass
   with
   | Discarded -> C_discard
@@ -925,7 +1107,7 @@ let interesting ?cache cfg ~seed site kind cand =
 
 let repro_command cfg ~seed =
   Printf.sprintf
-    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s%s%s --out corpus/"
+    "csspgo_tool fuzz --seeds %Ld-%Ld --plans %d --n-funcs %d --size %d%s%s%s%s%s%s%s%s%s%s%s --out corpus/"
     seed seed cfg.cf_plans_per_seed cfg.cf_n_funcs cfg.cf_size
     (if cfg.cf_variants then "" else " --no-variants")
     (if cfg.cf_stream_oracle then "" else " --no-stream-oracle")
@@ -934,6 +1116,7 @@ let repro_command cfg ~seed =
     (if cfg.cf_fleet_oracle then "" else " --no-fleet-oracle")
     (if cfg.cf_parcorr_oracle then "" else " --no-parcorr-oracle")
     (if cfg.cf_health_oracle then "" else " --no-health-oracle")
+    (if cfg.cf_label_oracle then "" else " --no-label-oracle")
     (if cfg.cf_stale_edits = default_config.cf_stale_edits then ""
      else Printf.sprintf " --stale-edits %d" cfg.cf_stale_edits)
     (if cfg.cf_quality_floor = default_config.cf_quality_floor then ""

@@ -3,7 +3,7 @@
     Each seed deterministically yields one random MiniC program
     ([Workloads.Gen]), one -O0 reference build, [cf_plans_per_seed]
     randomly permuted pass pipelines, and (optionally) all five
-    [Core.Driver] PGO variants. Nine oracle families guard the paper's
+    [Core.Driver] PGO variants. Ten oracle families guard the paper's
     central claim — that probes, context-sensitive profiles and aggressive
     optimization never perturb semantics or profile quality:
 
@@ -44,7 +44,16 @@
       [Obs.Json] parser, [Obs.Series.merge] satisfies its laws
       (commutative, associative, identity-on-empty) on really-recorded
       windows, and the OpenMetrics exposition ([Obs.Export]) renders with
-      its [# EOF] trailer.
+      its [# EOF] trailer;
+    - {b request labels}: the training stream is re-served under two
+      alternating synthetic tenant labels and the slice-then-merge
+      identity must hold — [Fleet.Build.correlate_labeled]'s blend is
+      byte-identical to the unlabeled serial correlator per profile shape
+      and job count, slice weights equal the observed per-label sample
+      counts, labeled CSLG v3 blobs are encode/decode fixed points,
+      label-free logs decode as the single implicit slice, and forcing v3
+      framing on an unlabeled log downgrades losslessly to the plain v2
+      bytes.
 
     Programs that exhaust the reference fuel budget are discards, not
     passes — campaign statistics report them separately so a campaign
@@ -100,6 +109,12 @@ type site =
           [Obs.Export]): jobs-independent report/series byte identity,
           print/parse fixed points, series merge laws, OpenMetrics
           trailer; the string names the failing leg *)
+  | Labels of string
+      (** request-label oracle family ([Vm.Sample_log] labels,
+          [Fleet.Build.correlate_labeled], [Profile.Labels]):
+          slice-then-merge byte identity per shape and job count, implicit
+          single slice for label-free logs, lossless v3 → v2 downgrade;
+          the string names the shape or failing leg *)
 
 val site_to_string : site -> string
 
@@ -129,6 +144,7 @@ type config = {
   cf_fleet_oracle : bool;
   cf_parcorr_oracle : bool;
   cf_health_oracle : bool;
+  cf_label_oracle : bool;
   cf_inject : (string * (Csspgo_ir.Func.t -> unit)) option;
 }
 

@@ -27,6 +27,7 @@ let sink agg =
   {
     Vm.Machine.on_sample =
       (fun ~lbr ~lbr_len ~stack:_ ~stack_len:_ -> feed agg ~lbr ~lbr_len);
+    on_labels = Vm.Machine.no_labels;
   }
 
 let aggregate samples =

@@ -1,0 +1,100 @@
+(* A label set is its canonical pair array: sorted by (key, value), exact
+   duplicates removed. Everything else — interning keys, display, wire
+   bytes — derives from that one normal form. *)
+
+type t = (string * string) array
+
+let empty : t = [||]
+let is_empty t = Array.length t = 0
+
+let pair_compare (ka, va) (kb, vb) =
+  match String.compare ka kb with 0 -> String.compare va vb | c -> c
+
+let of_list pairs =
+  let sorted = List.sort_uniq pair_compare pairs in
+  Array.of_list sorted
+
+let to_list t = Array.to_list t
+
+let find t key =
+  let n = Array.length t in
+  let rec go i =
+    if i >= n then None
+    else
+      let k, v = t.(i) in
+      if String.equal k key then Some v else go (i + 1)
+  in
+  go 0
+
+let project t ~keys =
+  Array.of_list
+    (List.filter (fun (k, _) -> List.exists (String.equal k) keys) (to_list t))
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else match pair_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let canonical t =
+  if Array.length t = 0 then ""
+  else begin
+    let e = Wire.Enc.create () in
+    Array.iter
+      (fun (k, v) ->
+        Wire.Enc.string e k;
+        Wire.Enc.string e v)
+      t;
+    Wire.Enc.contents e
+  end
+
+let of_canonical s =
+  if String.equal s "" then empty
+  else begin
+    let d = Wire.Dec.of_string s in
+    let pairs = ref [] in
+    while not (Wire.Dec.at_end d) do
+      let k = Wire.Dec.string d in
+      let v = Wire.Dec.string d in
+      pairs := (k, v) :: !pairs
+    done;
+    let t = Array.of_list (List.rev !pairs) in
+    (* Only canonical bytes decode: re-encoding must reproduce them, so a
+       shuffled or duplicated table entry is a typed error, not a second
+       spelling of the same set. *)
+    if not (String.equal (canonical (of_list (to_list t))) s) then
+      raise (Wire.Error (Wire.Malformed "non-canonical label set"));
+    t
+  end
+
+let to_string t =
+  if Array.length t = 0 then "-"
+  else
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) (to_list t))
+
+let of_string s =
+  if String.equal s "" || String.equal s "-" then Ok empty
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (of_list acc)
+      | part :: tl -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "label %S: expected key=value" part)
+          | Some i ->
+              let k = String.sub part 0 i
+              and v = String.sub part (i + 1) (String.length part - i - 1) in
+              if String.equal k "" then
+                Error (Printf.sprintf "label %S: empty key" part)
+              else if String.contains v '=' then
+                Error (Printf.sprintf "label %S: '=' in value" part)
+              else go ((k, v) :: acc) tl)
+    in
+    go [] parts

@@ -1,0 +1,52 @@
+(** Request-scoped profile labels, after Go's profile-labels design: a
+    {e label set} is a canonical set of string key/value pairs attached to
+    every sample taken while a request is being served (tenant, endpoint,
+    experiment arm). Sample logs intern label sets to small dense ids and
+    stamp samples by id, so profiles become sliceable per label after the
+    fact.
+
+    Canonical form: pairs sorted lexicographically by (key, value), exact
+    duplicates removed. Construction from {e any} pair order yields the
+    same value — interning is order-insensitive — and {!canonical} is an
+    injective binary encoding (length-prefixed), so distinct sets can
+    never collide on their interning key. *)
+
+type t
+
+val empty : t
+(** The unlabeled set — what every pre-label sample stream carries. *)
+
+val is_empty : t -> bool
+
+val of_list : (string * string) list -> t
+(** Canonicalize: sort by (key, value), drop exact duplicate pairs. *)
+
+val to_list : t -> (string * string) list
+(** Pairs in canonical order. *)
+
+val find : t -> string -> string option
+(** Value of the first pair with the given key, in canonical order. *)
+
+val project : t -> keys:string list -> t
+(** Restrict to the pairs whose key is listed — the label-slicing
+    projection (e.g. group per-request sets down to the tenant only). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val canonical : t -> string
+(** Injective binary encoding (varint-length-prefixed key/value pairs in
+    canonical order) — the interning key. [""] iff {!is_empty}. *)
+
+val of_canonical : string -> t
+(** Decode {!canonical} output.
+    @raise Csspgo_support.Wire.Error on malformed or non-canonical bytes
+    (wrong pair order, duplicates, trailing garbage) — a corrupted label
+    table must surface as a typed error, never as a mislabeled set. *)
+
+val to_string : t -> string
+(** Display form: ["k=v,k2=v2"] in canonical order; ["-"] when empty. *)
+
+val of_string : string -> (t, string) result
+(** Parse the display form (["-"] or [""] for empty). Keys and values may
+    not contain ['='] or [',']. *)

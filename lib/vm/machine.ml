@@ -22,7 +22,10 @@ type sample = {
 type sink = {
   on_sample :
     lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit;
+  on_labels : Csspgo_support.Label_set.t -> unit;
 }
+
+let no_labels (_ : Csspgo_support.Label_set.t) = ()
 
 type result = {
   cycles : int64;
@@ -157,7 +160,8 @@ let decode (b : Mach.binary) =
 let icache_lines = 512 (* 512 * 64B = 32 KiB, direct-mapped *)
 
 let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addrs = false)
-    ?(fuel = 2_000_000_000L) ?sink ?(debug_poison = false) ?obs (b : Mach.binary) ~entry =
+    ?(fuel = 2_000_000_000L) ?sink ?labels ?(debug_poison = false) ?obs
+    (b : Mach.binary) ~entry =
   let dops, entry_idx = decode b in
   let insts = b.Mach.insts in
   let n_inst = Array.length insts in
@@ -245,8 +249,12 @@ let run ?(pmu = Some default_pmu) ?(globals_init = []) ?(args = []) ?(count_addr
               collected :=
                 { s_lbr = Array.sub lbr 0 lbr_len; s_stack = Array.sub stack 0 stack_len }
                 :: !collected);
+          on_labels = no_labels;
         }
   in
+  (* The request's label set is announced through the sink once, before
+     the first sample: every sample this run flushes carries it. *)
+  (match labels with Some ls -> the_sink.on_labels ls | None -> ());
   let poison_pair = (min_int, min_int) in
   let next_sample =
     ref (match pmu with Some p when p.sample_period > 0 -> Int64.of_int p.sample_period | _ -> Int64.max_int)

@@ -35,6 +35,7 @@ type sample = {
 type sink = {
   on_sample :
     lbr:(int * int) array -> lbr_len:int -> stack:int array -> stack_len:int -> unit;
+  on_labels : Csspgo_support.Label_set.t -> unit;
 }
 (** Streaming sample consumer. The PMU flushes each sample into reusable
     scratch buffers and invokes [on_sample] with the valid prefix lengths:
@@ -42,7 +43,18 @@ type sink = {
     stack_len-1)] is the frame walk leaf-first. The arrays are scratch —
     they are overwritten by the next sample — so a sink must copy anything
     it keeps. With [debug_poison], the scratches are clobbered after every
-    flush so aliasing sinks fail loudly. *)
+    flush so aliasing sinks fail loudly.
+
+    [on_labels] is the request-label channel: when [run] is given
+    [?labels], the PMU announces the request's label set through it once,
+    before the first sample, and every sample flushed afterwards belongs
+    to that label set. Recording sinks ({!Sample_log.sink}) intern the set
+    and stamp samples with the interned id; sinks that do not care pass
+    {!no_labels}. *)
+
+val no_labels : Csspgo_support.Label_set.t -> unit
+(** [ignore] with the sink's label-channel type — for sinks indifferent to
+    request labels. *)
 
 type result = {
   cycles : int64;
@@ -69,6 +81,7 @@ val run :
   ?count_addrs:bool ->
   ?fuel:int64 ->
   ?sink:sink ->
+  ?labels:Csspgo_support.Label_set.t ->
   ?debug_poison:bool ->
   ?obs:Csspgo_obs.Metrics.t ->
   Csspgo_codegen.Mach.binary ->

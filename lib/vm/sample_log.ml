@@ -1,10 +1,36 @@
+module Label_set = Csspgo_support.Label_set
+
+(* The record arena is exactly as before (one flat-int record per sample).
+   Labels ride alongside as run-length-encoded (label id, sample count)
+   pairs over the stream, plus a per-log interning table mapping dense ids
+   to canonical label-set bytes. Id 0 is always the empty set, so an
+   unlabeled log is one all-zero run and costs two ints total. *)
 type t = {
   mutable data : int array;
   mutable len : int;
   mutable n : int;
+  mutable lsets : string array;  (* id -> Label_set.canonical *)
+  mutable lset_n : int;
+  intern : (string, int) Hashtbl.t;
+  mutable runs : int array;  (* flat (label id, count) pairs *)
+  mutable runs_len : int;    (* ints used; runs always cover exactly n samples *)
+  mutable cur : int;         (* label id stamped on the next sample *)
 }
 
-let create () = { data = [||]; len = 0; n = 0 }
+let create () =
+  let intern = Hashtbl.create 8 in
+  Hashtbl.replace intern "" 0;
+  {
+    data = [||];
+    len = 0;
+    n = 0;
+    lsets = [| "" |];
+    lset_n = 1;
+    intern;
+    runs = [||];
+    runs_len = 0;
+    cur = 0;
+  }
 
 let ensure t extra =
   let need = t.len + extra in
@@ -12,6 +38,44 @@ let ensure t extra =
     let a = Array.make (max need (max 256 (2 * Array.length t.data))) 0 in
     Array.blit t.data 0 a 0 t.len;
     t.data <- a
+  end
+
+let intern_canonical t canon =
+  match Hashtbl.find_opt t.intern canon with
+  | Some id -> id
+  | None ->
+      let id = t.lset_n in
+      if id >= Array.length t.lsets then begin
+        let a = Array.make (max 4 (2 * Array.length t.lsets)) "" in
+        Array.blit t.lsets 0 a 0 t.lset_n;
+        t.lsets <- a
+      end;
+      t.lsets.(id) <- canon;
+      t.lset_n <- id + 1;
+      Hashtbl.replace t.intern canon id;
+      id
+
+let set_label t ls = t.cur <- intern_canonical t (Label_set.canonical ls)
+let current_label t = Label_set.of_canonical t.lsets.(t.cur)
+
+let ensure_runs t extra =
+  let need = t.runs_len + extra in
+  if need > Array.length t.runs then begin
+    let a = Array.make (max need (max 16 (2 * Array.length t.runs))) 0 in
+    Array.blit t.runs 0 a 0 t.runs_len;
+    t.runs <- a
+  end
+
+(* Stamp one sample with [id]: extend the last run in place when the label
+   has not changed (the zero-allocation steady state), else open a run. *)
+let stamp t id =
+  if t.runs_len >= 2 && t.runs.(t.runs_len - 2) = id then
+    t.runs.(t.runs_len - 1) <- t.runs.(t.runs_len - 1) + 1
+  else begin
+    ensure_runs t 2;
+    t.runs.(t.runs_len) <- id;
+    t.runs.(t.runs_len + 1) <- 1;
+    t.runs_len <- t.runs_len + 2
   end
 
 let add t ~lbr ~lbr_len ~stack ~stack_len =
@@ -33,12 +97,14 @@ let add t ~lbr ~lbr_len ~stack ~stack_len =
     incr p
   done;
   t.len <- !p;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  stamp t t.cur
 
 let sink t =
   {
     Machine.on_sample =
       (fun ~lbr ~lbr_len ~stack ~stack_len -> add t ~lbr ~lbr_len ~stack ~stack_len);
+    on_labels = set_label t;
   }
 
 let iter t f =
@@ -75,29 +141,85 @@ let to_samples t =
         :: !out);
   List.rev !out
 
+(* Append [extra] run ints from [runs] (id already remapped into [into]),
+   merging the boundary when the label does not change. *)
+let append_runs into runs lo extra =
+  let i = ref lo in
+  let stop = lo + extra in
+  while !i < stop do
+    let id = runs.(!i) and cnt = runs.(!i + 1) in
+    if into.runs_len >= 2 && into.runs.(into.runs_len - 2) = id then
+      into.runs.(into.runs_len - 1) <- into.runs.(into.runs_len - 1) + cnt
+    else begin
+      ensure_runs into 2;
+      into.runs.(into.runs_len) <- id;
+      into.runs.(into.runs_len + 1) <- cnt;
+      into.runs_len <- into.runs_len + 2
+    end;
+    i := !i + 2
+  done
+
 let append ~into src =
   ensure into src.len;
   Array.blit src.data 0 into.data into.len src.len;
   into.len <- into.len + src.len;
-  into.n <- into.n + src.n
+  into.n <- into.n + src.n;
+  (* Remap the source's label ids through [into]'s interning table, then
+     splice its runs — replaying the result is replaying [into] then
+     [src], labels included. *)
+  let remapped = Array.make src.runs_len 0 in
+  let i = ref 0 in
+  while !i < src.runs_len do
+    remapped.(!i) <- intern_canonical into src.lsets.(src.runs.(!i));
+    remapped.(!i + 1) <- src.runs.(!i + 1);
+    i := !i + 2
+  done;
+  append_runs into remapped 0 src.runs_len
 
 let n_samples t = t.n
-let words t = Array.length t.data + 4
+let words t = Array.length t.data + Array.length t.runs + 4
 
 let compact t =
-  if Array.length t.data > t.len then t.data <- Array.sub t.data 0 t.len
+  if Array.length t.data > t.len then t.data <- Array.sub t.data 0 t.len;
+  if Array.length t.runs > t.runs_len then t.runs <- Array.sub t.runs 0 t.runs_len
 
-(* ------------------------------------------------------------------ *)
-(* Serialization. Both forms carry the arena's record stream verbatim
-   (lbr_len, pairs, stack_len, addrs — one record per sample), so a
-   decoded log replays the identical sample stream.                    *)
+(* --- labels ---------------------------------------------------------- *)
 
-module Wire = Csspgo_support.Wire
+let is_labeled t =
+  let rec go i = i < t.runs_len && (t.runs.(i) <> 0 || go (i + 2)) in
+  go 0
 
-let magic = "CSLG"
-let version = 2
-let tag_log = 1
-let chunk_samples = 4096
+(* Distinct label ids in order of first appearance in the run stream —
+   the canonical on-disk (and therefore cross-log deterministic) label
+   order; interning order is not observable. *)
+let used_ids t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < t.runs_len do
+    let id = t.runs.(!i) in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      out := id :: !out
+    end;
+    i := !i + 2
+  done;
+  List.rev !out
+
+let labels t = List.map (fun id -> Label_set.of_canonical t.lsets.(id)) (used_ids t)
+
+let label_counts t =
+  let counts = Hashtbl.create 8 in
+  let i = ref 0 in
+  while !i < t.runs_len do
+    let id = t.runs.(!i) in
+    Hashtbl.replace counts id
+      (t.runs.(!i + 1) + Option.value (Hashtbl.find_opt counts id) ~default:0);
+    i := !i + 2
+  done;
+  List.map
+    (fun id -> (Label_set.of_canonical t.lsets.(id), Hashtbl.find counts id))
+    (used_ids t)
 
 (* Advance [p] past [count] whole records of [data]. All chunk/shard
    boundaries come from this walk, so a boundary can never divide a
@@ -109,6 +231,88 @@ let walk_records data p count =
     let sn = data.(!p) in
     p := !p + 1 + sn
   done
+
+(* The run sub-sequence covering samples [first, first + count) as a fresh
+   flat (id, count) array — the label counterpart of a record-walk slice. *)
+let runs_window t first count =
+  let out = ref [] in
+  let pos = ref 0 in
+  let i = ref 0 in
+  while !i < t.runs_len && !pos < first + count do
+    let id = t.runs.(!i) and cnt = t.runs.(!i + 1) in
+    let lo = max !pos first and hi = min (!pos + cnt) (first + count) in
+    if hi > lo then out := (id, hi - lo) :: !out;
+    pos := !pos + cnt;
+    i := !i + 2
+  done;
+  let lst = List.rev !out in
+  let a = Array.make (2 * List.length lst) 0 in
+  List.iteri
+    (fun j (id, cnt) ->
+      a.(2 * j) <- id;
+      a.((2 * j) + 1) <- cnt)
+    lst;
+  a
+
+let slice_by_label t =
+  let ids = used_ids t in
+  let slices =
+    List.map
+      (fun id ->
+        let s = create () in
+        set_label s (Label_set.of_canonical t.lsets.(id));
+        (id, s))
+      ids
+  in
+  (* One walk over records and runs together routes each sample's record
+     bytes into its label's slice log. *)
+  let p = ref 0 in
+  let i = ref 0 in
+  while !i < t.runs_len do
+    let id = t.runs.(!i) and cnt = t.runs.(!i + 1) in
+    let start = !p in
+    walk_records t.data p cnt;
+    let s = List.assoc id slices in
+    ensure s (!p - start);
+    Array.blit t.data start s.data s.len (!p - start);
+    s.len <- s.len + (!p - start);
+    s.n <- s.n + cnt;
+    for _ = 1 to cnt do
+      stamp s s.cur
+    done;
+    i := !i + 2
+  done;
+  List.map
+    (fun (id, s) -> (Label_set.of_canonical t.lsets.(id), s))
+    slices
+
+let unlabeled t =
+  let u = create () in
+  u.data <- Array.copy t.data;
+  u.len <- t.len;
+  u.n <- t.n;
+  if t.n > 0 then begin
+    ensure_runs u 2;
+    u.runs.(0) <- 0;
+    u.runs.(1) <- t.n;
+    u.runs_len <- 2
+  end;
+  u
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. Both forms carry the arena's record stream verbatim
+   (lbr_len, pairs, stack_len, addrs — one record per sample), so a
+   decoded log replays the identical sample stream. The text form is
+   label-free (labels are a binary-framing concern); v3 blobs add one
+   label section. *)
+
+module Wire = Csspgo_support.Wire
+
+let magic = "CSLG"
+let version = 3
+let tag_log = 1
+let tag_labels = 2
+let chunk_samples = 4096
 
 let to_text t =
   let buf = Buffer.create (16 * t.n) in
@@ -213,9 +417,39 @@ let of_text s =
    its own FNV trailer and length prefix, so chunks are self-delimited and
    independently decodable — the shard unit for parallel correlation. An
    empty log frames one empty chunk so every blob has at least one
-   section. *)
-let encode ?(chunk = chunk_samples) t =
+   section.
+
+   v3 framing appends one label section after the chunks: the distinct
+   canonical label-set encodings referenced by the run stream, in order of
+   first appearance, then the (set index, sample count) runs themselves.
+   An unlabeled log frames as plain v2 by default, so label-free streams
+   are byte-identical to the pre-label format — and a forced-v3 blob of
+   an unlabeled stream decodes and re-frames back to those very v2 bytes
+   (the lossless downgrade). *)
+let label_section t =
+  let ids = used_ids t in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i id -> Hashtbl.replace index id i) ids;
+  let e = Wire.Enc.create () in
+  Wire.Enc.varint e (List.length ids);
+  List.iter (fun id -> Wire.Enc.string e t.lsets.(id)) ids;
+  Wire.Enc.varint e (t.runs_len / 2);
+  let i = ref 0 in
+  while !i < t.runs_len do
+    Wire.Enc.varint e (Hashtbl.find index t.runs.(!i));
+    Wire.Enc.varint e t.runs.(!i + 1);
+    i := !i + 2
+  done;
+  Wire.Enc.contents e
+
+let encode ?(chunk = chunk_samples) ?(frame = `Auto) t =
   if chunk <= 0 then invalid_arg "Sample_log.encode: chunk must be positive";
+  let v =
+    match frame with
+    | `Auto -> if is_labeled t then 3 else 2
+    | `V2 -> 2
+    | `V3 -> 3
+  in
   let sections = ref [] in
   let p = ref 0 in
   let remaining = ref t.n in
@@ -237,7 +471,8 @@ let encode ?(chunk = chunk_samples) t =
       emit n0 start !p;
       remaining := !remaining - n0
     done;
-  Wire.frame ~magic ~version (List.rev !sections)
+  if v = 3 then sections := (tag_labels, label_section t) :: !sections;
+  Wire.frame ~magic ~version:v (List.rev !sections)
 
 (* One varint-packed chunk payload -> a log. Framing is already validated
    by the envelope; this checks the declared record structure walks the
@@ -270,15 +505,96 @@ let decode_section payload =
   done;
   if !p <> len then
     raise (Wire.Error (Wire.Malformed "record stream does not cover arena"));
-  { data; len; n }
+  let t = create () in
+  t.data <- data;
+  t.len <- len;
+  t.n <- n;
+  if n > 0 then begin
+    ensure_runs t 2;
+    t.runs.(0) <- 0;
+    t.runs.(1) <- n;
+    t.runs_len <- 2
+  end;
+  t
 
-(* Decode every section of a blob as a chunk, version-dispatched: v1 blobs
-   must carry exactly one log section, v2 blobs one section per chunk. *)
+(* The v3 label section -> (canonical set strings, flat run array). Every
+   byte is checked before any label is attached to a sample: junk set
+   encodings, duplicate table entries, out-of-range indices, zero-count or
+   adjacent-equal runs, and run totals that disagree with the chunk
+   sections are all typed [Wire] errors — corruption can fail a decode,
+   never mislabel a sample. *)
+let decode_label_section ~total payload =
+  let d = Wire.Dec.of_string payload in
+  let nsets = Wire.Dec.varint d in
+  if nsets < 0 || nsets > total + 1 then
+    raise (Wire.Error (Wire.Malformed "bad label-set count"));
+  let sets = Array.init nsets (fun _ -> Wire.Dec.string d) in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun s ->
+      ignore (Label_set.of_canonical s);
+      if Hashtbl.mem seen s then
+        raise (Wire.Error (Wire.Malformed "duplicate label set in table"));
+      Hashtbl.replace seen s ())
+    sets;
+  let nruns = Wire.Dec.varint d in
+  if nruns < 0 || nruns > total then
+    raise (Wire.Error (Wire.Malformed "bad label-run count"));
+  let runs = Array.make (2 * nruns) 0 in
+  let covered = ref 0 in
+  for i = 0 to nruns - 1 do
+    let idx = Wire.Dec.varint d in
+    let cnt = Wire.Dec.varint d in
+    if idx < 0 || idx >= nsets then
+      raise (Wire.Error (Wire.Malformed "label run references unknown set"));
+    if cnt <= 0 then raise (Wire.Error (Wire.Malformed "empty label run"));
+    if i > 0 && runs.(2 * (i - 1)) = idx then
+      raise (Wire.Error (Wire.Malformed "adjacent label runs with equal set"));
+    runs.(2 * i) <- idx;
+    runs.((2 * i) + 1) <- cnt;
+    covered := !covered + cnt
+  done;
+  if not (Wire.Dec.at_end d) then
+    raise (Wire.Error (Wire.Malformed "trailing bytes in label section"));
+  if !covered <> total then
+    raise
+      (Wire.Error
+         (Wire.Malformed
+            (Printf.sprintf "label runs cover %d of %d samples" !covered total)));
+  (sets, runs)
+
+(* Attach a decoded label table to [t] (whose runs are the implicit
+   all-empty run): intern each section set and rewrite the run stream. *)
+let attach_labels t (sets, runs) =
+  let ids = Array.map (intern_canonical t) sets in
+  t.runs <- [||];
+  t.runs_len <- 0;
+  let i = ref 0 in
+  while !i < Array.length runs do
+    ensure_runs t 2;
+    t.runs.(t.runs_len) <- ids.(runs.(!i));
+    t.runs.(t.runs_len + 1) <- runs.(!i + 1);
+    t.runs_len <- t.runs_len + 2;
+    i := !i + 2
+  done
+
+(* Decode every section of a blob, version-dispatched: v1 blobs must carry
+   exactly one log section, v2 one log section per chunk, v3 the v2 chunk
+   sections followed by exactly one trailing label section. *)
 let decode_sections s =
   match Wire.unframe ~magic ~max_version:version s with
   | Error e -> Error e
   | Ok (v, sections) -> (
       try
+        let log_sections, label_payload =
+          match (v, List.rev sections) with
+          | 3, (tag, payload) :: rest when tag = tag_labels ->
+              (List.rev rest, Some payload)
+          | 3, _ ->
+              raise
+                (Wire.Error (Wire.Malformed "v3 blob missing trailing label section"))
+          | _, _ -> (sections, None)
+        in
         let parts =
           List.map
             (fun (tag, payload) ->
@@ -287,36 +603,85 @@ let decode_sections s =
                   (Wire.Error
                      (Wire.Malformed (Printf.sprintf "unknown section tag %d" tag)));
               decode_section payload)
-            sections
+            log_sections
         in
-        match (v, parts) with
-        | _, [] -> Error (Wire.Malformed "no log sections")
-        | 1, [ part ] -> Ok [ part ]
-        | 1, _ ->
-            Error
-              (Wire.Malformed
-                 (Printf.sprintf "expected exactly one log section, got %d"
-                    (List.length parts)))
-        | _, parts -> Ok parts
+        let parts =
+          match (v, parts) with
+          | _, [] -> raise (Wire.Error (Wire.Malformed "no log sections"))
+          | 1, [ part ] -> [ part ]
+          | 1, _ ->
+              raise
+                (Wire.Error
+                   (Wire.Malformed
+                      (Printf.sprintf "expected exactly one log section, got %d"
+                         (List.length parts))))
+          | _, parts -> parts
+        in
+        let labels =
+          match label_payload with
+          | None -> None
+          | Some payload ->
+              let total =
+                List.fold_left (fun acc part -> acc + part.n) 0 parts
+              in
+              Some (decode_label_section ~total payload)
+        in
+        Ok (parts, labels)
       with Wire.Error e -> Error e)
 
 let concat_parts = function
   | [ t ] -> t
   | parts ->
-      let len = List.fold_left (fun acc t -> acc + t.len) 0 parts in
-      let n = List.fold_left (fun acc t -> acc + t.n) 0 parts in
-      let data = if len = 0 then [||] else Array.make len 0 in
-      let p = ref 0 in
-      List.iter
-        (fun t ->
-          Array.blit t.data 0 data !p t.len;
-          p := !p + t.len)
-        parts;
-      { data; len; n }
+      let out = create () in
+      List.iter (fun p -> append ~into:out p) parts;
+      out.cur <- 0;
+      out
 
-let decode s = Result.map concat_parts (decode_sections s)
+(* Split a decoded label run stream along the chunk partition, attaching
+   each chunk its own window of the runs. *)
+let distribute_labels parts (sets, runs) =
+  let holder = create () in
+  holder.n <- List.fold_left (fun acc p -> acc + p.n) 0 parts;
+  attach_labels holder (sets, runs);
+  let first = ref 0 in
+  List.map
+    (fun part ->
+      let w = runs_window holder !first part.n in
+      (* Remap holder ids back to canonical strings, then into the part. *)
+      let i = ref 0 in
+      part.runs <- [||];
+      part.runs_len <- 0;
+      while !i < Array.length w do
+        ensure_runs part 2;
+        part.runs.(part.runs_len) <-
+          intern_canonical part holder.lsets.(w.(!i));
+        part.runs.(part.runs_len + 1) <- w.(!i + 1);
+        part.runs_len <- part.runs_len + 2;
+        i := !i + 2
+      done;
+      first := !first + part.n;
+      part)
+    parts
 
-let decode_chunks s = decode_sections s
+let decode s =
+  match decode_sections s with
+  | Error e -> Error e
+  | Ok (parts, labels) -> (
+      let log = concat_parts parts in
+      match labels with
+      | None -> Ok log
+      | Some lab ->
+          (try
+             attach_labels log lab;
+             Ok log
+           with Wire.Error e -> Error e))
+
+let decode_chunks s =
+  match decode_sections s with
+  | Error e -> Error e
+  | Ok (parts, None) -> Ok parts
+  | Ok (parts, Some lab) -> (
+      try Ok (distribute_labels parts lab) with Wire.Error e -> Error e)
 
 let framing_version s =
   Result.map fst (Wire.unframe ~magic ~max_version:version s)
@@ -326,14 +691,27 @@ let split ?(chunk = chunk_samples) t =
   let out = ref [] in
   let p = ref 0 in
   let remaining = ref t.n in
+  let first = ref 0 in
   while !remaining > 0 do
     let n0 = min chunk !remaining in
     let start = !p in
     walk_records t.data p n0;
-    out :=
-      { data = Array.sub t.data start (!p - start); len = !p - start; n = n0 }
-      :: !out;
-    remaining := !remaining - n0
+    let part = create () in
+    part.data <- Array.sub t.data start (!p - start);
+    part.len <- !p - start;
+    part.n <- n0;
+    let w = runs_window t !first n0 in
+    let i = ref 0 in
+    while !i < Array.length w do
+      ensure_runs part 2;
+      part.runs.(part.runs_len) <- intern_canonical part t.lsets.(w.(!i));
+      part.runs.(part.runs_len + 1) <- w.(!i + 1);
+      part.runs_len <- part.runs_len + 2;
+      i := !i + 2
+    done;
+    out := part :: !out;
+    remaining := !remaining - n0;
+    first := !first + n0
   done;
   List.rev !out
 

@@ -7,6 +7,8 @@
 
 module P = Csspgo_profile
 module Guid = Csspgo_ir.Guid
+module Vm = Csspgo_vm
+module Ls = Csspgo_support.Label_set
 
 let g = Guid.of_name
 
@@ -71,6 +73,27 @@ let line () =
    sibling test in [Test_binary_io]. *)
 let binary text = P.Binary_io.encode (P.Text_io.of_string text)
 
+(* A small hand-written labeled sample log: two tenants, a label run that
+   returns to an already-interned set, and a chunk size that splits the
+   stream mid-run. Its v3 blob pins the label-section wire format; the v2
+   blob of its unlabeled copy pins the lossless downgrade framing. *)
+let cslg () =
+  let log = Vm.Sample_log.create () in
+  let add lbr stack =
+    let lbr = Array.of_list lbr and stack = Array.of_list stack in
+    Vm.Sample_log.add log ~lbr ~lbr_len:(Array.length lbr) ~stack
+      ~stack_len:(Array.length stack)
+  in
+  let acme = Ls.of_list [ ("tenant", "acme"); ("endpoint", "adfinder") ] in
+  Vm.Sample_log.set_label log acme;
+  add [ (10, 20); (22, 30) ] [ 30; 7 ];
+  add [ (30, 10) ] [ 12 ];
+  Vm.Sample_log.set_label log (Ls.of_list [ ("tenant", "zeta") ]);
+  add [ (40, 44) ] [ 44; 9; 3 ];
+  Vm.Sample_log.set_label log acme;
+  add [] [ 50 ];
+  log
+
 let () =
   set_binary_mode_out stdout true;
   match Sys.argv.(1) with
@@ -80,5 +103,10 @@ let () =
   | "probe-bin" -> print_string (binary (probe ()))
   | "ctx-bin" -> print_string (binary (ctx ()))
   | "line-bin" -> print_string (binary (line ()))
+  | "cslg-v3" -> print_string (Vm.Sample_log.encode ~chunk:2 (cslg ()))
+  | "cslg-v2" ->
+      print_string (Vm.Sample_log.encode ~chunk:2 (Vm.Sample_log.unlabeled (cslg ())))
   | s -> failwith ("golden_gen: unknown kind " ^ s)
-  | exception _ -> failwith "usage: golden_gen (probe|ctx|line|probe-bin|ctx-bin|line-bin)"
+  | exception _ ->
+      failwith
+        "usage: golden_gen (probe|ctx|line|probe-bin|ctx-bin|line-bin|cslg-v3|cslg-v2)"

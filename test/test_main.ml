@@ -21,6 +21,7 @@ let () =
       Test_incremental.suite;
       Test_fleet.suite;
       Test_parcorr.suite;
+      Test_labels.suite;
       Test_obs.suite;
       Test_health.suite;
     ]

@@ -148,6 +148,7 @@ let test_debug_poison_catches_aliasing () =
       Vm.Machine.on_sample =
         (fun ~lbr ~lbr_len ~stack ~stack_len ->
           stored := (lbr, lbr_len, stack, stack_len) :: !stored);
+      on_labels = Vm.Machine.no_labels;
     }
   in
   let r =
@@ -186,6 +187,7 @@ let test_copying_sink_matches_collect () =
               s_stack = Array.sub stack 0 stack_len;
             }
             :: !copied);
+      on_labels = Vm.Machine.no_labels;
     }
   in
   let r =
